@@ -1,0 +1,60 @@
+//! Relational atoms.
+
+use crate::symbols::{PredId, Vocabulary};
+use crate::term::Term;
+
+/// A relational atom `P(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub pred: PredId,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(pred: PredId, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// All variable indices occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = u32> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// Renders `pred(arg, ...)` for debugging / test assertions.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => format!("?{v}"),
+                Term::Const(c) => format!("{:?}", vocab.const_name(*c)),
+            })
+            .collect();
+        format!("{}({})", vocab.pred_name(self.pred), args.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymId;
+
+    #[test]
+    fn vars_skips_constants() {
+        let atom = Atom::new(
+            PredId(0),
+            vec![Term::Var(1), Term::Const(SymId(0)), Term::Var(4)],
+        );
+        let vars: Vec<u32> = atom.vars().collect();
+        assert_eq!(vars, vec![1, 4]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut v = Vocabulary::new();
+        let p = v.predicate("name", 2);
+        let c = v.constant("M.csv");
+        let atom = Atom::new(p, vec![Term::Var(0), Term::Const(c)]);
+        assert_eq!(atom.display(&v), "name(?0, \"M.csv\")");
+    }
+}

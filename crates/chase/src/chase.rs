@@ -1,0 +1,390 @@
+//! The bounded restricted chase (paper §4.2 step (i), §6.3).
+//!
+//! Applies TGDs (adding facts with fresh labelled nulls for existentials,
+//! only when the conclusion is not already satisfied — the *restricted*
+//! chase) and EGDs (merging union-find classes) until fixpoint or until a
+//! configurable budget is exhausted. HADAD's `LAprop` catalogue is
+//! chase-terminating for the stratified core, but associativity-style rules
+//! generate fresh IDs without bound, so the engine carries the same
+//! practical budgets the paper's PACB++ implementation does.
+//!
+//! Cost-based pruning (`Prune_prov`, §7.3) plugs in through the [`Pruner`]
+//! trait: a firing whose premise image already costs more than the best
+//! known rewriting never executes (Example 7.2).
+
+use std::collections::HashMap;
+
+use crate::constraint::{Constraint, Egd, Tgd};
+use crate::homomorphism::{self, Match};
+use crate::instance::{Instance, NodeId};
+use crate::provenance::Provenance;
+use crate::term::Term;
+
+/// Budgets bounding the chase.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseBudget {
+    /// Maximum number of full rounds over the constraint set.
+    pub max_rounds: usize,
+    /// Hard cap on the number of facts in the instance.
+    pub max_facts: usize,
+    /// Hard cap on labelled nulls (fresh IDs) created.
+    pub max_nulls: usize,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget { max_rounds: 12, max_facts: 60_000, max_nulls: 30_000 }
+    }
+}
+
+/// How a chase run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// Fixpoint: no constraint is applicable.
+    Saturated,
+    /// A budget was hit; the instance is a sound under-approximation of the
+    /// full chase (every fact is still implied by the constraints).
+    BudgetExhausted,
+    /// An EGD equated two distinct constants: constraints inconsistent with
+    /// the instance.
+    ConstClash,
+}
+
+/// Veto hook for TGD firings (cost-based pruning).
+pub trait Pruner {
+    /// Return `false` to skip this firing. `rule_idx` indexes the engine's
+    /// constraint list; `m` is the premise match.
+    fn allow_firing(&mut self, inst: &Instance, rule_idx: usize, tgd: &Tgd, m: &Match) -> bool;
+}
+
+/// Pruner that allows everything (the naive PACB behaviour).
+pub struct NoPrune;
+
+impl Pruner for NoPrune {
+    fn allow_firing(&mut self, _: &Instance, _: usize, _: &Tgd, _: &Match) -> bool {
+        true
+    }
+}
+
+/// Per-rule statistics from a chase run (exposed so the optimizer can report
+/// which LA properties fired, cf. the paper's per-pipeline discussions).
+#[derive(Debug, Clone, Default)]
+pub struct ChaseStats {
+    pub rounds: usize,
+    pub tgd_firings: Vec<(String, usize)>,
+    pub egd_merges: usize,
+    pub pruned_firings: usize,
+}
+
+/// The chase engine: an ordered list of constraints plus budgets.
+#[derive(Debug, Clone)]
+pub struct ChaseEngine {
+    pub constraints: Vec<Constraint>,
+    pub budget: ChaseBudget,
+}
+
+impl ChaseEngine {
+    pub fn new(constraints: Vec<Constraint>) -> Self {
+        ChaseEngine { constraints, budget: ChaseBudget::default() }
+    }
+
+    pub fn with_budget(mut self, budget: ChaseBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs the chase to fixpoint (or budget) without pruning.
+    pub fn chase(&self, inst: &mut Instance) -> (ChaseOutcome, ChaseStats) {
+        self.chase_with(inst, &mut NoPrune)
+    }
+
+    /// Runs the chase with a pruning hook.
+    pub fn chase_with(
+        &self,
+        inst: &mut Instance,
+        pruner: &mut dyn Pruner,
+    ) -> (ChaseOutcome, ChaseStats) {
+        let mut stats = ChaseStats {
+            tgd_firings: self.constraints.iter().map(|c| (c.name().to_owned(), 0)).collect(),
+            ..Default::default()
+        };
+        for _round in 0..self.budget.max_rounds {
+            stats.rounds += 1;
+            let mut changed = false;
+            for (ci, c) in self.constraints.iter().enumerate() {
+                match c {
+                    Constraint::Egd(egd) => match self.apply_egd(inst, egd) {
+                        Ok(merges) => {
+                            if merges > 0 {
+                                stats.egd_merges += merges;
+                                changed = true;
+                            }
+                        }
+                        Err(()) => return (ChaseOutcome::ConstClash, stats),
+                    },
+                    Constraint::Tgd(tgd) => {
+                        let (fired, pruned, over_budget) =
+                            self.apply_tgd(inst, ci, tgd, pruner);
+                        stats.tgd_firings[ci].1 += fired;
+                        stats.pruned_firings += pruned;
+                        if fired > 0 {
+                            changed = true;
+                        }
+                        if over_budget {
+                            return (ChaseOutcome::BudgetExhausted, stats);
+                        }
+                    }
+                }
+                if inst.num_facts() > self.budget.max_facts
+                    || inst.num_nulls() > self.budget.max_nulls
+                {
+                    return (ChaseOutcome::BudgetExhausted, stats);
+                }
+            }
+            if !changed {
+                return (ChaseOutcome::Saturated, stats);
+            }
+        }
+        (ChaseOutcome::BudgetExhausted, stats)
+    }
+
+    /// Applies one EGD exhaustively; returns the number of merges, or `Err`
+    /// on a constant clash.
+    fn apply_egd(&self, inst: &mut Instance, egd: &Egd) -> Result<usize, ()> {
+        // Collect merge requests first (cannot mutate during enumeration).
+        let mut merges: Vec<(NodeId, NodeId)> = Vec::new();
+        {
+            let matches = homomorphism::all_matches(inst, &egd.premise);
+            for m in &matches {
+                for (l, r) in &egd.equalities {
+                    let ln = resolve(inst, &m.bindings, l);
+                    let rn = resolve(inst, &m.bindings, r);
+                    if let (Some(ln), Some(rn)) = (ln, rn) {
+                        if inst.find(ln) != inst.find(rn) {
+                            merges.push((ln, rn));
+                        }
+                    }
+                }
+            }
+        }
+        if merges.is_empty() {
+            return Ok(0);
+        }
+        let mut count = 0;
+        for (a, b) in merges {
+            if inst.find(a) != inst.find(b) {
+                inst.merge(a, b).map_err(|_| ())?;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            inst.rehash();
+        }
+        Ok(count)
+    }
+
+    /// Applies one TGD (restricted semantics). Returns
+    /// `(firings, pruned, over_budget)`.
+    fn apply_tgd(
+        &self,
+        inst: &mut Instance,
+        rule_idx: usize,
+        tgd: &Tgd,
+        pruner: &mut dyn Pruner,
+    ) -> (usize, usize, bool) {
+        // Phase 1: enumerate premise matches (immutable borrow).
+        let matches = homomorphism::all_matches(inst, &tgd.premise);
+        let existentials = tgd.existential_vars();
+        let mut fired = 0usize;
+        let mut pruned = 0usize;
+
+        // Phase 2: re-check satisfiability and apply.
+        for m in matches {
+            // Restricted chase: skip if the conclusion already holds under
+            // the premise bindings (checked against the *current* instance,
+            // which may have been extended by earlier firings).
+            let relevant: HashMap<u32, NodeId> = m
+                .bindings
+                .iter()
+                .filter(|(v, _)| !existentials.contains(v))
+                .map(|(&v, &n)| (v, n))
+                .collect();
+            if homomorphism::satisfiable_with(inst, &tgd.conclusion, &relevant) {
+                continue;
+            }
+            if !pruner.allow_firing(inst, rule_idx, tgd, &m) {
+                pruned += 1;
+                continue;
+            }
+            // Provenance of new facts: conjunction of the premise image.
+            let premise_provs: Vec<&Provenance> =
+                m.fact_indices.iter().map(|&fi| &inst.fact(fi).prov).collect();
+            let prov = Provenance::and_all(&premise_provs);
+
+            let mut bindings = relevant;
+            for &ev in &existentials {
+                bindings.insert(ev, inst.fresh_null());
+            }
+            for atom in &tgd.conclusion {
+                let args: Vec<NodeId> = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => *bindings.get(v).expect("conclusion var bound"),
+                        Term::Const(c) => inst.const_node(*c),
+                    })
+                    .collect();
+                inst.insert(atom.pred, args, prov.clone(), Some(rule_idx));
+            }
+            fired += 1;
+            if inst.num_facts() > self.budget.max_facts
+                || inst.num_nulls() > self.budget.max_nulls
+            {
+                return (fired, pruned, true);
+            }
+        }
+        (fired, pruned, false)
+    }
+}
+
+fn resolve(inst: &mut Instance, bindings: &HashMap<u32, NodeId>, t: &Term) -> Option<NodeId> {
+    match t {
+        Term::Var(v) => bindings.get(v).copied(),
+        Term::Const(c) => Some(inst.const_node(*c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::symbols::Vocabulary;
+
+    /// Paper §4.1 example: Review(p, r, t) → ∃a PC(r, a), plus the EGD that
+    /// a paper is submitted to a single track.
+    #[test]
+    fn review_pc_example() {
+        let mut vocab = Vocabulary::new();
+        let review = vocab.predicate("Review", 3);
+        let pc = vocab.predicate("PC", 2);
+
+        let tgd = Tgd::new(
+            "review-implies-pc",
+            vec![Atom::new(review, vec![Term::Var(0), Term::Var(1), Term::Var(2)])],
+            vec![Atom::new(pc, vec![Term::Var(1), Term::Var(3)])],
+        );
+        let egd = Egd::new(
+            "single-track",
+            vec![
+                Atom::new(review, vec![Term::Var(0), Term::Var(1), Term::Var(2)]),
+                Atom::new(review, vec![Term::Var(0), Term::Var(3), Term::Var(4)]),
+            ],
+            vec![(Term::Var(2), Term::Var(4))],
+        );
+
+        let mut inst = Instance::new();
+        let p = inst.const_node(vocab.constant("paper1"));
+        let r1 = inst.const_node(vocab.constant("alice"));
+        let r2 = inst.const_node(vocab.constant("bob"));
+        let t1 = inst.fresh_null();
+        let t2 = inst.fresh_null();
+        inst.insert(review, vec![p, r1, t1], Provenance::empty(), None);
+        inst.insert(review, vec![p, r2, t2], Provenance::empty(), None);
+
+        let engine = ChaseEngine::new(vec![tgd.into(), egd.into()]);
+        let (outcome, stats) = engine.chase(&mut inst);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        // Tracks merged by the EGD.
+        assert_eq!(inst.find(t1), inst.find(t2));
+        assert!(stats.egd_merges >= 1);
+        // PC facts derived for both reviewers.
+        assert_eq!(inst.facts_with_pred(pc).len(), 2);
+    }
+
+    #[test]
+    fn restricted_chase_does_not_refire() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.predicate("P", 1);
+        let q = vocab.predicate("Q", 2);
+        // P(x) → ∃y Q(x, y); chasing twice must not add a second witness.
+        let tgd = Tgd::new(
+            "p-implies-q",
+            vec![Atom::new(p, vec![Term::Var(0)])],
+            vec![Atom::new(q, vec![Term::Var(0), Term::Var(1)])],
+        );
+        let mut inst = Instance::new();
+        let a = inst.const_node(vocab.constant("a"));
+        inst.insert(p, vec![a], Provenance::empty(), None);
+        let engine = ChaseEngine::new(vec![tgd.into()]);
+        let (outcome, _) = engine.chase(&mut inst);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        assert_eq!(inst.facts_with_pred(q).len(), 1);
+        assert_eq!(inst.num_nulls(), 1);
+    }
+
+    #[test]
+    fn budget_stops_divergent_chase() {
+        let mut vocab = Vocabulary::new();
+        let e = vocab.predicate("E", 2);
+        // E(x, y) → ∃z E(y, z): classic non-terminating TGD.
+        let tgd = Tgd::new(
+            "succ",
+            vec![Atom::new(e, vec![Term::Var(0), Term::Var(1)])],
+            vec![Atom::new(e, vec![Term::Var(1), Term::Var(2)])],
+        );
+        let mut inst = Instance::new();
+        let a = inst.const_node(vocab.constant("a"));
+        let b = inst.const_node(vocab.constant("b"));
+        inst.insert(e, vec![a, b], Provenance::empty(), None);
+        let engine = ChaseEngine::new(vec![tgd.into()])
+            .with_budget(ChaseBudget { max_rounds: 3, max_facts: 1000, max_nulls: 1000 });
+        let (outcome, stats) = engine.chase(&mut inst);
+        assert_eq!(outcome, ChaseOutcome::BudgetExhausted);
+        assert_eq!(stats.rounds, 3);
+        assert!(inst.num_facts() >= 3);
+    }
+
+    #[test]
+    fn pruner_vetoes_firings() {
+        struct VetoAll;
+        impl Pruner for VetoAll {
+            fn allow_firing(&mut self, _: &Instance, _: usize, _: &Tgd, _: &Match) -> bool {
+                false
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        let p = vocab.predicate("P", 1);
+        let q = vocab.predicate("Q", 1);
+        let tgd = Tgd::new(
+            "p-q",
+            vec![Atom::new(p, vec![Term::Var(0)])],
+            vec![Atom::new(q, vec![Term::Var(0)])],
+        );
+        let mut inst = Instance::new();
+        let a = inst.const_node(vocab.constant("a"));
+        inst.insert(p, vec![a], Provenance::empty(), None);
+        let engine = ChaseEngine::new(vec![tgd.into()]);
+        let (outcome, stats) = engine.chase_with(&mut inst, &mut VetoAll);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        assert_eq!(inst.facts_with_pred(q).len(), 0);
+        assert!(stats.pruned_firings > 0);
+    }
+
+    #[test]
+    fn functional_egd_dedups_outputs() {
+        let mut vocab = Vocabulary::new();
+        let f = vocab.predicate("f", 2);
+        let egd = Egd::functional("f-func", f, 2);
+        let mut inst = Instance::new();
+        let x = inst.const_node(vocab.constant("x"));
+        let o1 = inst.fresh_null();
+        let o2 = inst.fresh_null();
+        inst.insert(f, vec![x, o1], Provenance::empty(), None);
+        inst.insert(f, vec![x, o2], Provenance::empty(), None);
+        let engine = ChaseEngine::new(vec![egd.into()]);
+        let (outcome, _) = engine.chase(&mut inst);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        assert_eq!(inst.find(o1), inst.find(o2));
+        assert_eq!(inst.facts_with_pred(f).len(), 1, "duplicate facts coalesced");
+    }
+}

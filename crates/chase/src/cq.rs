@@ -1,0 +1,98 @@
+//! Conjunctive queries `Q(x̄) :- R1(ȳ1), ..., Rn(ȳn)` (paper §4.1).
+
+use crate::atom::Atom;
+use crate::symbols::Vocabulary;
+use crate::term::Term;
+
+/// A conjunctive query: distinguished head variables plus a body of
+/// relational atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cq {
+    /// Distinguished (head) variables.
+    pub head: Vec<u32>,
+    pub body: Vec<Atom>,
+}
+
+impl Cq {
+    pub fn new(head: Vec<u32>, body: Vec<Atom>) -> Self {
+        let q = Cq { head, body };
+        debug_assert!(q.is_safe(), "head variables must occur in the body");
+        q
+    }
+
+    /// Safety: every head variable appears in some body atom.
+    pub fn is_safe(&self) -> bool {
+        self.head.iter().all(|h| self.body.iter().any(|a| a.vars().any(|v| v == *h)))
+    }
+
+    /// Largest variable index used, plus one (for fresh-variable allocation).
+    pub fn var_bound(&self) -> u32 {
+        self.body
+            .iter()
+            .flat_map(|a| a.vars())
+            .chain(self.head.iter().copied())
+            .max()
+            .map_or(0, |v| v + 1)
+    }
+
+    /// Renders `Q(?h..) :- atom, atom` for debugging.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let head: Vec<String> = self.head.iter().map(|h| format!("?{h}")).collect();
+        let body: Vec<String> = self.body.iter().map(|a| a.display(vocab)).collect();
+        format!("Q({}) :- {}", head.join(", "), body.join(" ∧ "))
+    }
+
+    /// Applies a variable renaming `old -> new` to every term.
+    pub fn rename_vars(&self, f: impl Fn(u32) -> u32) -> Cq {
+        Cq {
+            head: self.head.iter().map(|&v| f(v)).collect(),
+            body: self
+                .body
+                .iter()
+                .map(|a| Atom {
+                    pred: a.pred,
+                    args: a
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => Term::Var(f(*v)),
+                            c => *c,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::PredId;
+
+    fn atom(pred: u32, vars: &[u32]) -> Atom {
+        Atom::new(PredId(pred), vars.iter().map(|&v| Term::Var(v)).collect())
+    }
+
+    #[test]
+    fn safety_check() {
+        let q = Cq { head: vec![0], body: vec![atom(0, &[0, 1])] };
+        assert!(q.is_safe());
+        let unsafe_q = Cq { head: vec![9], body: vec![atom(0, &[0, 1])] };
+        assert!(!unsafe_q.is_safe());
+    }
+
+    #[test]
+    fn var_bound_counts_head_and_body() {
+        let q = Cq { head: vec![0], body: vec![atom(0, &[0, 5])] };
+        assert_eq!(q.var_bound(), 6);
+    }
+
+    #[test]
+    fn rename_shifts_everything() {
+        let q = Cq::new(vec![0], vec![atom(0, &[0, 1])]);
+        let r = q.rename_vars(|v| v + 10);
+        assert_eq!(r.head, vec![10]);
+        assert_eq!(r.body[0].args, vec![Term::Var(10), Term::Var(11)]);
+    }
+}

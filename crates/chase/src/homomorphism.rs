@@ -1,0 +1,214 @@
+//! Homomorphism (containment-mapping) enumeration: all ways to map a
+//! conjunction of atoms into an instance. This powers TGD/EGD premise
+//! matching in the chase and the query-match phase of PACB.
+
+use std::collections::HashMap;
+
+use crate::atom::Atom;
+use crate::instance::{Instance, NodeId};
+use crate::term::Term;
+
+/// A match of a conjunction into an instance: variable bindings plus the
+/// index of the fact each atom was mapped to.
+#[derive(Debug, Clone)]
+pub struct Match {
+    pub bindings: HashMap<u32, NodeId>,
+    pub fact_indices: Vec<usize>,
+}
+
+/// Enumerates homomorphisms of `atoms` into `inst`, invoking `sink` for
+/// each. `sink` returning `false` stops the search early.
+pub fn for_each_match(
+    inst: &Instance,
+    atoms: &[Atom],
+    sink: &mut dyn FnMut(&Match) -> bool,
+) {
+    let order = atom_order(inst, atoms);
+    let mut m = Match { bindings: HashMap::new(), fact_indices: vec![usize::MAX; atoms.len()] };
+    search(inst, atoms, &order, 0, &mut m, &mut |mm| sink(mm));
+}
+
+/// Collects all homomorphisms (convenience for tests and small workloads).
+pub fn all_matches(inst: &Instance, atoms: &[Atom]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for_each_match(inst, atoms, &mut |m| {
+        out.push(m.clone());
+        true
+    });
+    out
+}
+
+/// True when at least one homomorphism exists that extends `partial`
+/// (used for the restricted-chase "already satisfied" test).
+pub fn satisfiable_with(
+    inst: &Instance,
+    atoms: &[Atom],
+    partial: &HashMap<u32, NodeId>,
+) -> bool {
+    let order = atom_order(inst, atoms);
+    let mut m =
+        Match { bindings: partial.clone(), fact_indices: vec![usize::MAX; atoms.len()] };
+    let mut found = false;
+    search(inst, atoms, &order, 0, &mut m, &mut |_| {
+        found = true;
+        false // stop at first witness
+    });
+    found
+}
+
+/// Greedy atom ordering: start from the most selective atom (fewest facts
+/// with that predicate), then prefer atoms sharing variables with what is
+/// already bound. A cheap, effective join order for chase workloads.
+fn atom_order(inst: &Instance, atoms: &[Atom]) -> Vec<usize> {
+    let n = atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound_vars: Vec<u32> = Vec::new();
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &i)| {
+                let connected = atoms[i].vars().any(|v| bound_vars.contains(&v));
+                let card = inst.facts_with_pred(atoms[i].pred).len();
+                // Connected atoms first (their candidates are filtered by
+                // bindings), then by predicate cardinality.
+                (!connected as usize, card)
+            })
+            .expect("remaining non-empty");
+        order.push(best);
+        bound_vars.extend(atoms[best].vars());
+        remaining.remove(pos);
+    }
+    order
+}
+
+fn search(
+    inst: &Instance,
+    atoms: &[Atom],
+    order: &[usize],
+    depth: usize,
+    m: &mut Match,
+    sink: &mut dyn FnMut(&Match) -> bool,
+) -> bool {
+    if depth == order.len() {
+        return sink(m);
+    }
+    let ai = order[depth];
+    let atom = &atoms[ai];
+    for &fi in inst.facts_with_pred(atom.pred) {
+        let fact = inst.fact(fi);
+        debug_assert_eq!(fact.args.len(), atom.args.len());
+        // Try to unify atom args with fact args under current bindings.
+        let mut newly_bound: Vec<u32> = Vec::new();
+        let mut ok = true;
+        for (t, &n) in atom.args.iter().zip(&fact.args) {
+            let n = inst.find(n);
+            match t {
+                Term::Const(c) => {
+                    if inst.const_of(n) != Some(*c) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match m.bindings.get(v) {
+                    Some(&bound) => {
+                        if inst.find(bound) != n {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        m.bindings.insert(*v, n);
+                        newly_bound.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            m.fact_indices[ai] = fi;
+            if !search(inst, atoms, order, depth + 1, m, sink) {
+                return false;
+            }
+            m.fact_indices[ai] = usize::MAX;
+        }
+        for v in newly_bound {
+            m.bindings.remove(&v);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::Provenance;
+    use crate::symbols::{PredId, Vocabulary};
+
+    fn setup() -> (Vocabulary, Instance, PredId, PredId) {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.predicate("R", 2);
+        let s = vocab.predicate("S", 2);
+        let mut inst = Instance::new();
+        // R(a, b), R(b, c), S(b, d)
+        let a = inst.const_node(vocab.constant("a"));
+        let b = inst.const_node(vocab.constant("b"));
+        let c = inst.const_node(vocab.constant("c"));
+        let d = inst.const_node(vocab.constant("d"));
+        inst.insert(r, vec![a, b], Provenance::empty(), None);
+        inst.insert(r, vec![b, c], Provenance::empty(), None);
+        inst.insert(s, vec![b, d], Provenance::empty(), None);
+        (vocab, inst, r, s)
+    }
+
+    #[test]
+    fn single_atom_matches() {
+        let (_, inst, r, _) = setup();
+        let atoms = vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])];
+        assert_eq!(all_matches(&inst, &atoms).len(), 2);
+    }
+
+    #[test]
+    fn join_matches() {
+        let (_, inst, r, s) = setup();
+        // R(x, y) ∧ S(y, z): only y=b works for S, and R(a,b) reaches it.
+        let atoms = vec![
+            Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
+            Atom::new(s, vec![Term::Var(1), Term::Var(2)]),
+        ];
+        let ms = all_matches(&inst, &atoms);
+        assert_eq!(ms.len(), 1);
+        let m = &ms[0];
+        assert_eq!(m.fact_indices.len(), 2);
+    }
+
+    #[test]
+    fn constant_filter() {
+        let (mut vocab, mut inst, r, _) = setup();
+        let b = vocab.constant("b");
+        let _ = inst.const_node(b);
+        let atoms = vec![Atom::new(r, vec![Term::Const(b), Term::Var(0)])];
+        assert_eq!(all_matches(&inst, &atoms).len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_requires_equality() {
+        let (_, inst, r, _) = setup();
+        // R(x, x) has no match.
+        let atoms = vec![Atom::new(r, vec![Term::Var(0), Term::Var(0)])];
+        assert!(all_matches(&inst, &atoms).is_empty());
+    }
+
+    #[test]
+    fn satisfiable_with_partial_binding() {
+        let (mut vocab, mut inst, r, _) = setup();
+        let a = inst.const_node(vocab.constant("a"));
+        let atoms = vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])];
+        let mut partial = HashMap::new();
+        partial.insert(0u32, a);
+        assert!(satisfiable_with(&inst, &atoms, &partial));
+        let c = inst.const_node(vocab.constant("c"));
+        partial.insert(0u32, c);
+        assert!(!satisfiable_with(&inst, &atoms, &partial));
+    }
+}

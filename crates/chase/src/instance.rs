@@ -1,0 +1,345 @@
+//! Canonical database instances.
+//!
+//! Elements are nodes in a union-find: constants (each constant symbol maps
+//! to exactly one node) and labelled nulls (fresh existential witnesses
+//! introduced by TGD chase steps). EGD applications merge nodes; the paper's
+//! reading (§6.2.1) is that each node is an *equivalence class of
+//! value-equal expressions* — the saturated instance is therefore an
+//! e-graph over expression classes, which `hadad-core` exploits for
+//! min-cost extraction.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use crate::atom::Atom;
+use crate::provenance::Provenance;
+use crate::symbols::{PredId, SymId, Vocabulary};
+use crate::term::Term;
+
+/// Node in the instance's union-find.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A ground fact over nodes, carrying its provenance formula and the name of
+/// the rule that produced it (empty for input facts).
+#[derive(Debug, Clone)]
+pub struct Fact {
+    pub pred: PredId,
+    pub args: Vec<NodeId>,
+    pub prov: Provenance,
+    /// Index (into the engine's rule list) of the producing rule, if any.
+    pub rule: Option<usize>,
+}
+
+/// Canonical database: facts over union-find nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Constant symbol attached to a (root) node, if any.
+    const_of: Vec<Option<SymId>>,
+    node_of_const: HashMap<SymId, NodeId>,
+    facts: Vec<Fact>,
+    /// Canonical (pred, canonical args) -> fact index, for dedup.
+    index: HashMap<(PredId, Vec<NodeId>), usize>,
+    /// Per-predicate fact indices (not canonicalized; consult `find`).
+    by_pred: HashMap<PredId, Vec<usize>>,
+    /// Number of labelled nulls created so far (for budget accounting).
+    nulls: usize,
+}
+
+/// Error: two distinct constants were equated by an EGD (the constraint set
+/// is inconsistent with the instance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstClash {
+    pub a: SymId,
+    pub b: SymId,
+}
+
+impl Instance {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_node(&mut self, c: Option<SymId>) -> NodeId {
+        let id = NodeId(self.parent.len() as u32);
+        self.parent.push(id.0);
+        self.rank.push(0);
+        self.const_of.push(c);
+        id
+    }
+
+    /// Node for a constant (created on first use).
+    pub fn const_node(&mut self, c: SymId) -> NodeId {
+        if let Some(&n) = self.node_of_const.get(&c) {
+            return self.find(n);
+        }
+        let n = self.push_node(Some(c));
+        self.node_of_const.insert(c, n);
+        n
+    }
+
+    /// Fresh labelled null.
+    pub fn fresh_null(&mut self) -> NodeId {
+        self.nulls += 1;
+        self.push_node(None)
+    }
+
+    pub fn num_nulls(&self) -> usize {
+        self.nulls
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Union-find root with path halving.
+    pub fn find(&self, n: NodeId) -> NodeId {
+        let mut x = n.0 as usize;
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+        }
+        NodeId(x as u32)
+    }
+
+    fn find_compress(&mut self, n: NodeId) -> NodeId {
+        let mut x = n.0 as usize;
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        NodeId(x as u32)
+    }
+
+    /// Constant attached to a node's class, if any.
+    pub fn const_of(&self, n: NodeId) -> Option<SymId> {
+        self.const_of[self.find(n).0 as usize]
+    }
+
+    /// Merges two classes. Fails if both carry distinct constants.
+    pub fn merge(&mut self, a: NodeId, b: NodeId) -> Result<NodeId, ConstClash> {
+        let (ra, rb) = (self.find_compress(a), self.find_compress(b));
+        if ra == rb {
+            return Ok(ra);
+        }
+        let const_new = match (self.const_of[ra.0 as usize], self.const_of[rb.0 as usize]) {
+            (Some(x), Some(y)) if x != y => return Err(ConstClash { a: x, b: y }),
+            (Some(x), _) => Some(x),
+            (_, y) => y,
+        };
+        let (big, small) = if self.rank[ra.0 as usize] >= self.rank[rb.0 as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small.0 as usize] = big.0;
+        if self.rank[big.0 as usize] == self.rank[small.0 as usize] {
+            self.rank[big.0 as usize] += 1;
+        }
+        self.const_of[big.0 as usize] = const_new;
+        if let Some(c) = const_new {
+            self.node_of_const.insert(c, big);
+        }
+        Ok(big)
+    }
+
+    /// Rebuilds the canonical fact index after merges. Facts that become
+    /// duplicates are coalesced; their provenance formulas are OR-ed (either
+    /// derivation justifies the fact, cf. PACB's provenance semantics).
+    pub fn rehash(&mut self) {
+        let roots: Vec<Vec<NodeId>> = self
+            .facts
+            .iter()
+            .map(|f| f.args.iter().map(|&a| self.find(a)).collect())
+            .collect();
+        self.index.clear();
+        let mut keep: Vec<bool> = vec![true; self.facts.len()];
+        for (i, canon) in roots.iter().enumerate() {
+            let key = (self.facts[i].pred, canon.clone());
+            match self.index.entry(key) {
+                Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+                Entry::Occupied(e) => {
+                    let first = *e.get();
+                    let prov = self.facts[i].prov.clone();
+                    self.facts[first].prov.or_with(&prov);
+                    keep[i] = false;
+                }
+            }
+        }
+        // Compact: drop duplicate facts, rewrite args to canonical roots.
+        let mut new_facts = Vec::with_capacity(self.facts.len());
+        for (i, mut f) in std::mem::take(&mut self.facts).into_iter().enumerate() {
+            if keep[i] {
+                f.args = roots[i].clone();
+                new_facts.push(f);
+            }
+        }
+        self.facts = new_facts;
+        self.index.clear();
+        self.by_pred.clear();
+        for (i, f) in self.facts.iter().enumerate() {
+            self.index.insert((f.pred, f.args.clone()), i);
+            self.by_pred.entry(f.pred).or_default().push(i);
+        }
+    }
+
+    /// Inserts a fact (args canonicalized). Returns `(fact index, inserted)`;
+    /// when the fact already exists its provenance is OR-ed with `prov`.
+    pub fn insert(
+        &mut self,
+        pred: PredId,
+        args: Vec<NodeId>,
+        prov: Provenance,
+        rule: Option<usize>,
+    ) -> (usize, bool) {
+        let canon: Vec<NodeId> = args.iter().map(|&a| self.find(a)).collect();
+        if let Some(&i) = self.index.get(&(pred, canon.clone())) {
+            self.facts[i].prov.or_with(&prov);
+            return (i, false);
+        }
+        let i = self.facts.len();
+        self.index.insert((pred, canon.clone()), i);
+        self.by_pred.entry(pred).or_default().push(i);
+        self.facts.push(Fact { pred, args: canon, prov, rule });
+        (i, true)
+    }
+
+    /// Inserts a ground atom whose terms must all be constants.
+    pub fn insert_ground(&mut self, atom: &Atom, prov: Provenance) -> usize {
+        let args: Vec<NodeId> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => self.const_node(*c),
+                Term::Var(_) => panic!("insert_ground on non-ground atom"),
+            })
+            .collect();
+        self.insert(atom.pred, args, prov, None).0
+    }
+
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    pub fn fact(&self, i: usize) -> &Fact {
+        &self.facts[i]
+    }
+
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Indices of facts with the given predicate.
+    pub fn facts_with_pred(&self, pred: PredId) -> &[usize] {
+        self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
+    }
+
+    /// True when the instance contains a fact with these canonical args.
+    pub fn contains(&self, pred: PredId, args: &[NodeId]) -> bool {
+        let canon: Vec<NodeId> = args.iter().map(|&a| self.find(a)).collect();
+        self.index.contains_key(&(pred, canon))
+    }
+
+    /// Renders all facts for debugging.
+    pub fn display(&self, vocab: &Vocabulary) -> String {
+        let mut lines: Vec<String> = self
+            .facts
+            .iter()
+            .map(|f| {
+                let args: Vec<String> = f
+                    .args
+                    .iter()
+                    .map(|&a| {
+                        let root = self.find(a);
+                        match self.const_of(root) {
+                            Some(c) => format!("{:?}", vocab.const_name(c)),
+                            None => format!("_{}", root.0),
+                        }
+                    })
+                    .collect();
+                format!("{}({})", vocab.pred_name(f.pred), args.join(", "))
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// The set of canonical nodes appearing in facts.
+    pub fn active_nodes(&self) -> HashSet<NodeId> {
+        self.facts.iter().flat_map(|f| f.args.iter().map(|&a| self.find(a))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_nodes_are_shared() {
+        let mut inst = Instance::new();
+        let a = inst.const_node(SymId(0));
+        let b = inst.const_node(SymId(0));
+        assert_eq!(a, b);
+        let c = inst.const_node(SymId(1));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn merge_and_find() {
+        let mut inst = Instance::new();
+        let a = inst.fresh_null();
+        let b = inst.fresh_null();
+        let c = inst.fresh_null();
+        inst.merge(a, b).unwrap();
+        inst.merge(b, c).unwrap();
+        assert_eq!(inst.find(a), inst.find(c));
+    }
+
+    #[test]
+    fn merging_constant_with_null_keeps_constant() {
+        let mut inst = Instance::new();
+        let c = inst.const_node(SymId(3));
+        let n = inst.fresh_null();
+        inst.merge(n, c).unwrap();
+        assert_eq!(inst.const_of(n), Some(SymId(3)));
+    }
+
+    #[test]
+    fn distinct_constants_clash() {
+        let mut inst = Instance::new();
+        let a = inst.const_node(SymId(0));
+        let b = inst.const_node(SymId(1));
+        assert!(inst.merge(a, b).is_err());
+    }
+
+    #[test]
+    fn insert_dedups_and_ors_provenance() {
+        let mut inst = Instance::new();
+        let a = inst.fresh_null();
+        let (i1, fresh1) = inst.insert(PredId(0), vec![a], Provenance::term(0), None);
+        let (i2, fresh2) = inst.insert(PredId(0), vec![a], Provenance::term(1), None);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(i1, i2);
+        assert_eq!(inst.num_facts(), 1);
+        assert_eq!(inst.fact(i1).prov.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn rehash_coalesces_facts_after_merge() {
+        let mut inst = Instance::new();
+        let a = inst.fresh_null();
+        let b = inst.fresh_null();
+        inst.insert(PredId(0), vec![a], Provenance::empty(), None);
+        inst.insert(PredId(0), vec![b], Provenance::empty(), None);
+        assert_eq!(inst.num_facts(), 2);
+        inst.merge(a, b).unwrap();
+        inst.rehash();
+        assert_eq!(inst.num_facts(), 1);
+        assert!(inst.contains(PredId(0), &[a]));
+        assert!(inst.contains(PredId(0), &[b]));
+    }
+}

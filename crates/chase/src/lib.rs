@@ -1,0 +1,42 @@
+//! Relational constraint framework: conjunctive queries, integrity
+//! constraints (TGDs / EGDs), the (bounded, restricted) chase, and the
+//! Provenance-Aware Chase & Backchase (PACB) of Ileana et al. [32], the
+//! rewriting engine HADAD builds on (paper §4–§5).
+//!
+//! The crate is domain-agnostic: `hadad-core` instantiates it with the VREM
+//! schema and the MMC constraint catalogue to rewrite linear-algebra
+//! expressions; the hybrid experiments instantiate it with table schemas to
+//! rewrite relational preprocessing queries using materialized views.
+//!
+//! # Vocabulary
+//!
+//! * [`Term`]: variable or constant (interned symbols).
+//! * [`Atom`]: predicate applied to terms; [`Cq`]: conjunctive query.
+//! * [`Tgd`] / [`Egd`]: tuple- and equality-generating dependencies.
+//! * [`Instance`]: a canonical database whose elements live in a union-find
+//!   (labelled nulls + constants), supporting homomorphism enumeration.
+//! * [`chase::ChaseEngine`]: bounded restricted chase with cost-pruning
+//!   hooks (the paper's `Prune_prov`, §7.3).
+//! * [`pacb::Pacb`]: view-based reformulation via Chase & Backchase with
+//!   provenance formulas (paper §4.2, Example 4.1).
+
+pub mod atom;
+pub mod chase;
+pub mod constraint;
+pub mod cq;
+pub mod homomorphism;
+pub mod instance;
+pub mod pacb;
+pub mod provenance;
+pub mod symbols;
+pub mod term;
+
+pub use atom::Atom;
+pub use chase::{ChaseBudget, ChaseEngine, ChaseOutcome};
+pub use constraint::{Constraint, Egd, Tgd};
+pub use cq::Cq;
+pub use instance::{Instance, NodeId};
+pub use pacb::{Pacb, PacbOptions, Rewriting};
+pub use provenance::Provenance;
+pub use symbols::{PredId, SymId, Vocabulary};
+pub use term::Term;

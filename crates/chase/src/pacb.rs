@@ -1,0 +1,406 @@
+//! Provenance-Aware Chase & Backchase (PACB, paper §4.2), with the
+//! `Prune_prov` cost-threshold extension of §7.3.
+//!
+//! Given a conjunctive query `Q` over a source schema, integrity
+//! constraints `I`, and a set of views `V` (CQs with distinguished head
+//! predicates), PACB finds the reformulations of `Q` over the view schema
+//! that are equivalent to `Q` under `I ∪ C_V`:
+//!
+//! 1. chase the canonical instance of `Q` with `I ∪ C_V^IO`;
+//! 2. restrict to view atoms — the *universal plan* `U`;
+//! 3. annotate each `U`-atom with a provenance term `p_i`;
+//! 4. *backchase*: chase `U` with `I ∪ C_V^OI`, combining provenance
+//!    conjunctively across each step (skipping steps whose premise image
+//!    exceeds the cost threshold, when pruning is enabled);
+//! 5. match `Q` into the result; each conjunct of the DNF provenance of a
+//!    match image is a subset of `U` that forms an equivalent rewriting.
+
+use std::collections::HashMap;
+
+use crate::atom::Atom;
+use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, Pruner};
+use crate::constraint::{Constraint, Tgd};
+use crate::cq::Cq;
+use crate::homomorphism::{self, Match};
+use crate::instance::{Instance, NodeId};
+use crate::provenance::{Provenance, MAX_PROV_TERMS};
+use crate::symbols::PredId;
+use crate::term::Term;
+
+/// A view: a named CQ whose result is materialized under `head_pred`.
+#[derive(Debug, Clone)]
+pub struct View {
+    pub name: String,
+    /// Predicate (over the view schema) holding the materialized output.
+    pub head_pred: PredId,
+    pub def: Cq,
+}
+
+impl View {
+    pub fn new(name: impl Into<String>, head_pred: PredId, def: Cq) -> Self {
+        View { name: name.into(), head_pred, def }
+    }
+
+    /// `V_IO`: every match of the view body yields a view output tuple.
+    pub fn io_constraint(&self) -> Tgd {
+        Tgd::new(
+            format!("V_IO:{}", self.name),
+            self.def.body.clone(),
+            vec![Atom::new(
+                self.head_pred,
+                self.def.head.iter().map(|&v| Term::Var(v)).collect(),
+            )],
+        )
+    }
+
+    /// `V_OI`: every view output tuple is due to a body match.
+    pub fn oi_constraint(&self) -> Tgd {
+        Tgd::new(
+            format!("V_OI:{}", self.name),
+            vec![Atom::new(
+                self.head_pred,
+                self.def.head.iter().map(|&v| Term::Var(v)).collect(),
+            )],
+            self.def.body.clone(),
+        )
+    }
+}
+
+/// Options for a PACB run.
+#[derive(Debug, Clone)]
+pub struct PacbOptions {
+    pub budget: ChaseBudget,
+    /// When set, backchase steps whose premise image (a subquery of `U`)
+    /// costs strictly more than this threshold are pruned (`Prune_prov`).
+    pub prune_threshold: Option<f64>,
+}
+
+impl Default for PacbOptions {
+    fn default() -> Self {
+        PacbOptions { budget: ChaseBudget::default(), prune_threshold: None }
+    }
+}
+
+/// An equivalent rewriting of the input query over the view schema.
+#[derive(Debug, Clone)]
+pub struct Rewriting {
+    /// The rewriting as a CQ over view predicates.
+    pub query: Cq,
+    /// Indices (into the universal plan) of the atoms used.
+    pub u_atoms: Vec<usize>,
+    /// Cost under the caller-supplied cost function, if any.
+    pub cost: Option<f64>,
+}
+
+/// The PACB engine.
+pub struct Pacb<'a> {
+    /// Source integrity constraints `I`.
+    pub constraints: &'a [Constraint],
+    pub views: &'a [View],
+    pub options: PacbOptions,
+    /// Cost of a candidate rewriting, given the universal-plan atoms it
+    /// uses. Required when `prune_threshold` is set; also used to attach
+    /// costs to results.
+    pub cost_fn: Option<&'a dyn Fn(&Instance, &[usize]) -> f64>,
+}
+
+struct BackchasePruner<'b> {
+    threshold: f64,
+    cost_fn: &'b dyn Fn(&Instance, &[usize]) -> f64,
+    pruned: usize,
+}
+
+impl Pruner for BackchasePruner<'_> {
+    fn allow_firing(&mut self, inst: &Instance, _idx: usize, _tgd: &Tgd, m: &Match) -> bool {
+        // Provenance conjunct of the premise image (Example 7.2): if every
+        // conjunct of the combined premise provenance costs above the
+        // threshold, the step cannot contribute to a minimum-cost rewriting.
+        let provs: Vec<&Provenance> =
+            m.fact_indices.iter().map(|&fi| &inst.fact(fi).prov).collect();
+        let combined = Provenance::and_all(&provs);
+        if combined.is_empty() {
+            return true; // no universal-plan justification — not prunable
+        }
+        let viable = combined.conjuncts().iter().any(|&c| {
+            let atoms = Provenance::conjunct_terms(c);
+            (self.cost_fn)(inst, &atoms) <= self.threshold
+        });
+        if !viable {
+            self.pruned += 1;
+        }
+        viable
+    }
+}
+
+/// Result of a PACB run.
+#[derive(Debug)]
+pub struct PacbResult {
+    pub rewritings: Vec<Rewriting>,
+    pub chase_outcome: ChaseOutcome,
+    pub backchase_outcome: ChaseOutcome,
+    /// Number of universal-plan atoms.
+    pub universal_plan_size: usize,
+}
+
+impl<'a> Pacb<'a> {
+    pub fn new(constraints: &'a [Constraint], views: &'a [View]) -> Self {
+        Pacb { constraints, views, options: PacbOptions::default(), cost_fn: None }
+    }
+
+    pub fn with_options(mut self, options: PacbOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    pub fn with_cost_fn(mut self, f: &'a dyn Fn(&Instance, &[usize]) -> f64) -> Self {
+        self.cost_fn = Some(f);
+        self
+    }
+
+    /// Finds every reformulation of `q` over the view predicates that is
+    /// equivalent under the constraints (paper Example 4.1 end-to-end).
+    pub fn rewrite(&self, q: &Cq) -> PacbResult {
+        // Phase (i): canonical instance of Q, chased with I ∪ C_IO.
+        let mut inst = Instance::new();
+        let mut var_node: HashMap<u32, NodeId> = HashMap::new();
+        for atom in &q.body {
+            let args: Vec<NodeId> = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => *var_node.entry(*v).or_insert_with(|| inst.fresh_null()),
+                    Term::Const(c) => inst.const_node(*c),
+                })
+                .collect();
+            inst.insert(atom.pred, args, Provenance::empty(), None);
+        }
+        let head_nodes: Vec<NodeId> =
+            q.head.iter().map(|v| *var_node.entry(*v).or_insert_with(|| inst.fresh_null())).collect();
+
+        let mut io_constraints: Vec<Constraint> = self.constraints.to_vec();
+        for v in self.views {
+            io_constraints.push(v.io_constraint().into());
+        }
+        let engine = ChaseEngine::new(io_constraints).with_budget(self.options.budget);
+        let (chase_outcome, _) = engine.chase(&mut inst);
+
+        // Phase (ii)+(iii): universal plan = view atoms, each with a fresh
+        // provenance term, rebuilt in a fresh instance.
+        let view_preds: Vec<PredId> = self.views.iter().map(|v| v.head_pred).collect();
+        let mut u = Instance::new();
+        let mut node_map: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut u_atoms: Vec<(PredId, Vec<NodeId>)> = Vec::new();
+        for &vp in &view_preds {
+            for &fi in inst.facts_with_pred(vp) {
+                if u_atoms.len() >= MAX_PROV_TERMS {
+                    break;
+                }
+                let fact = inst.fact(fi);
+                let args: Vec<NodeId> = fact
+                    .args
+                    .iter()
+                    .map(|&n| {
+                        let root = inst.find(n);
+                        *node_map.entry(root).or_insert_with(|| match inst.const_of(root) {
+                            Some(c) => u.const_node(c),
+                            None => u.fresh_null(),
+                        })
+                    })
+                    .collect();
+                let term = Provenance::term(u_atoms.len());
+                u.insert(vp, args.clone(), term, None);
+                u_atoms.push((vp, args));
+            }
+        }
+        let universal_plan_size = u_atoms.len();
+        let head_in_u: Vec<Option<NodeId>> =
+            head_nodes.iter().map(|n| node_map.get(&inst.find(*n)).copied()).collect();
+
+        // Phase (iv): backchase U with I ∪ C_OI (provenance-propagating).
+        let mut oi_constraints: Vec<Constraint> = self.constraints.to_vec();
+        for v in self.views {
+            oi_constraints.push(v.oi_constraint().into());
+        }
+        let back_engine = ChaseEngine::new(oi_constraints).with_budget(self.options.budget);
+        let backchase_outcome = match (self.options.prune_threshold, self.cost_fn) {
+            (Some(t), Some(f)) => {
+                let mut pruner = BackchasePruner { threshold: t, cost_fn: f, pruned: 0 };
+                back_engine.chase_with(&mut u, &mut pruner).0
+            }
+            _ => back_engine.chase(&mut u).0,
+        };
+
+        // Phase (v): match Q into the backchase result; read rewritings off
+        // the provenance formulas of the match images.
+        let mut rewriting_masks: Provenance = Provenance::empty();
+        homomorphism::for_each_match(&u, &q.body, &mut |m| {
+            // Head compatibility: h(head of Q) must equal the universal
+            // plan's head nodes.
+            let compatible = q.head.iter().zip(&head_in_u).all(|(v, hu)| match hu {
+                Some(hu) => m.bindings.get(v).map(|n| u.find(*n)) == Some(u.find(*hu)),
+                None => false,
+            });
+            if compatible {
+                let provs: Vec<&Provenance> =
+                    m.fact_indices.iter().map(|&fi| &u.fact(fi).prov).collect();
+                rewriting_masks.or_with(&Provenance::and_all(&provs));
+            }
+            true
+        });
+
+        let mut rewritings = Vec::new();
+        for &c in rewriting_masks.conjuncts() {
+            let atom_idxs = Provenance::conjunct_terms(c);
+            let rw = self.build_rewriting(&u, &u_atoms, &atom_idxs, &head_in_u);
+            let cost = self.cost_fn.map(|f| f(&u, &atom_idxs));
+            if let (Some(cost_v), Some(t)) = (cost, self.options.prune_threshold) {
+                if cost_v > t {
+                    continue;
+                }
+            }
+            rewritings.push(Rewriting { query: rw, u_atoms: atom_idxs, cost });
+        }
+        rewritings.sort_by(|a, b| {
+            a.cost
+                .unwrap_or(f64::INFINITY)
+                .partial_cmp(&b.cost.unwrap_or(f64::INFINITY))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        PacbResult { rewritings, chase_outcome, backchase_outcome, universal_plan_size }
+    }
+
+    /// Converts a subset of universal-plan atoms back into a CQ over view
+    /// predicates: nodes become variables (constants stay constants).
+    fn build_rewriting(
+        &self,
+        u: &Instance,
+        u_atoms: &[(PredId, Vec<NodeId>)],
+        atom_idxs: &[usize],
+        head_in_u: &[Option<NodeId>],
+    ) -> Cq {
+        let mut var_of: HashMap<NodeId, u32> = HashMap::new();
+        let mut next = 0u32;
+        let mut body = Vec::with_capacity(atom_idxs.len());
+        for &i in atom_idxs {
+            let (pred, args) = &u_atoms[i];
+            let terms: Vec<Term> = args
+                .iter()
+                .map(|&n| {
+                    let root = u.find(n);
+                    match u.const_of(root) {
+                        Some(c) => Term::Const(c),
+                        None => {
+                            let v = *var_of.entry(root).or_insert_with(|| {
+                                let v = next;
+                                next += 1;
+                                v
+                            });
+                            Term::Var(v)
+                        }
+                    }
+                })
+                .collect();
+            body.push(Atom::new(*pred, terms));
+        }
+        let head: Vec<u32> = head_in_u
+            .iter()
+            .filter_map(|h| h.map(|n| *var_of.get(&u.find(n)).unwrap_or(&u32::MAX)))
+            .collect();
+        Cq { head, body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Vocabulary;
+
+    /// Paper Example 4.1: σ = {R, S}, V(x,y) :- R(x,z), S(z,y);
+    /// Q(x,y) :- R(x,z), S(z,y) rewrites to ρ(x,y) :- V(x,y).
+    #[test]
+    fn example_4_1_join_view() {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.predicate("R", 2);
+        let s = vocab.predicate("S", 2);
+        let v = vocab.predicate("V", 2);
+
+        let view = View::new(
+            "V",
+            v,
+            Cq::new(
+                vec![0, 2],
+                vec![
+                    Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
+                    Atom::new(s, vec![Term::Var(1), Term::Var(2)]),
+                ],
+            ),
+        );
+        let q = Cq::new(
+            vec![0, 2],
+            vec![
+                Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
+                Atom::new(s, vec![Term::Var(1), Term::Var(2)]),
+            ],
+        );
+        let views = [view];
+        let pacb = Pacb::new(&[], &views);
+        let result = pacb.rewrite(&q);
+        assert_eq!(result.chase_outcome, ChaseOutcome::Saturated);
+        assert_eq!(result.universal_plan_size, 1);
+        assert_eq!(result.rewritings.len(), 1);
+        let rw = &result.rewritings[0];
+        assert_eq!(rw.query.body.len(), 1);
+        assert_eq!(rw.query.body[0].pred, v);
+        assert_eq!(rw.query.head.len(), 2);
+        // ρ(x, y) :- V(x, y): head variables are the view atom's args.
+        let args: Vec<u32> = rw.query.body[0].args.iter().filter_map(Term::as_var).collect();
+        assert_eq!(rw.query.head, args);
+    }
+
+    /// A query that the views cannot answer gets no rewriting.
+    #[test]
+    fn unanswerable_query_has_no_rewriting() {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.predicate("R", 2);
+        let t = vocab.predicate("T", 2);
+        let v = vocab.predicate("V", 2);
+        // View over R only; query needs T.
+        let view = View::new(
+            "V",
+            v,
+            Cq::new(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]),
+        );
+        let q = Cq::new(vec![0, 1], vec![Atom::new(t, vec![Term::Var(0), Term::Var(1)])]);
+        let views = [view];
+        let pacb = Pacb::new(&[], &views);
+        let result = pacb.rewrite(&q);
+        assert!(result.rewritings.is_empty());
+    }
+
+    /// Two copies of the same view atom must not appear in a minimal
+    /// rewriting (minimality via provenance-DNF absorption).
+    #[test]
+    fn rewritings_are_minimal() {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.predicate("R", 2);
+        let v = vocab.predicate("V", 2);
+        let view = View::new(
+            "V",
+            v,
+            Cq::new(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]),
+        );
+        // Q(x,y) :- R(x,y), R(x,y) — redundant atom.
+        let q = Cq::new(
+            vec![0, 1],
+            vec![
+                Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
+                Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
+            ],
+        );
+        let views = [view];
+        let pacb = Pacb::new(&[], &views);
+        let result = pacb.rewrite(&q);
+        assert_eq!(result.rewritings.len(), 1);
+        assert_eq!(result.rewritings[0].query.body.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Terms: variables and interned constants.
+
+use crate::symbols::SymId;
+
+/// A term in an atom: a (query- or constraint-scoped) variable, or a
+/// constant symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// Variable, identified by an index local to its query/constraint.
+    Var(u32),
+    /// Interned constant.
+    Const(SymId),
+}
+
+impl Term {
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    pub fn as_var(&self) -> Option<u32> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    pub fn as_const(&self) -> Option<SymId> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Term::Var(3);
+        let c = Term::Const(SymId(7));
+        assert!(v.is_var());
+        assert!(!c.is_var());
+        assert_eq!(v.as_var(), Some(3));
+        assert_eq!(c.as_const(), Some(SymId(7)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_var(), None);
+    }
+}

@@ -1,0 +1,463 @@
+//! `enc_LA`: relational encoding of LA expressions over VREM (paper §6.2.2,
+//! Example 6.1).
+//!
+//! Each subexpression becomes an equivalence-class node in a canonical
+//! [`Instance`]; each operator application becomes a fact of the matching
+//! VREM relation whose last argument is the (fresh) result class. `size`
+//! facts record static shapes, `type` facts record structural flags, and
+//! base matrices are anchored by `name` facts.
+//!
+//! Surface subtraction is desugared to `a + (-1 · b)` so that the addition
+//! property catalogue covers it; the decoder resugars (see `extract`).
+
+use std::collections::HashMap;
+
+use hadad_chase::{Atom, Instance, NodeId, Provenance, Term};
+
+use crate::expr::Expr;
+use crate::schema::{OpKind, Vrem};
+use crate::stats::{MetaCatalog, ShapeError, TypeFlags};
+
+/// Result of encoding an expression.
+#[derive(Debug)]
+pub struct Encoded {
+    pub instance: Instance,
+    /// Class of the whole expression (the CQ head of `enc_LA(E)`).
+    pub root: NodeId,
+}
+
+/// Encoder state: shares subexpression classes structurally so that e.g.
+/// `M` appearing twice maps to one class even before the chase runs.
+pub struct Encoder<'a> {
+    pub vrem: &'a mut Vrem,
+    pub cat: &'a MetaCatalog,
+    inst: Instance,
+    memo: HashMap<String, NodeId>,
+    /// QR/LU produce two outputs; memoized as a pair per input class.
+    decomp_memo: HashMap<(OpKind, NodeId), (NodeId, NodeId)>,
+}
+
+impl<'a> Encoder<'a> {
+    pub fn new(vrem: &'a mut Vrem, cat: &'a MetaCatalog) -> Self {
+        Encoder {
+            vrem,
+            cat,
+            inst: Instance::new(),
+            memo: HashMap::new(),
+            decomp_memo: HashMap::new(),
+        }
+    }
+
+    /// Encodes `e`, returning the instance and the root class.
+    pub fn encode(mut self, e: &Expr) -> Result<Encoded, ShapeError> {
+        let root = self.enc(e)?;
+        Ok(Encoded { instance: self.inst, root })
+    }
+
+    /// Encodes several expressions into one shared instance (used when a
+    /// query and candidate views must coexist).
+    pub fn encode_many(mut self, es: &[&Expr]) -> Result<(Instance, Vec<NodeId>), ShapeError> {
+        let mut roots = Vec::with_capacity(es.len());
+        for e in es {
+            roots.push(self.enc(e)?);
+        }
+        Ok((self.inst, roots))
+    }
+
+    fn size_fact(&mut self, node: NodeId, rows: usize, cols: usize) {
+        let r = self.vrem.vocab.int(rows as i64);
+        let c = self.vrem.vocab.int(cols as i64);
+        let rn = self.inst.const_node(r);
+        let cn = self.inst.const_node(c);
+        self.inst.insert(self.vrem.size, vec![node, rn, cn], Provenance::empty(), None);
+    }
+
+    fn type_facts(&mut self, node: NodeId, flags: TypeFlags) {
+        let mut add = |enc: &mut Self, tag: &str| {
+            let sym = enc.vrem.vocab.constant(tag);
+            let sn = enc.inst.const_node(sym);
+            enc.inst.insert(enc.vrem.ty, vec![node, sn], Provenance::empty(), None);
+        };
+        if flags.symmetric_pd {
+            add(self, "S");
+        }
+        if flags.lower_triangular {
+            add(self, "L");
+        }
+        if flags.upper_triangular {
+            add(self, "U");
+        }
+        if flags.orthogonal {
+            add(self, "O");
+        }
+    }
+
+    fn op_fact(&mut self, kind: OpKind, inputs: &[NodeId], out: NodeId) {
+        let pred = self.vrem.op(kind);
+        let mut args = inputs.to_vec();
+        args.push(out);
+        self.inst.insert(pred, args, Provenance::empty(), None);
+    }
+
+    fn enc(&mut self, e: &Expr) -> Result<NodeId, ShapeError> {
+        let key = format!("{e}");
+        if let Some(&n) = self.memo.get(&key) {
+            return Ok(n);
+        }
+        let node = self.enc_uncached(e)?;
+        self.memo.insert(key, node);
+        Ok(node)
+    }
+
+    fn enc_uncached(&mut self, e: &Expr) -> Result<NodeId, ShapeError> {
+        use Expr::*;
+        let (rows, cols) = crate::stats::shape(e, self.cat)?;
+        let node = match e {
+            Mat(n) => {
+                let meta =
+                    self.cat.get(n).ok_or_else(|| ShapeError::UnknownMatrix(n.clone()))?;
+                let sym = self.vrem.vocab.constant(n);
+                let sn = self.inst.const_node(sym);
+                let class = self.inst.fresh_null();
+                self.inst.insert(self.vrem.name, vec![class, sn], Provenance::empty(), None);
+                self.type_facts(class, meta.flags);
+                class
+            }
+            Const(v) => {
+                let sym = self.vrem.vocab.constant(format!("{v}"));
+                let sn = self.inst.const_node(sym);
+                let class = self.inst.fresh_null();
+                self.inst.insert(self.vrem.lit, vec![class, sn], Provenance::empty(), None);
+                class
+            }
+            Identity(_) => {
+                let class = self.inst.fresh_null();
+                self.inst.insert(self.vrem.identity, vec![class], Provenance::empty(), None);
+                class
+            }
+            Zero(..) => {
+                let class = self.inst.fresh_null();
+                self.inst.insert(self.vrem.zero, vec![class], Provenance::empty(), None);
+                class
+            }
+            Sub(a, b) => {
+                // Desugar: a - b = a + (-1 · b).
+                let desugared = Add(
+                    a.clone(),
+                    Box::new(ScalarMul(Box::new(Const(-1.0)), b.clone())),
+                );
+                return self.enc(&desugared);
+            }
+            Add(a, b) => self.binary(OpKind::Add, a, b)?,
+            Mul(a, b) => self.binary(OpKind::Mul, a, b)?,
+            Hadamard(a, b) => self.binary(OpKind::Hadamard, a, b)?,
+            Div(a, b) => self.binary(OpKind::Div, a, b)?,
+            Kron(a, b) => self.binary(OpKind::Kron, a, b)?,
+            DirectSum(a, b) => self.binary(OpKind::DirectSum, a, b)?,
+            ScalarMul(s, a) => self.binary(OpKind::ScalarMul, s, a)?,
+            Transpose(a) => self.unary(OpKind::Transpose, a)?,
+            Inv(a) => self.unary(OpKind::Inv, a)?,
+            Adj(a) => self.unary(OpKind::Adj, a)?,
+            Exp(a) => self.unary(OpKind::Exp, a)?,
+            Diag(a) => self.unary(OpKind::Diag, a)?,
+            Rev(a) => self.unary(OpKind::Rev, a)?,
+            RowSums(a) => self.unary(OpKind::RowSums, a)?,
+            ColSums(a) => self.unary(OpKind::ColSums, a)?,
+            RowMeans(a) => self.unary(OpKind::RowMeans, a)?,
+            ColMeans(a) => self.unary(OpKind::ColMeans, a)?,
+            RowMin(a) => self.unary(OpKind::RowMin, a)?,
+            RowMax(a) => self.unary(OpKind::RowMax, a)?,
+            ColMin(a) => self.unary(OpKind::ColMin, a)?,
+            ColMax(a) => self.unary(OpKind::ColMax, a)?,
+            RowVar(a) => self.unary(OpKind::RowVar, a)?,
+            ColVar(a) => self.unary(OpKind::ColVar, a)?,
+            Det(a) => self.unary(OpKind::Det, a)?,
+            Trace(a) => self.unary(OpKind::Trace, a)?,
+            Sum(a) => self.unary(OpKind::Sum, a)?,
+            Min(a) => self.unary(OpKind::Min, a)?,
+            Max(a) => self.unary(OpKind::Max, a)?,
+            Mean(a) => self.unary(OpKind::Mean, a)?,
+            Var(a) => self.unary(OpKind::Var, a)?,
+            Cho(a) => self.unary(OpKind::Cho, a)?,
+            QrQ(a) => self.decomp(OpKind::Qr, a)?.0,
+            QrR(a) => self.decomp(OpKind::Qr, a)?.1,
+            LuL(a) => self.decomp(OpKind::Lu, a)?.0,
+            LuU(a) => self.decomp(OpKind::Lu, a)?.1,
+        };
+        self.size_fact(node, rows, cols);
+        Ok(node)
+    }
+
+    fn binary(&mut self, kind: OpKind, a: &Expr, b: &Expr) -> Result<NodeId, ShapeError> {
+        let an = self.enc(a)?;
+        let bn = self.enc(b)?;
+        let out = self.inst.fresh_null();
+        self.op_fact(kind, &[an, bn], out);
+        Ok(out)
+    }
+
+    fn unary(&mut self, kind: OpKind, a: &Expr) -> Result<NodeId, ShapeError> {
+        let an = self.enc(a)?;
+        let out = self.inst.fresh_null();
+        self.op_fact(kind, &[an], out);
+        Ok(out)
+    }
+
+    /// QR / LU: one fact with two output classes, memoized per input.
+    fn decomp(&mut self, kind: OpKind, a: &Expr) -> Result<(NodeId, NodeId), ShapeError> {
+        let an = self.enc(a)?;
+        if let Some(&pair) = self.decomp_memo.get(&(kind, an)) {
+            return Ok(pair);
+        }
+        let o1 = self.inst.fresh_null();
+        let o2 = self.inst.fresh_null();
+        let pred = self.vrem.op(kind);
+        self.inst.insert(pred, vec![an, o1, o2], Provenance::empty(), None);
+        self.decomp_memo.insert((kind, an), (o1, o2));
+        Ok((o1, o2))
+    }
+}
+
+/// Encodes an expression as a conjunctive-query body over VREM, with
+/// variables in place of classes. Used for view definitions (`enc_LA(V)`,
+/// §6.2.4, Figure 3): the returned atoms form a TGD premise and
+/// `root_var` is the variable holding the view's output class.
+pub struct CqEncoder<'a> {
+    pub vrem: &'a mut Vrem,
+    pub cat: &'a MetaCatalog,
+    pub atoms: Vec<Atom>,
+    next_var: u32,
+    memo: HashMap<String, u32>,
+}
+
+impl<'a> CqEncoder<'a> {
+    pub fn new(vrem: &'a mut Vrem, cat: &'a MetaCatalog) -> Self {
+        CqEncoder { vrem, cat, atoms: Vec::new(), next_var: 0, memo: HashMap::new() }
+    }
+
+    pub fn fresh_var(&mut self) -> u32 {
+        let v = self.next_var;
+        self.next_var += 1;
+        v
+    }
+
+    /// Encodes `e`; returns the variable of its class.
+    pub fn enc(&mut self, e: &Expr) -> Result<u32, ShapeError> {
+        use Expr::*;
+        let key = format!("{e}");
+        if let Some(&v) = self.memo.get(&key) {
+            return Ok(v);
+        }
+        // Validate shapes eagerly (errors surface at view-registration time).
+        crate::stats::shape(e, self.cat)?;
+        let var = match e {
+            Mat(n) => {
+                let sym = self.vrem.vocab.constant(n);
+                let v = self.fresh_var();
+                self.atoms.push(Atom::new(
+                    self.vrem.name,
+                    vec![Term::Var(v), Term::Const(sym)],
+                ));
+                v
+            }
+            Const(c) => {
+                let sym = self.vrem.vocab.constant(format!("{c}"));
+                let v = self.fresh_var();
+                self.atoms
+                    .push(Atom::new(self.vrem.lit, vec![Term::Var(v), Term::Const(sym)]));
+                v
+            }
+            Identity(_) => {
+                let v = self.fresh_var();
+                self.atoms.push(Atom::new(self.vrem.identity, vec![Term::Var(v)]));
+                v
+            }
+            Zero(..) => {
+                let v = self.fresh_var();
+                self.atoms.push(Atom::new(self.vrem.zero, vec![Term::Var(v)]));
+                v
+            }
+            Sub(a, b) => {
+                let desugared =
+                    Add(a.clone(), Box::new(ScalarMul(Box::new(Const(-1.0)), b.clone())));
+                return self.enc(&desugared);
+            }
+            QrQ(a) | QrR(a) | LuL(a) | LuU(a) => {
+                let kind = match e {
+                    QrQ(_) | QrR(_) => OpKind::Qr,
+                    _ => OpKind::Lu,
+                };
+                let first = matches!(e, QrQ(_) | LuL(_));
+                let an = self.enc(a)?;
+                let dkey = format!("{}({a})", kind.pred_name());
+                let (o1, o2) = if let Some(&v1) = self.memo.get(&dkey) {
+                    (v1, v1 + 1)
+                } else {
+                    let o1 = self.fresh_var();
+                    let o2 = self.fresh_var();
+                    debug_assert_eq!(o2, o1 + 1);
+                    self.memo.insert(dkey, o1);
+                    self.atoms.push(Atom::new(
+                        self.vrem.op(kind),
+                        vec![Term::Var(an), Term::Var(o1), Term::Var(o2)],
+                    ));
+                    (o1, o2)
+                };
+                if first {
+                    o1
+                } else {
+                    o2
+                }
+            }
+            _ => {
+                // Generic operator node.
+                let kind = op_kind_of(e).expect("leaves handled above");
+                let child_vars: Vec<u32> = e
+                    .children()
+                    .iter()
+                    .map(|c| self.enc(c))
+                    .collect::<Result<_, _>>()?;
+                let out = self.fresh_var();
+                let mut args: Vec<Term> = child_vars.into_iter().map(Term::Var).collect();
+                args.push(Term::Var(out));
+                self.atoms.push(Atom::new(self.vrem.op(kind), args));
+                out
+            }
+        };
+        self.memo.insert(key, var);
+        Ok(var)
+    }
+}
+
+/// Operator kind of a non-leaf expression (decomposition accessors excluded:
+/// they need special two-output handling).
+pub fn op_kind_of(e: &Expr) -> Option<OpKind> {
+    use Expr::*;
+    Some(match e {
+        Add(..) | Sub(..) => OpKind::Add,
+        Mul(..) => OpKind::Mul,
+        Hadamard(..) => OpKind::Hadamard,
+        Div(..) => OpKind::Div,
+        Kron(..) => OpKind::Kron,
+        DirectSum(..) => OpKind::DirectSum,
+        ScalarMul(..) => OpKind::ScalarMul,
+        Transpose(..) => OpKind::Transpose,
+        Inv(..) => OpKind::Inv,
+        Adj(..) => OpKind::Adj,
+        Exp(..) => OpKind::Exp,
+        Diag(..) => OpKind::Diag,
+        Rev(..) => OpKind::Rev,
+        RowSums(..) => OpKind::RowSums,
+        ColSums(..) => OpKind::ColSums,
+        RowMeans(..) => OpKind::RowMeans,
+        ColMeans(..) => OpKind::ColMeans,
+        RowMin(..) => OpKind::RowMin,
+        RowMax(..) => OpKind::RowMax,
+        ColMin(..) => OpKind::ColMin,
+        ColMax(..) => OpKind::ColMax,
+        RowVar(..) => OpKind::RowVar,
+        ColVar(..) => OpKind::ColVar,
+        Det(..) => OpKind::Det,
+        Trace(..) => OpKind::Trace,
+        Sum(..) => OpKind::Sum,
+        Min(..) => OpKind::Min,
+        Max(..) => OpKind::Max,
+        Mean(..) => OpKind::Mean,
+        Var(..) => OpKind::Var,
+        Cho(..) => OpKind::Cho,
+        Mat(_) | Const(_) | Identity(_) | Zero(..) | QrQ(_) | QrR(_) | LuL(_) | LuU(_) => {
+            return None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+    use crate::stats::MatrixMeta;
+
+    fn cat() -> MetaCatalog {
+        let mut c = MetaCatalog::new();
+        c.register("M", MatrixMeta::dense(100, 10));
+        c.register("N", MatrixMeta::dense(10, 100));
+        c
+    }
+
+    /// Paper Example 6.1: enc((MN)^T) produces tr, multiM, and name atoms.
+    #[test]
+    fn example_6_1() {
+        let mut vrem = Vrem::new();
+        let c = cat();
+        let e = t(mul(m("M"), m("N")));
+        let enc = Encoder::new(&mut vrem, &c).encode(&e).unwrap();
+        let inst = &enc.instance;
+        assert_eq!(inst.facts_with_pred(vrem.name).len(), 2);
+        assert_eq!(inst.facts_with_pred(vrem.op(OpKind::Mul)).len(), 1);
+        assert_eq!(inst.facts_with_pred(vrem.op(OpKind::Transpose)).len(), 1);
+        // The transpose fact's output is the root.
+        let tr_fact = &inst.facts()[inst.facts_with_pred(vrem.op(OpKind::Transpose))[0]];
+        assert_eq!(inst.find(tr_fact.args[1]), inst.find(enc.root));
+        // size facts for M, N, MN, (MN)^T.
+        assert_eq!(inst.facts_with_pred(vrem.size).len(), 4);
+    }
+
+    #[test]
+    fn shared_subexpressions_share_classes() {
+        let mut vrem = Vrem::new();
+        let mut c = cat();
+        c.register("D", MatrixMeta::dense(10, 10));
+        // D*D: one name fact, one class for D.
+        let e = mul(m("D"), m("D"));
+        let enc = Encoder::new(&mut vrem, &c).encode(&e).unwrap();
+        assert_eq!(enc.instance.facts_with_pred(vrem.name).len(), 1);
+    }
+
+    #[test]
+    fn subtraction_desugars_to_addition() {
+        let mut vrem = Vrem::new();
+        let mut c = MetaCatalog::new();
+        c.register("A", MatrixMeta::dense(5, 5));
+        c.register("B", MatrixMeta::dense(5, 5));
+        let e = sub(m("A"), m("B"));
+        let enc = Encoder::new(&mut vrem, &c).encode(&e).unwrap();
+        assert_eq!(enc.instance.facts_with_pred(vrem.op(OpKind::Add)).len(), 1);
+        assert_eq!(enc.instance.facts_with_pred(vrem.op(OpKind::ScalarMul)).len(), 1);
+        assert_eq!(enc.instance.facts_with_pred(vrem.lit).len(), 1);
+    }
+
+    #[test]
+    fn qr_components_share_one_fact() {
+        let mut vrem = Vrem::new();
+        let mut c = MetaCatalog::new();
+        c.register("D", MatrixMeta::dense(8, 8));
+        let e = mul(Expr::QrQ(Box::new(m("D"))), Expr::QrR(Box::new(m("D"))));
+        let enc = Encoder::new(&mut vrem, &c).encode(&e).unwrap();
+        assert_eq!(enc.instance.facts_with_pred(vrem.op(OpKind::Qr)).len(), 1);
+    }
+
+    #[test]
+    fn cq_encoder_builds_view_premise() {
+        // Figure 3: V = N^T + (M^T)^{-1}.
+        let mut vrem = Vrem::new();
+        let mut c = MetaCatalog::new();
+        c.register("M", MatrixMeta::dense(6, 6));
+        c.register("N", MatrixMeta::dense(6, 6));
+        let v_def = add(t(m("N")), inv(t(m("M"))));
+        let mut enc = CqEncoder::new(&mut vrem, &c);
+        let root = enc.enc(&v_def).unwrap();
+        // name x2, tr x2, invM, addM = 6 atoms.
+        assert_eq!(enc.atoms.len(), 6);
+        assert!(root > 0);
+        let shape_err = CqEncoder::new(&mut vrem, &c).enc(&mul(m("M"), t(m("M"))));
+        assert!(shape_err.is_ok());
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        let mut vrem = Vrem::new();
+        let c = cat();
+        let e = add(m("M"), m("N"));
+        assert!(Encoder::new(&mut vrem, &c).encode(&e).is_err());
+    }
+}

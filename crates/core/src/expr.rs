@@ -1,0 +1,275 @@
+//! The hybrid LA expression language `L` (paper §3, operator set `Lops` of
+//! §6.1).
+//!
+//! Scalars are degenerate `1x1` matrices (paper §3), so scalar arithmetic
+//! reuses the matrix operators: `det(C) * det(D)` is a `Mul` of two `1x1`
+//! expressions. Subtraction is kept in the surface syntax but desugared to
+//! `Add(a, ScalarMul(-1, b))` by the relational encoder so that every
+//! addition property applies to it for free; the decoder resugars.
+
+use std::fmt;
+
+/// A hybrid linear-algebra expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Base matrix (or materialized view) identified by name.
+    Mat(String),
+    /// Literal scalar, as a 1x1 matrix.
+    Const(f64),
+    /// Identity matrix of order `n`.
+    Identity(usize),
+    /// Zero matrix.
+    Zero(usize, usize),
+
+    // -- binary --
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    /// Matrix product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Element-wise (Hadamard) product.
+    Hadamard(Box<Expr>, Box<Expr>),
+    /// Element-wise division.
+    Div(Box<Expr>, Box<Expr>),
+    /// Kronecker / direct product (paper `product_D`).
+    Kron(Box<Expr>, Box<Expr>),
+    /// Direct sum (paper `sum_D`).
+    DirectSum(Box<Expr>, Box<Expr>),
+    /// Scalar-matrix product; the first operand must be scalar (1x1).
+    ScalarMul(Box<Expr>, Box<Expr>),
+
+    // -- unary, matrix-valued --
+    Transpose(Box<Expr>),
+    Inv(Box<Expr>),
+    /// Adjugate (classical adjoint).
+    Adj(Box<Expr>),
+    /// Matrix exponential.
+    Exp(Box<Expr>),
+    /// Diagonal of a square matrix, as a column vector.
+    Diag(Box<Expr>),
+    /// Row-order reversal (SystemML `rev`).
+    Rev(Box<Expr>),
+    RowSums(Box<Expr>),
+    ColSums(Box<Expr>),
+    RowMeans(Box<Expr>),
+    ColMeans(Box<Expr>),
+    RowMin(Box<Expr>),
+    RowMax(Box<Expr>),
+    ColMin(Box<Expr>),
+    ColMax(Box<Expr>),
+    RowVar(Box<Expr>),
+    ColVar(Box<Expr>),
+
+    // -- unary, scalar-valued (1x1) --
+    Det(Box<Expr>),
+    Trace(Box<Expr>),
+    Sum(Box<Expr>),
+    Min(Box<Expr>),
+    Max(Box<Expr>),
+    Mean(Box<Expr>),
+    Var(Box<Expr>),
+
+    // -- decomposition component accessors --
+    /// Cholesky factor `L` with `M = L L^T` (M symmetric positive definite).
+    Cho(Box<Expr>),
+    /// `Q` of `QR(M) = [Q, R]`.
+    QrQ(Box<Expr>),
+    /// `R` of `QR(M) = [Q, R]`.
+    QrR(Box<Expr>),
+    /// `L` of `LU(M) = [L, U]`.
+    LuL(Box<Expr>),
+    /// `U` of `LU(M) = [L, U]`.
+    LuU(Box<Expr>),
+}
+
+impl Expr {
+    pub fn mat(name: impl Into<String>) -> Expr {
+        Expr::Mat(name.into())
+    }
+
+    /// `A^k` for `k >= 1`, unrolled as a left-deep multiplication chain.
+    pub fn power(base: Expr, k: u32) -> Expr {
+        assert!(k >= 1, "power requires k >= 1");
+        let mut e = base.clone();
+        for _ in 1..k {
+            e = Expr::Mul(Box::new(e), Box::new(base.clone()));
+        }
+        e
+    }
+
+    /// Children of this node, for generic traversals.
+    pub fn children(&self) -> Vec<&Expr> {
+        use Expr::*;
+        match self {
+            Mat(_) | Const(_) | Identity(_) | Zero(..) => vec![],
+            Add(a, b) | Sub(a, b) | Mul(a, b) | Hadamard(a, b) | Div(a, b) | Kron(a, b)
+            | DirectSum(a, b) | ScalarMul(a, b) => vec![a, b],
+            Transpose(a) | Inv(a) | Adj(a) | Exp(a) | Diag(a) | Rev(a) | RowSums(a)
+            | ColSums(a) | RowMeans(a) | ColMeans(a) | RowMin(a) | RowMax(a) | ColMin(a)
+            | ColMax(a) | RowVar(a) | ColVar(a) | Det(a) | Trace(a) | Sum(a) | Min(a)
+            | Max(a) | Mean(a) | Var(a) | Cho(a) | QrQ(a) | QrR(a) | LuL(a) | LuU(a) => {
+                vec![a]
+            }
+        }
+    }
+
+    /// Number of operator nodes (size of the expression tree).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Names of all base matrices referenced.
+    pub fn base_matrices(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases<'a>(&'a self, out: &mut Vec<&'a str>) {
+        if let Expr::Mat(n) = self {
+            if !out.contains(&n.as_str()) {
+                out.push(n);
+            }
+        }
+        for c in self.children() {
+            c.collect_bases(out);
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Expr::*;
+        match self {
+            Mat(n) => write!(f, "{n}"),
+            Const(v) => write!(f, "{v}"),
+            Identity(n) => write!(f, "I{n}"),
+            Zero(r, c) => write!(f, "0[{r}x{c}]"),
+            Add(a, b) => write!(f, "({a} + {b})"),
+            Sub(a, b) => write!(f, "({a} - {b})"),
+            Mul(a, b) => write!(f, "({a} {b})"),
+            Hadamard(a, b) => write!(f, "({a} ⊙ {b})"),
+            Div(a, b) => write!(f, "({a} / {b})"),
+            Kron(a, b) => write!(f, "({a} ⊗ {b})"),
+            DirectSum(a, b) => write!(f, "({a} ⊕ {b})"),
+            ScalarMul(a, b) => write!(f, "({a} · {b})"),
+            Transpose(a) => write!(f, "{a}ᵀ"),
+            Inv(a) => write!(f, "{a}⁻¹"),
+            Adj(a) => write!(f, "adj({a})"),
+            Exp(a) => write!(f, "exp({a})"),
+            Diag(a) => write!(f, "diag({a})"),
+            Rev(a) => write!(f, "rev({a})"),
+            RowSums(a) => write!(f, "rowSums({a})"),
+            ColSums(a) => write!(f, "colSums({a})"),
+            RowMeans(a) => write!(f, "rowMeans({a})"),
+            ColMeans(a) => write!(f, "colMeans({a})"),
+            RowMin(a) => write!(f, "rowMin({a})"),
+            RowMax(a) => write!(f, "rowMax({a})"),
+            ColMin(a) => write!(f, "colMin({a})"),
+            ColMax(a) => write!(f, "colMax({a})"),
+            RowVar(a) => write!(f, "rowVar({a})"),
+            ColVar(a) => write!(f, "colVar({a})"),
+            Det(a) => write!(f, "det({a})"),
+            Trace(a) => write!(f, "trace({a})"),
+            Sum(a) => write!(f, "sum({a})"),
+            Min(a) => write!(f, "min({a})"),
+            Max(a) => write!(f, "max({a})"),
+            Mean(a) => write!(f, "mean({a})"),
+            Var(a) => write!(f, "var({a})"),
+            Cho(a) => write!(f, "cho({a})"),
+            QrQ(a) => write!(f, "qr.Q({a})"),
+            QrR(a) => write!(f, "qr.R({a})"),
+            LuL(a) => write!(f, "lu.L({a})"),
+            LuU(a) => write!(f, "lu.U({a})"),
+        }
+    }
+}
+
+/// Convenience constructors (keep workload definitions terse).
+pub mod dsl {
+    use super::Expr;
+
+    pub fn m(name: &str) -> Expr {
+        Expr::mat(name)
+    }
+    pub fn lit(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+    pub fn had(a: Expr, b: Expr) -> Expr {
+        Expr::Hadamard(Box::new(a), Box::new(b))
+    }
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+    pub fn smul(s: Expr, a: Expr) -> Expr {
+        Expr::ScalarMul(Box::new(s), Box::new(a))
+    }
+    pub fn t(a: Expr) -> Expr {
+        Expr::Transpose(Box::new(a))
+    }
+    pub fn inv(a: Expr) -> Expr {
+        Expr::Inv(Box::new(a))
+    }
+    pub fn det(a: Expr) -> Expr {
+        Expr::Det(Box::new(a))
+    }
+    pub fn trace(a: Expr) -> Expr {
+        Expr::Trace(Box::new(a))
+    }
+    pub fn sum(a: Expr) -> Expr {
+        Expr::Sum(Box::new(a))
+    }
+    pub fn exp(a: Expr) -> Expr {
+        Expr::Exp(Box::new(a))
+    }
+    pub fn row_sums(a: Expr) -> Expr {
+        Expr::RowSums(Box::new(a))
+    }
+    pub fn col_sums(a: Expr) -> Expr {
+        Expr::ColSums(Box::new(a))
+    }
+    pub fn cho(a: Expr) -> Expr {
+        Expr::Cho(Box::new(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let e = t(mul(m("M"), m("N")));
+        assert_eq!(e.to_string(), "(M N)ᵀ");
+        let ols = mul(inv(mul(t(m("X")), m("X"))), mul(t(m("X")), m("y")));
+        assert_eq!(ols.to_string(), "((Xᵀ X)⁻¹ (Xᵀ y))");
+    }
+
+    #[test]
+    fn power_unrolls() {
+        let e = Expr::power(m("D"), 3);
+        assert_eq!(e.to_string(), "((D D) D)");
+        assert_eq!(Expr::power(m("D"), 1), m("D"));
+    }
+
+    #[test]
+    fn base_matrices_dedup() {
+        let e = mul(m("M"), mul(m("N"), m("M")));
+        assert_eq!(e.base_matrices(), vec!["M", "N"]);
+    }
+
+    #[test]
+    fn node_count() {
+        let e = add(m("A"), m("B"));
+        assert_eq!(e.node_count(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! The VREM schema (Virtual Relational Encoding of Matrices, paper §6.2,
+//! Table 1): one virtual relation per LA operation, plus `name`, `size`,
+//! `zero`, `identity`, `type`, and scalar-literal relations.
+//!
+//! IDs in these relations denote *value-equivalence classes* of expressions
+//! (§6.2.1): the chase's functional EGDs merge IDs of provably value-equal
+//! expressions, so the saturated instance doubles as an e-graph.
+
+use std::collections::HashMap;
+
+use hadad_chase::{PredId, Vocabulary};
+
+/// Operator tags shared by the encoder, the constraint catalogue, and the
+/// extractor. Each maps to one VREM relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    Add,
+    Mul,
+    Hadamard,
+    Div,
+    ScalarMul,
+    Kron,
+    DirectSum,
+    Transpose,
+    Inv,
+    Adj,
+    Exp,
+    Diag,
+    Rev,
+    RowSums,
+    ColSums,
+    RowMeans,
+    ColMeans,
+    RowMin,
+    RowMax,
+    ColMin,
+    ColMax,
+    RowVar,
+    ColVar,
+    Det,
+    Trace,
+    Sum,
+    Min,
+    Max,
+    Mean,
+    Var,
+    /// Cholesky: `CHO(M, L)`.
+    Cho,
+    /// QR: `QR(M, Q, R)` — two outputs.
+    Qr,
+    /// LU: `LU(M, L, U)` — two outputs.
+    Lu,
+}
+
+impl OpKind {
+    /// VREM relation name (Table 1 of the paper).
+    pub fn pred_name(&self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Add => "addM",
+            Mul => "multiM",
+            Hadamard => "multiE",
+            Div => "divM",
+            ScalarMul => "multiMS",
+            Kron => "productD",
+            DirectSum => "sumD",
+            Transpose => "tr",
+            Inv => "invM",
+            Adj => "adj",
+            Exp => "exp",
+            Diag => "diag",
+            Rev => "rev",
+            RowSums => "rowSums",
+            ColSums => "colSums",
+            RowMeans => "rowMeans",
+            ColMeans => "colMeans",
+            RowMin => "rowMin",
+            RowMax => "rowMax",
+            ColMin => "colMin",
+            ColMax => "colMax",
+            RowVar => "rowVar",
+            ColVar => "colVar",
+            Det => "det",
+            Trace => "trace",
+            Sum => "sum",
+            Min => "min",
+            Max => "max",
+            Mean => "mean",
+            Var => "var",
+            Cho => "CHO",
+            Qr => "QR",
+            Lu => "LU",
+        }
+    }
+
+    /// Relation arity: inputs + outputs.
+    pub fn arity(&self) -> usize {
+        use OpKind::*;
+        match self {
+            Add | Mul | Hadamard | Div | ScalarMul | Kron | DirectSum => 3,
+            Qr | Lu => 3,
+            _ => 2,
+        }
+    }
+
+    /// Number of input arguments (the rest are outputs).
+    pub fn num_inputs(&self) -> usize {
+        use OpKind::*;
+        match self {
+            Add | Mul | Hadamard | Div | ScalarMul | Kron | DirectSum => 2,
+            _ => 1,
+        }
+    }
+
+    /// All operator kinds.
+    pub fn all() -> &'static [OpKind] {
+        use OpKind::*;
+        &[
+            Add, Mul, Hadamard, Div, ScalarMul, Kron, DirectSum, Transpose, Inv, Adj, Exp,
+            Diag, Rev, RowSums, ColSums, RowMeans, ColMeans, RowMin, RowMax, ColMin, ColMax,
+            RowVar, ColVar, Det, Trace, Sum, Min, Max, Mean, Var, Cho, Qr, Lu,
+        ]
+    }
+}
+
+/// The VREM schema: interned predicates over a shared vocabulary.
+#[derive(Debug, Clone)]
+pub struct Vrem {
+    pub vocab: Vocabulary,
+    /// `name(M, n)`: class `M` is the matrix stored under name `n`.
+    pub name: PredId,
+    /// `size(M, k, z)`: class `M` has `k` rows and `z` columns.
+    pub size: PredId,
+    /// `zero(O)`: class `O` is an all-zeros matrix.
+    pub zero: PredId,
+    /// `identity(I)`: class `I` is an identity matrix.
+    pub identity: PredId,
+    /// `type(M, f)`: structural flag `f` ∈ {"S","L","U","O","P"} (§6.2.5).
+    pub ty: PredId,
+    /// `lit(S, v)`: class `S` is the 1x1 scalar literal `v`.
+    pub lit: PredId,
+    ops: HashMap<OpKind, PredId>,
+}
+
+impl Vrem {
+    pub fn new() -> Self {
+        let mut vocab = Vocabulary::new();
+        let name = vocab.predicate("name", 2);
+        let size = vocab.predicate("size", 3);
+        let zero = vocab.predicate("zero", 1);
+        let identity = vocab.predicate("identity", 1);
+        let ty = vocab.predicate("type", 2);
+        let lit = vocab.predicate("lit", 2);
+        let mut ops = HashMap::new();
+        for &k in OpKind::all() {
+            ops.insert(k, vocab.predicate(k.pred_name(), k.arity()));
+        }
+        Vrem { vocab, name, size, zero, identity, ty, lit, ops }
+    }
+
+    /// Predicate of an operator relation.
+    pub fn op(&self, kind: OpKind) -> PredId {
+        self.ops[&kind]
+    }
+
+    /// Reverse lookup: operator kind of a predicate, if it is one.
+    pub fn kind_of(&self, pred: PredId) -> Option<OpKind> {
+        self.ops.iter().find(|(_, &p)| p == pred).map(|(&k, _)| k)
+    }
+}
+
+impl Default for Vrem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ops_registered() {
+        let vrem = Vrem::new();
+        for &k in OpKind::all() {
+            let p = vrem.op(k);
+            assert_eq!(vrem.vocab.pred_arity(p), k.arity());
+            assert_eq!(vrem.kind_of(p), Some(k));
+        }
+    }
+
+    #[test]
+    fn table1_names() {
+        let vrem = Vrem::new();
+        assert_eq!(vrem.vocab.pred_name(vrem.op(OpKind::Mul)), "multiM");
+        assert_eq!(vrem.vocab.pred_name(vrem.op(OpKind::Hadamard)), "multiE");
+        assert_eq!(vrem.vocab.pred_name(vrem.op(OpKind::ScalarMul)), "multiMS");
+        assert_eq!(vrem.vocab.pred_name(vrem.op(OpKind::Transpose)), "tr");
+    }
+
+    #[test]
+    fn inputs_vs_arity() {
+        assert_eq!(OpKind::Mul.num_inputs(), 2);
+        assert_eq!(OpKind::Qr.num_inputs(), 1);
+        assert_eq!(OpKind::Qr.arity(), 3);
+        assert_eq!(OpKind::Det.arity(), 2);
+    }
+}

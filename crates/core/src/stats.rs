@@ -1,0 +1,258 @@
+//! Matrix metadata: dimensions, non-zero counts, structural type flags, and
+//! optional MNC count-histograms. This is the "metadata file" the paper's
+//! naïve estimator reads (§7.2.1) and the offline histogram store of the
+//! MNC estimator (§7.2.2).
+
+use std::collections::BTreeMap;
+
+use hadad_linalg::Matrix;
+
+use crate::expr::Expr;
+
+/// Structural type flags used by the decomposition constraints (§6.2.5):
+/// symmetric positive definite ("S"), lower/upper triangular ("L"/"U"),
+/// orthogonal ("O"), permutation ("P").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TypeFlags {
+    pub symmetric_pd: bool,
+    pub lower_triangular: bool,
+    pub upper_triangular: bool,
+    pub orthogonal: bool,
+}
+
+/// MNC-style count histograms: per-row and per-column non-zero counts
+/// (Sommer et al., the estimator HADAD adopts in §7.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MncHistogram {
+    pub row_counts: Vec<u32>,
+    pub col_counts: Vec<u32>,
+}
+
+impl MncHistogram {
+    pub fn from_matrix(m: &Matrix) -> Self {
+        let s = m.to_sparse();
+        MncHistogram {
+            row_counts: s.row_nnz().iter().map(|&c| c as u32).collect(),
+            col_counts: s.col_nnz().iter().map(|&c| c as u32).collect(),
+        }
+    }
+
+    pub fn nnz(&self) -> u64 {
+        self.row_counts.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Metadata for one base matrix (or materialized view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixMeta {
+    pub rows: usize,
+    pub cols: usize,
+    pub nnz: usize,
+    pub flags: TypeFlags,
+    /// Offline MNC histograms (built once per base matrix).
+    pub mnc: Option<MncHistogram>,
+}
+
+impl MatrixMeta {
+    /// Dense metadata (`nnz = rows * cols`).
+    pub fn dense(rows: usize, cols: usize) -> Self {
+        MatrixMeta { rows, cols, nnz: rows * cols, flags: TypeFlags::default(), mnc: None }
+    }
+
+    /// Sparse metadata from an nnz count.
+    pub fn sparse(rows: usize, cols: usize, nnz: usize) -> Self {
+        MatrixMeta { rows, cols, nnz, flags: TypeFlags::default(), mnc: None }
+    }
+
+    /// Extracts metadata (including MNC histograms) from an actual matrix.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        MatrixMeta {
+            rows: m.rows(),
+            cols: m.cols(),
+            nnz: m.nnz(),
+            flags: TypeFlags::default(),
+            mnc: Some(MncHistogram::from_matrix(m)),
+        }
+    }
+
+    pub fn with_flags(mut self, flags: TypeFlags) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+}
+
+/// Catalog of metadata for named base matrices and views.
+#[derive(Debug, Clone, Default)]
+pub struct MetaCatalog {
+    entries: BTreeMap<String, MatrixMeta>,
+}
+
+impl MetaCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&mut self, name: impl Into<String>, meta: MatrixMeta) {
+        self.entries.insert(name.into(), meta);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&MatrixMeta> {
+        self.entries.get(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|s| s.as_str())
+    }
+}
+
+/// Shape-inference error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShapeError {
+    UnknownMatrix(String),
+    Mismatch(String),
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::UnknownMatrix(n) => write!(f, "unknown matrix {n}"),
+            ShapeError::Mismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Infers the shape of an expression from base-matrix metadata.
+pub fn shape(e: &Expr, cat: &MetaCatalog) -> Result<(usize, usize), ShapeError> {
+    use Expr::*;
+    Ok(match e {
+        Mat(n) => {
+            let m = cat.get(n).ok_or_else(|| ShapeError::UnknownMatrix(n.clone()))?;
+            (m.rows, m.cols)
+        }
+        Const(_) => (1, 1),
+        Identity(n) => (*n, *n),
+        Zero(r, c) => (*r, *c),
+        Add(a, b) | Sub(a, b) | Hadamard(a, b) | Div(a, b) => {
+            let sa = shape(a, cat)?;
+            let sb = shape(b, cat)?;
+            if sa != sb {
+                return Err(ShapeError::Mismatch(format!("{e}")));
+            }
+            sa
+        }
+        Mul(a, b) => {
+            let sa = shape(a, cat)?;
+            let sb = shape(b, cat)?;
+            if sa.1 != sb.0 {
+                return Err(ShapeError::Mismatch(format!("{e}")));
+            }
+            (sa.0, sb.1)
+        }
+        Kron(a, b) => {
+            let sa = shape(a, cat)?;
+            let sb = shape(b, cat)?;
+            (sa.0 * sb.0, sa.1 * sb.1)
+        }
+        DirectSum(a, b) => {
+            let sa = shape(a, cat)?;
+            let sb = shape(b, cat)?;
+            (sa.0 + sb.0, sa.1 + sb.1)
+        }
+        ScalarMul(s, a) => {
+            let ss = shape(s, cat)?;
+            if ss != (1, 1) {
+                return Err(ShapeError::Mismatch(format!("non-scalar multiplier in {e}")));
+            }
+            shape(a, cat)?
+        }
+        Transpose(a) => {
+            let (r, c) = shape(a, cat)?;
+            (c, r)
+        }
+        Inv(a) | Adj(a) | Exp(a) | Cho(a) | QrQ(a) | LuL(a) => {
+            let (r, c) = shape(a, cat)?;
+            if r != c {
+                return Err(ShapeError::Mismatch(format!("{e} requires square input")));
+            }
+            (r, c)
+        }
+        QrR(a) | LuU(a) => shape(a, cat)?,
+        Diag(a) => {
+            let (r, c) = shape(a, cat)?;
+            if r != c {
+                return Err(ShapeError::Mismatch(format!("{e} requires square input")));
+            }
+            (r, 1)
+        }
+        Rev(a) => shape(a, cat)?,
+        RowSums(a) | RowMeans(a) | RowMin(a) | RowMax(a) | RowVar(a) => (shape(a, cat)?.0, 1),
+        ColSums(a) | ColMeans(a) | ColMin(a) | ColMax(a) | ColVar(a) => (1, shape(a, cat)?.1),
+        Det(a) | Trace(a) => {
+            let (r, c) = shape(a, cat)?;
+            if r != c {
+                return Err(ShapeError::Mismatch(format!("{e} requires square input")));
+            }
+            (1, 1)
+        }
+        Sum(_) | Min(_) | Max(_) | Mean(_) | Var(_) => (1, 1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+
+    fn cat() -> MetaCatalog {
+        let mut c = MetaCatalog::new();
+        c.register("M", MatrixMeta::dense(50, 10));
+        c.register("N", MatrixMeta::dense(10, 50));
+        c
+    }
+
+    #[test]
+    fn shapes_of_products_and_transposes() {
+        let c = cat();
+        assert_eq!(shape(&mul(m("M"), m("N")), &c).unwrap(), (50, 50));
+        assert_eq!(shape(&t(mul(m("M"), m("N"))), &c).unwrap(), (50, 50));
+        assert_eq!(shape(&col_sums(m("M")), &c).unwrap(), (1, 10));
+        assert_eq!(shape(&row_sums(m("M")), &c).unwrap(), (50, 1));
+        assert_eq!(shape(&sum(m("M")), &c).unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn mismatches_detected() {
+        let c = cat();
+        assert!(shape(&add(m("M"), m("N")), &c).is_err());
+        assert!(shape(&mul(m("M"), m("M")), &c).is_err());
+        assert!(shape(&det(m("M")), &c).is_err());
+        assert!(shape(&m("missing"), &c).is_err());
+    }
+
+    #[test]
+    fn metadata_from_matrix_builds_histograms() {
+        let mat = Matrix::sparse(3, 4, vec![(0, 0, 1.0), (0, 1, 1.0), (2, 3, 1.0)]);
+        let meta = MatrixMeta::from_matrix(&mat);
+        assert_eq!(meta.nnz, 3);
+        let h = meta.mnc.unwrap();
+        assert_eq!(h.row_counts, vec![2, 0, 1]);
+        assert_eq!(h.col_counts, vec![1, 1, 0, 1]);
+        assert_eq!(h.nnz(), 3);
+    }
+
+    #[test]
+    fn density() {
+        let meta = MatrixMeta::sparse(10, 10, 5);
+        assert!((meta.density() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! Adjugate (classical adjoint): `adj(A) = det(A) * A^{-1}` for invertible
+//! matrices, cofactor expansion otherwise. HADAD's constraint set (Table 9)
+//! exploits `adj(M)^T = adj(M^T)`, `adj(MN) = adj(N) adj(M)`, and
+//! `adj(M) = cof(M)^T`.
+
+use crate::decomp::lu;
+use crate::dense::DenseMatrix;
+use crate::error::Result;
+use crate::matrix::Matrix;
+
+/// Adjugate of a square matrix.
+pub fn adjugate(a: &Matrix) -> Result<Matrix> {
+    a.check_square("adjugate")?;
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Matrix::Dense(DenseMatrix::zeros(0, 0)));
+    }
+    if n == 1 {
+        return Ok(Matrix::scalar(1.0));
+    }
+    let d = lu::det(a)?;
+    if d.abs() > 1e-10 {
+        let inv = lu::inverse(a)?;
+        return Ok(inv.scalar_mul(d));
+    }
+    // Singular: cofactor expansion (O(n^5), acceptable for the small
+    // matrices this path sees in tests).
+    Ok(Matrix::Dense(cofactor_matrix(&a.to_dense())?.transpose()))
+}
+
+/// Matrix of cofactors `C[i,j] = (-1)^{i+j} det(minor_{ij}(A))`.
+pub fn cofactor_matrix(a: &DenseMatrix) -> Result<DenseMatrix> {
+    let n = a.rows();
+    let mut c = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let minor = minor(a, i, j);
+            let sign = if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
+            c.set(i, j, sign * lu::det(&Matrix::Dense(minor))?);
+        }
+    }
+    Ok(c)
+}
+
+fn minor(a: &DenseMatrix, skip_row: usize, skip_col: usize) -> DenseMatrix {
+    let n = a.rows();
+    DenseMatrix::from_fn(n - 1, n - 1, |r, c| {
+        let rr = if r < skip_row { r } else { r + 1 };
+        let cc = if c < skip_col { c } else { c + 1 };
+        a.get(rr, cc)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::rand_gen::random_dense;
+
+    #[test]
+    fn adjugate_identity_property() {
+        // A * adj(A) = det(A) * I.
+        let a = Matrix::Dense(random_dense(4, 4, 23));
+        let adj = adjugate(&a).unwrap();
+        let d = lu::det(&a).unwrap();
+        let lhs = a.multiply(&adj).unwrap();
+        let rhs = Matrix::identity(4).scalar_mul(d);
+        assert!(approx_eq(&lhs, &rhs, 1e-8));
+    }
+
+    #[test]
+    fn adjugate_of_2x2() {
+        let a = Matrix::dense(2, 2, vec![1., 2., 3., 4.]);
+        let adj = adjugate(&a).unwrap();
+        assert!(approx_eq(&adj, &Matrix::dense(2, 2, vec![4., -2., -3., 1.]), 1e-10));
+    }
+
+    #[test]
+    fn adjugate_of_singular_via_cofactors() {
+        let a = Matrix::dense(2, 2, vec![1., 2., 2., 4.]);
+        let adj = adjugate(&a).unwrap();
+        assert!(approx_eq(&adj, &Matrix::dense(2, 2, vec![4., -2., -2., 1.]), 1e-10));
+    }
+
+    #[test]
+    fn transpose_commutes_with_adjugate() {
+        let a = Matrix::Dense(random_dense(3, 3, 99));
+        let lhs = adjugate(&a).unwrap().transpose();
+        let rhs = adjugate(&a.transpose()).unwrap();
+        assert!(approx_eq(&lhs, &rhs, 1e-8));
+    }
+}

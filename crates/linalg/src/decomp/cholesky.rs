@@ -1,0 +1,73 @@
+//! Cholesky decomposition `M = L L^T` for symmetric positive definite `M`.
+//!
+//! The paper's Example 6.2 hinges on the CD identity: a view `V = N + L L^T`
+//! with `L = cho(M)` answers the query `M + N`. The constraint `I_cho`
+//! (paper eq. 4) encodes exactly the property verified by this module's
+//! tests.
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+pub fn cholesky(a: &Matrix) -> Result<DenseMatrix> {
+    a.check_square("cholesky")?;
+    let n = a.rows();
+    let ad = a.to_dense();
+    if !ad.is_symmetric(1e-9) {
+        return Err(LinalgError::NotPositiveDefinite);
+    }
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut acc = ad.get(i, j);
+            for k in 0..j {
+                acc -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if acc <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite);
+                }
+                l.set(i, j, acc.sqrt());
+            } else {
+                l.set(i, j, acc / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::rand_gen::random_spd;
+
+    #[test]
+    fn reconstructs_spd_matrix() {
+        let a = Matrix::Dense(random_spd(8, 42));
+        let l = cholesky(&a).unwrap();
+        let llt =
+            Matrix::Dense(l.clone()).multiply(&Matrix::Dense(l.transpose())).unwrap();
+        assert!(approx_eq(&a, &llt, 1e-9));
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = Matrix::Dense(random_spd(5, 7));
+        let l = cholesky(&a).unwrap();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let not_sym = Matrix::dense(2, 2, vec![1., 2., 3., 4.]);
+        assert!(cholesky(&not_sym).is_err());
+        let not_pd = Matrix::dense(2, 2, vec![0., 0., 0., -1.]);
+        assert!(cholesky(&not_pd).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Matrix exponential via scaling-and-squaring with a truncated Taylor
+//! series. HADAD's `exp` operator (Table 1) obeys `exp(0) = I` and
+//! `exp(M^T) = exp(M)^T` (Table 9); both are verified by the tests below.
+
+use crate::error::Result;
+use crate::matrix::Matrix;
+
+/// Matrix exponential `e^A` of a square matrix.
+pub fn matrix_exp(a: &Matrix) -> Result<Matrix> {
+    a.check_square("matrix_exp")?;
+    let n = a.rows();
+    if n == 0 {
+        return Ok(a.clone());
+    }
+    // Scale so that the 1-norm is < 0.5, exponentiate the scaled matrix by
+    // Taylor series, then square back.
+    let norm = one_norm(a);
+    let squarings = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let scaled = a.scalar_mul(1.0 / 2f64.powi(squarings as i32));
+
+    // Taylor: sum_{k=0..K} scaled^k / k!
+    let mut result = Matrix::identity(n);
+    let mut term = Matrix::identity(n);
+    for k in 1..=20u32 {
+        term = term.multiply(&scaled)?.scalar_mul(1.0 / k as f64);
+        result = result.add(&term)?;
+    }
+    for _ in 0..squarings {
+        result = result.multiply(&result)?;
+    }
+    Ok(result)
+}
+
+fn one_norm(a: &Matrix) -> f64 {
+    let mut best = 0.0f64;
+    for c in 0..a.cols() {
+        let mut col = 0.0;
+        for r in 0..a.rows() {
+            col += a.get(r, c).abs();
+        }
+        best = best.max(col);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        let e = matrix_exp(&z).unwrap();
+        assert!(approx_eq(&e, &Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let d = Matrix::dense(2, 2, vec![1., 0., 0., 2.]);
+        let e = matrix_exp(&d).unwrap();
+        assert!((e.get(0, 0) - 1f64.exp()).abs() < 1e-9);
+        assert!((e.get(1, 1) - 2f64.exp()).abs() < 1e-9);
+        assert!(e.get(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_commutes_with_transpose() {
+        let a = Matrix::dense(2, 2, vec![0.1, 0.7, -0.3, 0.2]);
+        let lhs = matrix_exp(&a.transpose()).unwrap();
+        let rhs = matrix_exp(&a).unwrap().transpose();
+        assert!(approx_eq(&lhs, &rhs, 1e-9));
+    }
+
+    #[test]
+    fn exp_of_nilpotent() {
+        // N = [[0,1],[0,0]] -> e^N = I + N.
+        let n = Matrix::dense(2, 2, vec![0., 1., 0., 0.]);
+        let e = matrix_exp(&n).unwrap();
+        assert!(approx_eq(&e, &Matrix::dense(2, 2, vec![1., 1., 0., 1.]), 1e-12));
+    }
+
+    #[test]
+    fn scaling_path_for_large_norm() {
+        let a = Matrix::dense(1, 1, vec![5.0]);
+        let e = matrix_exp(&a).unwrap();
+        assert!((e.get(0, 0) - 5f64.exp()).abs() / 5f64.exp() < 1e-10);
+    }
+}

@@ -1,0 +1,246 @@
+//! LU decomposition (with and without partial pivoting), and the inverse /
+//! determinant / linear-solve kernels built on it.
+//!
+//! HADAD's constraint catalogue (Table 10) reasons about `LU(M) = [L, U]`
+//! and `LUP(M) = [L, U, P]` with `P M = L U`; the engines use `inverse` and
+//! `det` for pipelines like OLS `(X^T X)^{-1} (X^T y)`.
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Result of a pivoted LU decomposition: `P * A = L * U` where `perm[i]`
+/// gives the source row of output row `i`.
+#[derive(Debug, Clone)]
+pub struct Lup {
+    pub l: DenseMatrix,
+    pub u: DenseMatrix,
+    /// Row permutation: output row `i` came from input row `perm[i]`.
+    pub perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`).
+    pub sign: f64,
+}
+
+impl Lup {
+    /// Permutation as an explicit matrix `P` with `P A = L U`.
+    pub fn p_matrix(&self) -> DenseMatrix {
+        let n = self.perm.len();
+        let mut p = DenseMatrix::zeros(n, n);
+        for (i, &src) in self.perm.iter().enumerate() {
+            p.set(i, src, 1.0);
+        }
+        p
+    }
+}
+
+/// Pivoted LU via Doolittle with partial pivoting.
+pub fn lup(a: &Matrix) -> Result<Lup> {
+    a.check_square("lup")?;
+    let n = a.rows();
+    let mut u = a.to_dense();
+    let mut l = DenseMatrix::identity(n);
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Pivot: largest |u[i,k]| for i >= k.
+        let (mut pivot_row, mut pivot_val) = (k, u.get(k, k).abs());
+        for i in (k + 1)..n {
+            let v = u.get(i, k).abs();
+            if v > pivot_val {
+                pivot_row = i;
+                pivot_val = v;
+            }
+        }
+        if pivot_val < 1e-13 {
+            return Err(LinalgError::Singular { op: "lup" });
+        }
+        if pivot_row != k {
+            swap_rows(&mut u, k, pivot_row, n);
+            swap_rows(&mut l, k, pivot_row, k); // only the computed part of L
+            perm.swap(k, pivot_row);
+            sign = -sign;
+        }
+        let pivot = u.get(k, k);
+        for i in (k + 1)..n {
+            let factor = u.get(i, k) / pivot;
+            l.set(i, k, factor);
+            if factor != 0.0 {
+                for j in k..n {
+                    let v = u.get(i, j) - factor * u.get(k, j);
+                    u.set(i, j, v);
+                }
+            }
+            u.set(i, k, 0.0);
+        }
+    }
+    Ok(Lup { l, u, perm, sign })
+}
+
+/// Swaps the first `upto_col` entries of rows `a` and `b`.
+fn swap_rows(m: &mut DenseMatrix, a: usize, b: usize, upto_col: usize) {
+    for c in 0..upto_col {
+        let (va, vb) = (m.get(a, c), m.get(b, c));
+        m.set(a, c, vb);
+        m.set(b, c, va);
+    }
+}
+
+/// Unpivoted LU (Doolittle). Fails when a zero pivot is encountered — use
+/// [`lup`] for general matrices.
+pub fn lu(a: &Matrix) -> Result<(DenseMatrix, DenseMatrix)> {
+    a.check_square("lu")?;
+    let n = a.rows();
+    let mut u = a.to_dense();
+    let mut l = DenseMatrix::identity(n);
+    for k in 0..n {
+        let pivot = u.get(k, k);
+        if pivot.abs() < 1e-13 {
+            return Err(LinalgError::Singular { op: "lu" });
+        }
+        for i in (k + 1)..n {
+            let factor = u.get(i, k) / pivot;
+            l.set(i, k, factor);
+            for j in k..n {
+                let v = u.get(i, j) - factor * u.get(k, j);
+                u.set(i, j, v);
+            }
+            u.set(i, k, 0.0);
+        }
+    }
+    Ok((l, u))
+}
+
+/// Determinant via pivoted LU.
+pub fn det(a: &Matrix) -> Result<f64> {
+    a.check_square("det")?;
+    if a.rows() == 0 {
+        return Ok(1.0);
+    }
+    match lup(a) {
+        Ok(f) => {
+            let mut d = f.sign;
+            for i in 0..f.u.rows() {
+                d *= f.u.get(i, i);
+            }
+            Ok(d)
+        }
+        // A numerically singular matrix has determinant ~0.
+        Err(LinalgError::Singular { .. }) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Solves `A x = b` for each column of `b`, via pivoted LU.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let f = lup(a)?;
+    let n = a.rows();
+    if b.rows() != n {
+        return Err(LinalgError::DimensionMismatch { op: "solve", lhs: a.shape(), rhs: b.shape() });
+    }
+    let k = b.cols();
+    let mut x = DenseMatrix::zeros(n, k);
+    let mut y = vec![0.0f64; n];
+    for col in 0..k {
+        // Forward substitution: L y = P b.
+        for i in 0..n {
+            let mut acc = b.get(f.perm[i], col);
+            for j in 0..i {
+                acc -= f.l.get(i, j) * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution: U x = y.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= f.u.get(i, j) * x.get(j, col);
+            }
+            x.set(i, col, acc / f.u.get(i, i));
+        }
+    }
+    Ok(Matrix::Dense(x))
+}
+
+/// Matrix inverse via LU solve against the identity.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    a.check_square("inverse")?;
+    solve(a, &Matrix::identity(a.rows()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn sample() -> Matrix {
+        Matrix::dense(3, 3, vec![4., 3., 0., 6., 3., 2., 0., 1., 8.])
+    }
+
+    #[test]
+    fn lup_reconstructs() {
+        let a = sample();
+        let f = lup(&a).unwrap();
+        let pa = Matrix::Dense(f.p_matrix()).multiply(&a).unwrap();
+        let lu_prod = Matrix::Dense(f.l.clone()).multiply(&Matrix::Dense(f.u.clone())).unwrap();
+        assert!(approx_eq(&pa, &lu_prod, 1e-10));
+    }
+
+    #[test]
+    fn l_is_unit_lower_u_is_upper() {
+        let f = lup(&sample()).unwrap();
+        for i in 0..3 {
+            assert_eq!(f.l.get(i, i), 1.0);
+            for j in (i + 1)..3 {
+                assert_eq!(f.l.get(i, j), 0.0);
+            }
+            for j in 0..i {
+                assert_eq!(f.u.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn det_matches_cofactor_expansion() {
+        // det = 4*(3*8-2*1) - 3*(6*8-0) = 88 - 144 = -56
+        assert!((det(&sample()).unwrap() - (-56.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn det_of_singular_is_zero() {
+        let a = Matrix::dense(2, 2, vec![1., 2., 2., 4.]);
+        assert_eq!(det(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = sample();
+        let inv = inverse(&a).unwrap();
+        let prod = a.multiply(&inv).unwrap();
+        assert!(approx_eq(&prod, &Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        let a = Matrix::dense(2, 2, vec![2., 1., 1., 3.]);
+        let b = Matrix::dense(2, 1, vec![5., 10.]);
+        let x = solve(&a, &b).unwrap();
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+        assert!((x.get(0, 0) - 1.0).abs() < 1e-10);
+        assert!((x.get(1, 0) - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unpivoted_lu_on_diagonally_dominant() {
+        let a = Matrix::dense(2, 2, vec![4., 1., 2., 5.]);
+        let (l, u) = lu(&a).unwrap();
+        let prod = Matrix::Dense(l).multiply(&Matrix::Dense(u)).unwrap();
+        assert!(approx_eq(&prod, &a, 1e-10));
+    }
+
+    #[test]
+    fn singular_inverse_rejected() {
+        let a = Matrix::dense(2, 2, vec![1., 2., 2., 4.]);
+        assert!(matches!(inverse(&a), Err(LinalgError::Singular { .. })));
+    }
+}

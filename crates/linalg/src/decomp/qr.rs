@@ -1,0 +1,116 @@
+//! QR decomposition via Householder reflections: `A = Q R` with orthogonal
+//! `Q` and upper-triangular `R` (paper §6.2.5 models `QR(M) = [Q, R]` and
+//! its fixed points `QR(Q) = [Q, I]`, `QR(R) = [I, R]`, `QR(I) = [I, I]`).
+
+use crate::dense::DenseMatrix;
+use crate::error::Result;
+use crate::matrix::Matrix;
+
+/// Householder QR. Returns `(Q, R)` with `Q` `n x n` orthogonal and `R`
+/// `n x m` upper triangular such that `A = Q R`.
+pub fn qr(a: &Matrix) -> Result<(DenseMatrix, DenseMatrix)> {
+    let (n, m) = a.shape();
+    let mut r = a.to_dense();
+    let mut q = DenseMatrix::identity(n);
+    let steps = m.min(n.saturating_sub(1));
+    let mut v = vec![0.0f64; n];
+
+    for k in 0..steps {
+        // Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..n {
+            let x = r.get(i, k);
+            norm += x * x;
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-14 {
+            continue;
+        }
+        let alpha = if r.get(k, k) >= 0.0 { -norm } else { norm };
+        let mut vnorm2 = 0.0;
+        for (i, vi) in v.iter_mut().enumerate().take(n).skip(k) {
+            *vi = r.get(i, k) - if i == k { alpha } else { 0.0 };
+            vnorm2 += *vi * *vi;
+        }
+        if vnorm2 < 1e-28 {
+            continue;
+        }
+        // Apply H = I - 2 v v^T / (v^T v) to R (from the left)...
+        for j in k..m {
+            let mut dot = 0.0;
+            for i in k..n {
+                dot += v[i] * r.get(i, j);
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..n {
+                let val = r.get(i, j) - scale * v[i];
+                r.set(i, j, val);
+            }
+        }
+        // ...and accumulate into Q (from the right: Q <- Q H).
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in k..n {
+                dot += q.get(i, j) * v[j];
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for j in k..n {
+                let val = q.get(i, j) - scale * v[j];
+                q.set(i, j, val);
+            }
+        }
+        // Clean below-diagonal entries of column k.
+        r.set(k, k, alpha);
+        for i in (k + 1)..n {
+            r.set(i, k, 0.0);
+        }
+    }
+    Ok((q, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::rand_gen::random_dense;
+
+    #[test]
+    fn reconstructs_input() {
+        let a = Matrix::Dense(random_dense(6, 6, 3));
+        let (q, r) = qr(&a).unwrap();
+        let qr_prod = Matrix::Dense(q).multiply(&Matrix::Dense(r)).unwrap();
+        assert!(approx_eq(&a, &qr_prod, 1e-9));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::Dense(random_dense(5, 5, 11));
+        let (q, _) = qr(&a).unwrap();
+        let qm = Matrix::Dense(q.clone());
+        let qtq = Matrix::Dense(q.transpose()).multiply(&qm).unwrap();
+        assert!(approx_eq(&qtq, &Matrix::identity(5), 1e-9));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::Dense(random_dense(5, 5, 19));
+        let (_, r) = qr(&a).unwrap();
+        for i in 0..5 {
+            for j in 0..i {
+                assert!(r.get(i, j).abs() < 1e-10, "r[{i},{j}] = {}", r.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_input() {
+        let a = Matrix::Dense(random_dense(6, 3, 5));
+        let (q, r) = qr(&a).unwrap();
+        assert_eq!(q.rows(), 6);
+        assert_eq!(q.cols(), 6);
+        assert_eq!(r.rows(), 6);
+        assert_eq!(r.cols(), 3);
+        let qr_prod = Matrix::Dense(q).multiply(&Matrix::Dense(r)).unwrap();
+        assert!(approx_eq(&a, &qr_prod, 1e-9));
+    }
+}

@@ -1,0 +1,159 @@
+//! CSV and MatrixMarket (MTX) IO.
+//!
+//! The paper stores dense views as CSV files and the ultra-sparse
+//! tweet-hashtag matrix in MatrixMarket format (§2, footnote 1). These
+//! readers/writers let examples and benches materialize views on disk the
+//! same way.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+
+/// Writes a matrix as comma-separated rows.
+pub fn write_csv(m: &Matrix, path: impl AsRef<Path>) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let d = m.to_dense();
+    for r in 0..d.rows() {
+        let row: Vec<String> = d.row(r).iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads a dense matrix from comma-separated rows.
+pub fn read_csv(path: impl AsRef<Path>) -> Result<Matrix> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut data: Vec<f64> = Vec::new();
+    let mut cols = 0usize;
+    let mut rows = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Vec<f64> = line
+            .split(',')
+            .map(|tok| tok.trim().parse::<f64>().map_err(|e| LinalgError::Io(e.to_string())))
+            .collect::<Result<_>>()?;
+        if rows == 0 {
+            cols = row.len();
+        } else if row.len() != cols {
+            return Err(LinalgError::Io(format!(
+                "ragged csv: row {rows} has {} fields, expected {cols}",
+                row.len()
+            )));
+        }
+        data.extend(row);
+        rows += 1;
+    }
+    Ok(Matrix::Dense(DenseMatrix::from_vec(rows, cols, data)))
+}
+
+/// Writes a sparse matrix in MatrixMarket coordinate format.
+pub fn write_mtx(m: &Matrix, path: impl AsRef<Path>) -> Result<()> {
+    let s = m.to_sparse();
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", s.rows(), s.cols(), s.nnz())?;
+    for (r, c, v) in s.triplets() {
+        writeln!(w, "{} {} {v}", r + 1, c + 1)?;
+    }
+    Ok(())
+}
+
+/// Reads a MatrixMarket coordinate file into a sparse matrix.
+pub fn read_mtx(path: impl AsRef<Path>) -> Result<Matrix> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| LinalgError::Io("empty mtx file".into()))??;
+    if !header.starts_with("%%MatrixMarket") {
+        return Err(LinalgError::Io("missing MatrixMarket header".into()));
+    }
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if dims.is_none() {
+            if toks.len() != 3 {
+                return Err(LinalgError::Io("malformed mtx size line".into()));
+            }
+            let parse =
+                |s: &str| s.parse::<usize>().map_err(|e| LinalgError::Io(e.to_string()));
+            dims = Some((parse(toks[0])?, parse(toks[1])?, parse(toks[2])?));
+            triplets.reserve(dims.expect("just set").2);
+            continue;
+        }
+        if toks.len() != 3 {
+            return Err(LinalgError::Io(format!("malformed mtx entry: {line}")));
+        }
+        let r: usize = toks[0].parse().map_err(|e: std::num::ParseIntError| {
+            LinalgError::Io(e.to_string())
+        })?;
+        let c: usize = toks[1].parse().map_err(|e: std::num::ParseIntError| {
+            LinalgError::Io(e.to_string())
+        })?;
+        let v: f64 =
+            toks[2].parse().map_err(|e: std::num::ParseFloatError| LinalgError::Io(e.to_string()))?;
+        triplets.push((r - 1, c - 1, v));
+    }
+    let (rows, cols, _) = dims.ok_or_else(|| LinalgError::Io("missing mtx size line".into()))?;
+    Ok(Matrix::Sparse(SparseMatrix::from_triplets(rows, cols, triplets)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hadad_io_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let m = Matrix::dense(2, 3, vec![1., 2.5, -3., 0., 4., 5.]);
+        let path = tmp("csv");
+        write_csv(&m, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert!(approx_eq(&m, &back, 1e-12));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mtx_roundtrip() {
+        let m = Matrix::sparse(4, 5, vec![(0, 0, 1.5), (3, 4, -2.0), (1, 2, 7.0)]);
+        let path = tmp("mtx");
+        write_mtx(&m, &path).unwrap();
+        let back = read_mtx(&path).unwrap();
+        assert!(back.is_sparse());
+        assert!(approx_eq(&m, &back, 1e-12));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_csv() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "1,2\n3\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

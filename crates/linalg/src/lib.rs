@@ -1,0 +1,65 @@
+//! Matrix substrate for the HADAD reproduction.
+//!
+//! This crate provides the linear-algebra execution substrate that the
+//! paper's evaluation runs on: dense (row-major) and sparse (CSR) matrices,
+//! the full operator set `Lops` of HADAD §6.1 (products, element-wise ops,
+//! transposition, inversion, determinants, traces, aggregates, Kronecker /
+//! direct sums, matrix exponential), the matrix decompositions the
+//! constraint catalogue reasons about (LU, pivoted LU, Cholesky, QR), and
+//! CSV / MatrixMarket IO.
+//!
+//! Everything is implemented from scratch on `Vec<f64>` storage — no BLAS —
+//! so that benchmark wall-times are a deterministic function of the
+//! intermediate-result sizes HADAD's cost model reasons about.
+
+pub mod dense;
+pub mod error;
+pub mod io;
+pub mod matrix;
+pub mod rand_gen;
+pub mod sparse;
+
+pub mod ops {
+    pub mod add;
+    pub mod aggregates;
+    pub mod elementwise;
+    pub mod multiply;
+    pub mod structural;
+    pub mod transpose;
+}
+
+pub mod decomp {
+    pub mod adjugate;
+    pub mod cholesky;
+    pub mod exp;
+    pub mod lu;
+    pub mod qr;
+}
+
+pub use dense::DenseMatrix;
+pub use error::{LinalgError, Result};
+pub use matrix::Matrix;
+pub use sparse::SparseMatrix;
+
+/// Relative tolerance used across the workspace when comparing an original
+/// expression's value against a rewriting's value (machine-checkable
+/// soundness, cf. Theorem 8.1 of the paper).
+pub const SOUNDNESS_RTOL: f64 = 1e-8;
+
+/// Returns true when `a` and `b` are element-wise equal within a relative
+/// tolerance of `rtol` (absolute floor `1e-10`).
+pub fn approx_eq(a: &Matrix, b: &Matrix, rtol: f64) -> bool {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return false;
+    }
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let (x, y) = (a.get(r, c), b.get(r, c));
+            let scale = x.abs().max(y.abs()).max(1.0);
+            if (x - y).abs() > rtol * scale + 1e-10 {
+                return false;
+            }
+        }
+    }
+    true
+}

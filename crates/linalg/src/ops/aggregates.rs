@@ -1,0 +1,260 @@
+//! Aggregation kernels: full / row-wise / column-wise sums, min, max, mean,
+//! variance, and trace. These are the operations SystemML's rewrite-rule
+//! catalogue (paper Appendix B) reorders to avoid large intermediates.
+
+use crate::dense::DenseMatrix;
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Sum of all cells.
+pub fn sum(a: &Matrix) -> f64 {
+    match a {
+        Matrix::Dense(d) => d.data().iter().sum(),
+        Matrix::Sparse(s) => s.triplets().map(|(_, _, v)| v).sum(),
+    }
+}
+
+/// Column vector (`rows x 1`) of per-row sums.
+pub fn row_sums(a: &Matrix) -> Matrix {
+    let mut out = DenseMatrix::zeros(a.rows(), 1);
+    match a {
+        Matrix::Dense(d) => {
+            for r in 0..d.rows() {
+                out.set(r, 0, d.row(r).iter().sum());
+            }
+        }
+        Matrix::Sparse(s) => {
+            for (r, _, v) in s.triplets() {
+                let cur = out.get(r, 0);
+                out.set(r, 0, cur + v);
+            }
+        }
+    }
+    Matrix::Dense(out)
+}
+
+/// Row vector (`1 x cols`) of per-column sums.
+pub fn col_sums(a: &Matrix) -> Matrix {
+    let mut out = DenseMatrix::zeros(1, a.cols());
+    match a {
+        Matrix::Dense(d) => {
+            for r in 0..d.rows() {
+                let row = d.row(r);
+                let data = out.data_mut();
+                for (c, &v) in row.iter().enumerate() {
+                    data[c] += v;
+                }
+            }
+        }
+        Matrix::Sparse(s) => {
+            for (_, c, v) in s.triplets() {
+                let cur = out.get(0, c);
+                out.set(0, c, cur + v);
+            }
+        }
+    }
+    Matrix::Dense(out)
+}
+
+/// Mean of all cells (implicit zeros included).
+pub fn mean(a: &Matrix) -> f64 {
+    let cells = (a.rows() * a.cols()) as f64;
+    if cells == 0.0 {
+        0.0
+    } else {
+        sum(a) / cells
+    }
+}
+
+/// Population variance of all cells (implicit zeros included).
+pub fn var(a: &Matrix) -> f64 {
+    let cells = (a.rows() * a.cols()) as f64;
+    if cells == 0.0 {
+        return 0.0;
+    }
+    let mu = mean(a);
+    let mut acc = 0.0;
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let d = a.get(r, c) - mu;
+            acc += d * d;
+        }
+    }
+    acc / cells
+}
+
+/// Minimum over all cells (implicit zeros participate for sparse).
+pub fn min(a: &Matrix) -> f64 {
+    fold_cells(a, f64::INFINITY, f64::min)
+}
+
+/// Maximum over all cells (implicit zeros participate for sparse).
+pub fn max(a: &Matrix) -> f64 {
+    fold_cells(a, f64::NEG_INFINITY, f64::max)
+}
+
+fn fold_cells(a: &Matrix, init: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
+    match a {
+        Matrix::Dense(d) => d.data().iter().fold(init, |acc, &v| f(acc, v)),
+        Matrix::Sparse(s) => {
+            let mut acc = init;
+            let mut stored = 0usize;
+            for (_, _, v) in s.triplets() {
+                acc = f(acc, v);
+                stored += 1;
+            }
+            if stored < s.rows() * s.cols() {
+                acc = f(acc, 0.0);
+            }
+            acc
+        }
+    }
+}
+
+/// Column vector of per-row minima.
+pub fn row_min(a: &Matrix) -> Matrix {
+    per_row(a, f64::INFINITY, f64::min)
+}
+
+/// Column vector of per-row maxima.
+pub fn row_max(a: &Matrix) -> Matrix {
+    per_row(a, f64::NEG_INFINITY, f64::max)
+}
+
+/// Column vector of per-row means.
+pub fn row_means(a: &Matrix) -> Matrix {
+    let rs = row_sums(a);
+    rs.scalar_mul(1.0 / a.cols() as f64)
+}
+
+/// Row vector of per-column means.
+pub fn col_means(a: &Matrix) -> Matrix {
+    let cs = col_sums(a);
+    cs.scalar_mul(1.0 / a.rows() as f64)
+}
+
+/// Column vector of per-row population variances.
+pub fn row_var(a: &Matrix) -> Matrix {
+    let n = a.cols() as f64;
+    let mut out = DenseMatrix::zeros(a.rows(), 1);
+    for r in 0..a.rows() {
+        let mu: f64 = (0..a.cols()).map(|c| a.get(r, c)).sum::<f64>() / n;
+        let v: f64 = (0..a.cols()).map(|c| (a.get(r, c) - mu).powi(2)).sum::<f64>() / n;
+        out.set(r, 0, v);
+    }
+    Matrix::Dense(out)
+}
+
+/// Row vector of per-column population variances.
+pub fn col_var(a: &Matrix) -> Matrix {
+    let n = a.rows() as f64;
+    let mut out = DenseMatrix::zeros(1, a.cols());
+    for c in 0..a.cols() {
+        let mu: f64 = (0..a.rows()).map(|r| a.get(r, c)).sum::<f64>() / n;
+        let v: f64 = (0..a.rows()).map(|r| (a.get(r, c) - mu).powi(2)).sum::<f64>() / n;
+        out.set(0, c, v);
+    }
+    Matrix::Dense(out)
+}
+
+fn per_row(a: &Matrix, init: f64, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    let mut out = DenseMatrix::zeros(a.rows(), 1);
+    for r in 0..a.rows() {
+        let mut acc = init;
+        for c in 0..a.cols() {
+            acc = f(acc, a.get(r, c));
+        }
+        out.set(r, 0, acc);
+    }
+    Matrix::Dense(out)
+}
+
+/// Row vector of per-column minima.
+pub fn col_min(a: &Matrix) -> Matrix {
+    per_col(a, f64::INFINITY, f64::min)
+}
+
+/// Row vector of per-column maxima.
+pub fn col_max(a: &Matrix) -> Matrix {
+    per_col(a, f64::NEG_INFINITY, f64::max)
+}
+
+fn per_col(a: &Matrix, init: f64, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    let mut out = DenseMatrix::zeros(1, a.cols());
+    for c in 0..a.cols() {
+        let mut acc = init;
+        for r in 0..a.rows() {
+            acc = f(acc, a.get(r, c));
+        }
+        out.set(0, c, acc);
+    }
+    Matrix::Dense(out)
+}
+
+/// Trace (sum of diagonal) of a square matrix.
+pub fn trace(a: &Matrix) -> Result<f64> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare { op: "trace", shape: a.shape() });
+    }
+    Ok((0..a.rows()).map(|i| a.get(i, i)).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::dense(2, 3, vec![1., 2., 3., 4., 5., 6.])
+    }
+
+    #[test]
+    fn sums() {
+        let m = sample();
+        assert_eq!(sum(&m), 21.0);
+        assert_eq!(row_sums(&m).to_dense().data(), &[6., 15.]);
+        assert_eq!(col_sums(&m).to_dense().data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn sparse_sums_match_dense() {
+        let d = Matrix::dense(2, 3, vec![0., 2., 0., 4., 0., 6.]);
+        let s = Matrix::Sparse(d.to_sparse());
+        assert_eq!(sum(&d), sum(&s));
+        assert_eq!(row_sums(&d), row_sums(&s));
+        assert_eq!(col_sums(&d), col_sums(&s));
+    }
+
+    #[test]
+    fn trace_of_square() {
+        let m = Matrix::dense(2, 2, vec![1., 9., 9., 5.]);
+        assert_eq!(trace(&m).unwrap(), 6.0);
+        assert!(trace(&sample()).is_err());
+    }
+
+    #[test]
+    fn min_max_consider_implicit_zeros() {
+        let s = Matrix::sparse(2, 2, vec![(0, 0, 5.0), (1, 1, 3.0)]);
+        assert_eq!(min(&s), 0.0);
+        assert_eq!(max(&s), 5.0);
+        let neg = Matrix::sparse(2, 2, vec![(0, 0, -5.0)]);
+        assert_eq!(max(&neg), 0.0);
+    }
+
+    #[test]
+    fn mean_and_var() {
+        let m = Matrix::dense(1, 4, vec![1., 2., 3., 4.]);
+        assert_eq!(mean(&m), 2.5);
+        assert!((var(&m) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_col_stats() {
+        let m = sample();
+        assert_eq!(row_min(&m).to_dense().data(), &[1., 4.]);
+        assert_eq!(row_max(&m).to_dense().data(), &[3., 6.]);
+        assert_eq!(col_min(&m).to_dense().data(), &[1., 2., 3.]);
+        assert_eq!(col_max(&m).to_dense().data(), &[4., 5., 6.]);
+        assert_eq!(row_means(&m).to_dense().data(), &[2., 5.]);
+        assert_eq!(col_means(&m).to_dense().data(), &[2.5, 3.5, 4.5]);
+    }
+}

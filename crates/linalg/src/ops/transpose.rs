@@ -1,0 +1,31 @@
+//! Transposition (representation preserving).
+
+use crate::matrix::Matrix;
+
+/// `A^T`.
+pub fn transpose(a: &Matrix) -> Matrix {
+    match a {
+        Matrix::Dense(d) => Matrix::Dense(d.transpose()),
+        Matrix::Sparse(s) => Matrix::Sparse(s.transpose()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let a = Matrix::dense(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert!(approx_eq(&transpose(&transpose(&a)), &a, 1e-15));
+    }
+
+    #[test]
+    fn sparse_transpose_preserves_representation() {
+        let a = Matrix::sparse(4, 2, vec![(3, 0, 2.0)]);
+        let t = transpose(&a);
+        assert!(t.is_sparse());
+        assert_eq!(t.get(0, 3), 2.0);
+    }
+}

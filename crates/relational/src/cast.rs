@@ -1,0 +1,117 @@
+//! Table ↔ matrix conversions (paper §3: "a matrix can be implicitly
+//! converted into a relation (the order among matrix rows is lost), and the
+//! opposite conversion (each tuple becomes a matrix line...)").
+
+use hadad_linalg::{DenseMatrix, Matrix, SparseMatrix};
+
+use crate::table::{Column, Table};
+
+/// Casts the named numeric columns of a table into a dense matrix, one row
+/// per tuple in the table's current row order.
+pub fn table_to_matrix(t: &Table, cols: &[&str]) -> Matrix {
+    let idx: Vec<usize> = cols
+        .iter()
+        .map(|c| t.column_index(c).unwrap_or_else(|| panic!("no column {c}")))
+        .collect();
+    let mut out = DenseMatrix::zeros(t.num_rows(), idx.len());
+    for r in 0..t.num_rows() {
+        for (j, &ci) in idx.iter().enumerate() {
+            out.set(r, j, t.column_at(ci).numeric(r));
+        }
+    }
+    Matrix::Dense(out)
+}
+
+/// Casts all columns of a table into a dense matrix.
+pub fn table_to_matrix_all(t: &Table) -> Matrix {
+    let names: Vec<&str> = t.column_names().iter().map(|s| s.as_str()).collect();
+    table_to_matrix(t, &names)
+}
+
+/// Builds an ultra-sparse `rows x cols` matrix from (row-id, col-id, value)
+/// columns — the construction of the tweet-hashtag filter-level matrix `N`
+/// in the paper's §2 and of the MIMIC patient-service matrix in §9.2.2.
+pub fn table_to_sparse(
+    t: &Table,
+    row_col: &str,
+    col_col: &str,
+    val_col: &str,
+    rows: usize,
+    cols: usize,
+) -> Matrix {
+    let rc = t.column(row_col).unwrap_or_else(|| panic!("no column {row_col}"));
+    let cc = t.column(col_col).unwrap_or_else(|| panic!("no column {col_col}"));
+    let vc = t.column(val_col).unwrap_or_else(|| panic!("no column {val_col}"));
+    let triplets: Vec<(usize, usize, f64)> = (0..t.num_rows())
+        .filter_map(|r| {
+            let row = rc.value(r).as_i64()? as usize;
+            let col = cc.value(r).as_i64()? as usize;
+            if row < rows && col < cols {
+                Some((row, col, vc.numeric(r)))
+            } else {
+                None
+            }
+        })
+        .collect();
+    Matrix::Sparse(SparseMatrix::from_triplets(rows, cols, triplets))
+}
+
+/// Casts a matrix back into a table with synthesized column names
+/// `c0, c1, ...` (row order is whatever the matrix had; the relational view
+/// forgets it, per the paper's data model).
+pub fn matrix_to_table(m: &Matrix) -> Table {
+    let d = m.to_dense();
+    let cols: Vec<(String, Column)> = (0..d.cols())
+        .map(|c| {
+            let data: Vec<f64> = (0..d.rows()).map(|r| d.get(r, c)).collect();
+            (format!("c{c}"), Column::Float(data))
+        })
+        .collect();
+    Table::new(cols.iter().map(|(n, c)| (n.as_str(), c.clone())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Value;
+
+    #[test]
+    fn dense_cast_roundtrip() {
+        let t = Table::new(vec![
+            ("a", Column::Int(vec![1, 2])),
+            ("b", Column::Float(vec![0.5, 1.5])),
+        ]);
+        let m = table_to_matrix(&t, &["a", "b"]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(0, 1), 0.5);
+        let back = matrix_to_table(&m);
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.value(1, "c0"), Value::Float(2.0));
+    }
+
+    #[test]
+    fn sparse_cast_builds_coo() {
+        let t = Table::new(vec![
+            ("tweet", Column::Int(vec![0, 5, 9])),
+            ("hashtag", Column::Int(vec![1, 2, 0])),
+            ("level", Column::Int(vec![3, 1, 4])),
+        ]);
+        let m = table_to_sparse(&t, "tweet", "hashtag", "level", 10, 3);
+        assert!(m.is_sparse());
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(5, 2), 1.0);
+        assert_eq!(m.get(9, 0), 4.0);
+    }
+
+    #[test]
+    fn sparse_cast_drops_out_of_range() {
+        let t = Table::new(vec![
+            ("r", Column::Int(vec![0, 99])),
+            ("c", Column::Int(vec![0, 0])),
+            ("v", Column::Int(vec![1, 1])),
+        ]);
+        let m = table_to_sparse(&t, "r", "c", "v", 10, 1);
+        assert_eq!(m.nnz(), 1);
+    }
+}

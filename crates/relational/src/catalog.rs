@@ -1,0 +1,50 @@
+//! Named-table catalog with basic statistics — the "source schema" side of
+//! a hybrid HADAD deployment.
+
+use std::collections::BTreeMap;
+
+use crate::table::Table;
+
+/// A registry of named tables (and materialized relational views).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Row count of a registered table.
+    pub fn cardinality(&self, name: &str) -> Option<usize> {
+        self.tables.get(name).map(|t| t.num_rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Column;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]));
+        assert_eq!(cat.cardinality("users"), Some(2));
+        assert!(cat.get("missing").is_none());
+        assert_eq!(cat.names().collect::<Vec<_>>(), vec!["users"]);
+    }
+}

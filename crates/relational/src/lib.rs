@@ -1,0 +1,17 @@
+//! In-memory relational substrate for HADAD's hybrid (RA + LA) experiments.
+//!
+//! The paper's hybrid queries (§9.2) run a relational preprocessing stage
+//! (SparkSQL in the paper) that joins and filters tables, then casts the
+//! result to a matrix consumed by the LA stage. This crate provides that
+//! substrate: columnar tables, select / project / hash-join / aggregate
+//! operators, and the table↔matrix conversions of the paper's §3 data
+//! model (matrix → relation forgets row order; relation → matrix fixes an
+//! arbitrary one unless sorted first).
+
+pub mod cast;
+pub mod catalog;
+pub mod ops;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use table::{Column, Table, Value};

@@ -1,0 +1,188 @@
+//! Relational operators: selection, projection, hash join, aggregates.
+//! These are the `Rops` of the paper's hybrid language (§3).
+
+use std::collections::HashMap;
+
+use crate::table::{Column, Table, Value};
+
+/// Selection: keeps rows where `pred(row)` holds.
+pub fn select(t: &Table, pred: impl Fn(&Table, usize) -> bool) -> Table {
+    let keep: Vec<usize> = (0..t.num_rows()).filter(|&r| pred(t, r)).collect();
+    t.gather(&keep)
+}
+
+/// Selection on a single numeric column.
+pub fn select_num(t: &Table, col: &str, pred: impl Fn(f64) -> bool) -> Table {
+    let c = t.column(col).unwrap_or_else(|| panic!("no column {col}"));
+    let keep: Vec<usize> = (0..t.num_rows()).filter(|&r| pred(c.numeric(r))).collect();
+    t.gather(&keep)
+}
+
+/// Projection to the named columns, in the given order.
+pub fn project(t: &Table, cols: &[&str]) -> Table {
+    let pairs: Vec<(&str, Column)> = cols
+        .iter()
+        .map(|&name| {
+            let c = t.column(name).unwrap_or_else(|| panic!("no column {name}")).clone();
+            (name, c)
+        })
+        .collect();
+    Table::new(pairs)
+}
+
+/// Hash equi-join on integer key columns. Output keeps all columns of the
+/// left table and the non-key columns of the right, prefixing right-side
+/// names that collide with `right.`.
+pub fn hash_join(left: &Table, left_key: &str, right: &Table, right_key: &str) -> Table {
+    let lk = left.column(left_key).unwrap_or_else(|| panic!("no column {left_key}"));
+    let rk = right.column(right_key).unwrap_or_else(|| panic!("no column {right_key}"));
+
+    // Build side: key -> row indices (right).
+    let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
+    for r in 0..right.num_rows() {
+        if let Some(k) = rk.value(r).as_i64() {
+            index.entry(k).or_default().push(r);
+        }
+    }
+    // Probe side.
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<usize> = Vec::new();
+    for l in 0..left.num_rows() {
+        if let Some(k) = lk.value(l).as_i64() {
+            if let Some(matches) = index.get(&k) {
+                for &r in matches {
+                    left_rows.push(l);
+                    right_rows.push(r);
+                }
+            }
+        }
+    }
+
+    let mut out = left.gather(&left_rows);
+    let gathered_right = right.gather(&right_rows);
+    for (i, name) in right.column_names().iter().enumerate() {
+        if name == right_key {
+            continue; // key already present from the left side
+        }
+        let out_name = if out.column_index(name).is_some() {
+            format!("right.{name}")
+        } else {
+            name.clone()
+        };
+        out = out.with_column(&out_name, gathered_right.column_at(i).clone());
+    }
+    out
+}
+
+/// Aggregate: sum of a numeric column.
+pub fn sum_column(t: &Table, col: &str) -> f64 {
+    let c = t.column(col).unwrap_or_else(|| panic!("no column {col}"));
+    (0..t.num_rows()).map(|r| c.numeric(r)).sum()
+}
+
+/// Group-by on an integer key with per-group count.
+pub fn group_count(t: &Table, key: &str) -> Vec<(i64, usize)> {
+    let c = t.column(key).unwrap_or_else(|| panic!("no column {key}"));
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for r in 0..t.num_rows() {
+        if let Some(k) = c.value(r).as_i64() {
+            *counts.entry(k).or_default() += 1;
+        }
+    }
+    let mut out: Vec<(i64, usize)> = counts.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Sorts rows ascending by an integer key (relation → matrix casts need a
+/// defined order, cf. paper §3).
+pub fn sort_by_int(t: &Table, key: &str) -> Table {
+    let c = t.column(key).unwrap_or_else(|| panic!("no column {key}"));
+    let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+    idx.sort_by_key(|&r| c.value(r).as_i64().unwrap_or(i64::MAX));
+    t.gather(&idx)
+}
+
+/// Filters rows whose string column contains `needle` (the paper's Twitter
+/// benchmark text-search selection, e.g. tweets mentioning "covid").
+pub fn select_contains(t: &Table, col: &str, needle: &str) -> Table {
+    select(t, |tab, r| match tab.value(r, col) {
+        Value::Str(s) => s.contains(needle),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users() -> Table {
+        Table::new(vec![
+            ("id", Column::Int(vec![1, 2, 3])),
+            ("followers", Column::Int(vec![10, 20, 30])),
+        ])
+    }
+
+    fn tweets() -> Table {
+        Table::new(vec![
+            ("tid", Column::Int(vec![100, 101, 102, 103])),
+            ("uid", Column::Int(vec![1, 1, 2, 9])),
+            (
+                "text",
+                Column::Str(vec![
+                    "covid update".into(),
+                    "hello".into(),
+                    "covid news".into(),
+                    "other".into(),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn select_filters_rows() {
+        let t = select_num(&users(), "followers", |v| v >= 20.0);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, "id"), Value::Int(2));
+    }
+
+    #[test]
+    fn project_keeps_order() {
+        let t = project(&users(), &["followers", "id"]);
+        assert_eq!(t.column_names(), &["followers".to_string(), "id".to_string()]);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let j = hash_join(&tweets(), "uid", &users(), "id");
+        // tweet 103 has uid 9 with no matching user: dropped.
+        assert_eq!(j.num_rows(), 3);
+        assert_eq!(j.value(0, "followers"), Value::Int(10));
+        assert_eq!(j.value(2, "followers"), Value::Int(20));
+    }
+
+    #[test]
+    fn join_handles_duplicate_probe_keys() {
+        let j = hash_join(&tweets(), "uid", &users(), "id");
+        // User 1 posted two tweets.
+        let uid_one =
+            (0..j.num_rows()).filter(|&r| j.value(r, "uid") == Value::Int(1)).count();
+        assert_eq!(uid_one, 2);
+    }
+
+    #[test]
+    fn text_search() {
+        let t = select_contains(&tweets(), "text", "covid");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn aggregation_and_sort() {
+        assert_eq!(sum_column(&users(), "followers"), 60.0);
+        let shuffled = users().gather(&[2, 0, 1]);
+        let sorted = sort_by_int(&shuffled, "id");
+        assert_eq!(sorted.value(0, "id"), Value::Int(1));
+        assert_eq!(sorted.value(2, "id"), Value::Int(3));
+        assert_eq!(group_count(&tweets(), "uid"), vec![(1, 2), (2, 1), (9, 1)]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Columnar tables.
+
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl Value {
+    /// Numeric view (ints widen to f64); `None` for strings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+}
+
+impl Column {
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Str(v) => Value::Str(v[row].clone()),
+        }
+    }
+
+    /// Gathers the rows at `indices` into a new column.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Numeric view of a cell; strings hash-encode (stable) for one-hot-ish
+    /// casts, mirroring the paper's MIMIC preprocessing where categorical
+    /// features become numeric.
+    pub fn numeric(&self, row: usize) -> f64 {
+        match self {
+            Column::Int(v) => v[row] as f64,
+            Column::Float(v) => v[row],
+            Column::Str(v) => stable_hash(&v[row]) as f64 % 1000.0,
+        }
+    }
+}
+
+fn stable_hash(s: &str) -> u64 {
+    // FNV-1a: deterministic across runs (unlike `DefaultHasher` seeds).
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A named-column table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    pub fn new(columns: Vec<(&str, Column)>) -> Self {
+        let rows = columns.first().map_or(0, |(_, c)| c.len());
+        for (name, c) in &columns {
+            assert_eq!(c.len(), rows, "column {name} has inconsistent length");
+        }
+        Table {
+            names: columns.iter().map(|(n, _)| n.to_string()).collect(),
+            columns: columns.into_iter().map(|(_, c)| c).collect(),
+            rows,
+        }
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Cell accessor.
+    pub fn value(&self, row: usize, col: &str) -> Value {
+        let i = self.column_index(col).unwrap_or_else(|| panic!("no column {col}"));
+        self.columns[i].value(row)
+    }
+
+    /// New table with the rows at `indices`, in order.
+    pub fn gather(&self, indices: &[usize]) -> Table {
+        Table {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Appends a column; panics on length mismatch.
+    pub fn with_column(mut self, name: &str, col: Column) -> Table {
+        assert_eq!(col.len(), self.rows);
+        self.names.push(name.to_string());
+        self.columns.push(col);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(vec![
+            ("id", Column::Int(vec![1, 2, 3])),
+            ("score", Column::Float(vec![0.5, 1.5, 2.5])),
+            ("name", Column::Str(vec!["a".into(), "b".into(), "c".into()])),
+        ])
+    }
+
+    #[test]
+    fn shape_and_lookup() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 3);
+        assert_eq!(t.value(1, "id"), Value::Int(2));
+        assert_eq!(t.value(2, "name"), Value::Str("c".into()));
+        assert_eq!(t.column_index("score"), Some(1));
+        assert_eq!(t.column_index("missing"), None);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let t = sample().gather(&[2, 0]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(0, "id"), Value::Int(3));
+        assert_eq!(t.value(1, "id"), Value::Int(1));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn string_numeric_encoding_is_deterministic() {
+        let c = Column::Str(vec!["hello".into(), "hello".into()]);
+        assert_eq!(c.numeric(0), c.numeric(1));
+    }
+}
