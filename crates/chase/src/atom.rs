@@ -41,10 +41,8 @@ mod tests {
 
     #[test]
     fn vars_skips_constants() {
-        let atom = Atom::new(
-            PredId(0),
-            vec![Term::Var(1), Term::Const(SymId(0)), Term::Var(4)],
-        );
+        let atom =
+            Atom::new(PredId(0), vec![Term::Var(1), Term::Const(SymId(0)), Term::Var(4)]);
         let vars: Vec<u32> = atom.vars().collect();
         assert_eq!(vars, vec![1, 4]);
     }

@@ -336,8 +336,11 @@ mod tests {
         let a = inst.const_node(vocab.constant("a"));
         let b = inst.const_node(vocab.constant("b"));
         inst.insert(e, vec![a, b], Provenance::empty(), None);
-        let engine = ChaseEngine::new(vec![tgd.into()])
-            .with_budget(ChaseBudget { max_rounds: 3, max_facts: 1000, max_nulls: 1000 });
+        let engine = ChaseEngine::new(vec![tgd.into()]).with_budget(ChaseBudget {
+            max_rounds: 3,
+            max_facts: 1000,
+            max_nulls: 1000,
+        });
         let (outcome, stats) = engine.chase(&mut inst);
         assert_eq!(outcome, ChaseOutcome::BudgetExhausted);
         assert_eq!(stats.rounds, 3);

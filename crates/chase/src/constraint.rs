@@ -20,11 +20,7 @@ pub struct Tgd {
 }
 
 impl Tgd {
-    pub fn new(
-        name: impl Into<String>,
-        premise: Vec<Atom>,
-        conclusion: Vec<Atom>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, premise: Vec<Atom>, conclusion: Vec<Atom>) -> Self {
         Tgd { name: name.into(), premise, conclusion }
     }
 
@@ -83,7 +79,9 @@ impl Egd {
         let key_len = arity - 1;
         let a1: Vec<Term> = (0..arity as u32).map(Term::Var).collect();
         let a2: Vec<Term> = (0..arity as u32)
-            .map(|i| if (i as usize) < key_len { Term::Var(i) } else { Term::Var(arity as u32) })
+            .map(
+                |i| if (i as usize) < key_len { Term::Var(i) } else { Term::Var(arity as u32) },
+            )
             .collect();
         Egd {
             name: name.into(),

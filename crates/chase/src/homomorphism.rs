@@ -18,11 +18,7 @@ pub struct Match {
 
 /// Enumerates homomorphisms of `atoms` into `inst`, invoking `sink` for
 /// each. `sink` returning `false` stops the search early.
-pub fn for_each_match(
-    inst: &Instance,
-    atoms: &[Atom],
-    sink: &mut dyn FnMut(&Match) -> bool,
-) {
+pub fn for_each_match(inst: &Instance, atoms: &[Atom], sink: &mut dyn FnMut(&Match) -> bool) {
     let order = atom_order(inst, atoms);
     let mut m = Match { bindings: HashMap::new(), fact_indices: vec![usize::MAX; atoms.len()] };
     search(inst, atoms, &order, 0, &mut m, &mut |mm| sink(mm));

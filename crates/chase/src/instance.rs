@@ -148,11 +148,8 @@ impl Instance {
     /// duplicates are coalesced; their provenance formulas are OR-ed (either
     /// derivation justifies the fact, cf. PACB's provenance semantics).
     pub fn rehash(&mut self) {
-        let roots: Vec<Vec<NodeId>> = self
-            .facts
-            .iter()
-            .map(|f| f.args.iter().map(|&a| self.find(a)).collect())
-            .collect();
+        let roots: Vec<Vec<NodeId>> =
+            self.facts.iter().map(|f| f.args.iter().map(|&a| self.find(a)).collect()).collect();
         self.index.clear();
         let mut keep: Vec<bool> = vec![true; self.facts.len()];
         for (i, canon) in roots.iter().enumerate() {

@@ -67,18 +67,12 @@ impl View {
 }
 
 /// Options for a PACB run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PacbOptions {
     pub budget: ChaseBudget,
     /// When set, backchase steps whose premise image (a subquery of `U`)
     /// costs strictly more than this threshold are pruned (`Prune_prov`).
     pub prune_threshold: Option<f64>,
-}
-
-impl Default for PacbOptions {
-    fn default() -> Self {
-        PacbOptions { budget: ChaseBudget::default(), prune_threshold: None }
-    }
 }
 
 /// An equivalent rewriting of the input query over the view schema.
@@ -92,6 +86,9 @@ pub struct Rewriting {
     pub cost: Option<f64>,
 }
 
+/// Cost of a candidate rewriting given the universal-plan atoms it uses.
+pub type CostFn<'a> = &'a dyn Fn(&Instance, &[usize]) -> f64;
+
 /// The PACB engine.
 pub struct Pacb<'a> {
     /// Source integrity constraints `I`.
@@ -101,12 +98,12 @@ pub struct Pacb<'a> {
     /// Cost of a candidate rewriting, given the universal-plan atoms it
     /// uses. Required when `prune_threshold` is set; also used to attach
     /// costs to results.
-    pub cost_fn: Option<&'a dyn Fn(&Instance, &[usize]) -> f64>,
+    pub cost_fn: Option<CostFn<'a>>,
 }
 
 struct BackchasePruner<'b> {
     threshold: f64,
-    cost_fn: &'b dyn Fn(&Instance, &[usize]) -> f64,
+    cost_fn: CostFn<'b>,
     pruned: usize,
 }
 
@@ -152,7 +149,7 @@ impl<'a> Pacb<'a> {
         self
     }
 
-    pub fn with_cost_fn(mut self, f: &'a dyn Fn(&Instance, &[usize]) -> f64) -> Self {
+    pub fn with_cost_fn(mut self, f: CostFn<'a>) -> Self {
         self.cost_fn = Some(f);
         self
     }
@@ -174,8 +171,11 @@ impl<'a> Pacb<'a> {
                 .collect();
             inst.insert(atom.pred, args, Provenance::empty(), None);
         }
-        let head_nodes: Vec<NodeId> =
-            q.head.iter().map(|v| *var_node.entry(*v).or_insert_with(|| inst.fresh_null())).collect();
+        let head_nodes: Vec<NodeId> = q
+            .head
+            .iter()
+            .map(|v| *var_node.entry(*v).or_insert_with(|| inst.fresh_null()))
+            .collect();
 
         let mut io_constraints: Vec<Constraint> = self.constraints.to_vec();
         for v in self.views {

@@ -56,6 +56,9 @@ impl Provenance {
     fn add_conjunct(&mut self, c: Conjunct) {
         // Absorption: drop c if some existing conjunct is a subset of it;
         // drop existing conjuncts that are supersets of c.
+        // (`e & c == e` is a bitset-subset test, not a containment check —
+        // clippy's `manual_contains` suggestion would change semantics.)
+        #[allow(clippy::manual_contains)]
         if self.conjuncts.iter().any(|&e| e & c == e) {
             return;
         }

@@ -1,0 +1,636 @@
+//! The MMC catalogue: linear-algebra properties as integrity constraints
+//! over the VREM schema (paper §6.2.3–§6.2.5, `LAprop`).
+//!
+//! Three groups:
+//! * **Functional EGDs** (`I_<rel>`): every operator relation denotes a
+//!   function — equal inputs force equal output classes. These are what
+//!   make the chased instance an e-graph.
+//! * **Structural TGDs/EGDs**: associativity, commutativity,
+//!   distributivity, transpose push-down, trace cyclicity/linearity,
+//!   inverse and identity/zero laws. TGD conclusions reuse the premise's
+//!   output variable, so the rewritten form lands in the *same* class as
+//!   the original — equality is by construction, not by a separate EGD.
+//! * **Decomposition rules** (§6.2.5): CHO/QR/LU recomposition and the
+//!   structural `type` flags they imply, which is what enables
+//!   decomposition *reuse* (a second `QR(M, _, _)` fact merges with a
+//!   materialized one through the functional EGDs).
+//!
+//! Associativity-style rules are fresh-ID generators; the
+//! [`hadad_chase::ChaseBudget`] bounds them exactly as the paper's PACB++
+//! implementation does (§6.3).
+
+use hadad_chase::{Atom, Constraint, Egd, Term, Tgd};
+
+use crate::schema::{OpKind, Vrem};
+
+fn v(i: u32) -> Term {
+    Term::Var(i)
+}
+
+/// The constraint catalogue, ready to feed a
+/// [`hadad_chase::ChaseEngine`].
+#[derive(Debug, Clone)]
+pub struct Catalogue {
+    pub constraints: Vec<Constraint>,
+}
+
+impl Catalogue {
+    /// The full standard catalogue: functional + structural +
+    /// decomposition constraints.
+    pub fn standard(vrem: &mut Vrem) -> Catalogue {
+        let mut constraints = Self::functional_egds(vrem);
+        constraints.extend(Self::structural_rules(vrem));
+        constraints.extend(Self::decomposition_rules(vrem));
+        Catalogue { constraints }
+    }
+
+    /// Names of all constraints (for tests and diagnostics).
+    pub fn names(&self) -> Vec<&str> {
+        self.constraints.iter().map(|c| c.name()).collect()
+    }
+
+    /// `I_<rel>`: each operator relation is functional in its outputs.
+    pub fn functional_egds(vrem: &mut Vrem) -> Vec<Constraint> {
+        let mut out = Vec::new();
+        for &kind in OpKind::all() {
+            let pred = vrem.op(kind);
+            let name = format!("I_{}", kind.pred_name());
+            match kind {
+                OpKind::Qr | OpKind::Lu => {
+                    // P(M, O1, O2) ∧ P(M, O3, O4) → O1 = O3 ∧ O2 = O4.
+                    out.push(
+                        Egd::new(
+                            name,
+                            vec![
+                                Atom::new(pred, vec![v(0), v(1), v(2)]),
+                                Atom::new(pred, vec![v(0), v(3), v(4)]),
+                            ],
+                            vec![(v(1), v(3)), (v(2), v(4))],
+                        )
+                        .into(),
+                    );
+                }
+                _ => out.push(Egd::functional(name, pred, kind.arity()).into()),
+            }
+        }
+        out
+    }
+
+    /// Associativity, commutativity, distributivity, transpose push-down,
+    /// trace properties, inverse and identity/zero laws.
+    // One `push` per law keeps each rule next to its comment; a single
+    // `vec![]` literal would bury them.
+    #[allow(clippy::vec_init_then_push)]
+    pub fn structural_rules(vrem: &mut Vrem) -> Vec<Constraint> {
+        let mul = vrem.op(OpKind::Mul);
+        let add = vrem.op(OpKind::Add);
+        let tr = vrem.op(OpKind::Transpose);
+        let inv = vrem.op(OpKind::Inv);
+        let trace = vrem.op(OpKind::Trace);
+        let smul = vrem.op(OpKind::ScalarMul);
+        let size = vrem.size;
+        let identity = vrem.identity;
+        let zero = vrem.zero;
+        let ty = vrem.ty;
+        let sym_s = vrem.vocab.constant("S");
+        let sym_o = vrem.vocab.constant("O");
+
+        let mut out: Vec<Constraint> = Vec::new();
+
+        // (A B) C = A (B C) — both directions; the restricted chase stops
+        // once every regrouping of a chain is present.
+        out.push(
+            Tgd::new(
+                "mul-assoc-r",
+                vec![
+                    Atom::new(mul, vec![v(0), v(1), v(2)]),
+                    Atom::new(mul, vec![v(2), v(3), v(4)]),
+                ],
+                vec![
+                    Atom::new(mul, vec![v(1), v(3), v(5)]),
+                    Atom::new(mul, vec![v(0), v(5), v(4)]),
+                ],
+            )
+            .into(),
+        );
+        out.push(
+            Tgd::new(
+                "mul-assoc-l",
+                vec![
+                    Atom::new(mul, vec![v(1), v(3), v(5)]),
+                    Atom::new(mul, vec![v(0), v(5), v(4)]),
+                ],
+                vec![
+                    Atom::new(mul, vec![v(0), v(1), v(2)]),
+                    Atom::new(mul, vec![v(2), v(3), v(4)]),
+                ],
+            )
+            .into(),
+        );
+
+        // A + B = B + A (no existentials).
+        out.push(
+            Tgd::new(
+                "add-comm",
+                vec![Atom::new(add, vec![v(0), v(1), v(2)])],
+                vec![Atom::new(add, vec![v(1), v(0), v(2)])],
+            )
+            .into(),
+        );
+        // (A + B) + C = A + (B + C).
+        out.push(
+            Tgd::new(
+                "add-assoc-r",
+                vec![
+                    Atom::new(add, vec![v(0), v(1), v(2)]),
+                    Atom::new(add, vec![v(2), v(3), v(4)]),
+                ],
+                vec![
+                    Atom::new(add, vec![v(1), v(3), v(5)]),
+                    Atom::new(add, vec![v(0), v(5), v(4)]),
+                ],
+            )
+            .into(),
+        );
+
+        // trace(A B) = trace(B A).
+        out.push(
+            Tgd::new(
+                "trace-cyclic",
+                vec![
+                    Atom::new(mul, vec![v(0), v(1), v(2)]),
+                    Atom::new(trace, vec![v(2), v(3)]),
+                ],
+                vec![
+                    Atom::new(mul, vec![v(1), v(0), v(4)]),
+                    Atom::new(trace, vec![v(4), v(3)]),
+                ],
+            )
+            .into(),
+        );
+        // trace(Aᵀ) = trace(A) (no existentials).
+        out.push(
+            Tgd::new(
+                "trace-transpose",
+                vec![Atom::new(tr, vec![v(0), v(1)]), Atom::new(trace, vec![v(1), v(2)])],
+                vec![Atom::new(trace, vec![v(0), v(2)])],
+            )
+            .into(),
+        );
+        // trace(A + B) = trace(A) + trace(B) (scalars are 1x1 matrices, so
+        // the sum of traces is an addM fact).
+        out.push(
+            Tgd::new(
+                "trace-add",
+                vec![
+                    Atom::new(add, vec![v(0), v(1), v(2)]),
+                    Atom::new(trace, vec![v(2), v(3)]),
+                ],
+                vec![
+                    Atom::new(trace, vec![v(0), v(4)]),
+                    Atom::new(trace, vec![v(1), v(5)]),
+                    Atom::new(add, vec![v(4), v(5), v(3)]),
+                ],
+            )
+            .into(),
+        );
+
+        // (A B)ᵀ = Bᵀ Aᵀ — push-down and pull-up.
+        out.push(
+            Tgd::new(
+                "tr-mul",
+                vec![Atom::new(mul, vec![v(0), v(1), v(2)]), Atom::new(tr, vec![v(2), v(3)])],
+                vec![
+                    Atom::new(tr, vec![v(0), v(4)]),
+                    Atom::new(tr, vec![v(1), v(5)]),
+                    Atom::new(mul, vec![v(5), v(4), v(3)]),
+                ],
+            )
+            .into(),
+        );
+        out.push(
+            Tgd::new(
+                "tr-mul-rev",
+                vec![
+                    Atom::new(tr, vec![v(0), v(4)]),
+                    Atom::new(tr, vec![v(1), v(5)]),
+                    Atom::new(mul, vec![v(5), v(4), v(3)]),
+                ],
+                vec![Atom::new(mul, vec![v(0), v(1), v(2)]), Atom::new(tr, vec![v(2), v(3)])],
+            )
+            .into(),
+        );
+        // (A + B)ᵀ = Aᵀ + Bᵀ.
+        out.push(
+            Tgd::new(
+                "tr-add",
+                vec![Atom::new(add, vec![v(0), v(1), v(2)]), Atom::new(tr, vec![v(2), v(3)])],
+                vec![
+                    Atom::new(tr, vec![v(0), v(4)]),
+                    Atom::new(tr, vec![v(1), v(5)]),
+                    Atom::new(add, vec![v(4), v(5), v(3)]),
+                ],
+            )
+            .into(),
+        );
+        // (s · A)ᵀ = s · Aᵀ.
+        out.push(
+            Tgd::new(
+                "tr-scalar",
+                vec![Atom::new(smul, vec![v(0), v(1), v(2)]), Atom::new(tr, vec![v(2), v(3)])],
+                vec![Atom::new(tr, vec![v(1), v(4)]), Atom::new(smul, vec![v(0), v(4), v(3)])],
+            )
+            .into(),
+        );
+        // (Aᵀ)ᵀ = A.
+        out.push(
+            Egd::new(
+                "tr-involution",
+                vec![Atom::new(tr, vec![v(0), v(1)]), Atom::new(tr, vec![v(1), v(2)])],
+                vec![(v(2), v(0))],
+            )
+            .into(),
+        );
+        // Aᵀ = A for symmetric A.
+        out.push(
+            Egd::new(
+                "tr-symmetric",
+                vec![
+                    Atom::new(ty, vec![v(0), Term::Const(sym_s)]),
+                    Atom::new(tr, vec![v(0), v(1)]),
+                ],
+                vec![(v(1), v(0))],
+            )
+            .into(),
+        );
+
+        // I A = A and A I = A.
+        out.push(
+            Egd::new(
+                "mul-identity-l",
+                vec![Atom::new(identity, vec![v(0)]), Atom::new(mul, vec![v(0), v(1), v(2)])],
+                vec![(v(2), v(1))],
+            )
+            .into(),
+        );
+        out.push(
+            Egd::new(
+                "mul-identity-r",
+                vec![Atom::new(identity, vec![v(0)]), Atom::new(mul, vec![v(1), v(0), v(2)])],
+                vec![(v(2), v(1))],
+            )
+            .into(),
+        );
+        // 0 + A = A (commutativity covers A + 0).
+        out.push(
+            Egd::new(
+                "add-zero",
+                vec![Atom::new(zero, vec![v(0)]), Atom::new(add, vec![v(0), v(1), v(2)])],
+                vec![(v(2), v(1))],
+            )
+            .into(),
+        );
+        // 0 A and A 0 are zero.
+        out.push(
+            Tgd::new(
+                "mul-zero-l",
+                vec![Atom::new(zero, vec![v(0)]), Atom::new(mul, vec![v(0), v(1), v(2)])],
+                vec![Atom::new(zero, vec![v(2)])],
+            )
+            .into(),
+        );
+        out.push(
+            Tgd::new(
+                "mul-zero-r",
+                vec![Atom::new(zero, vec![v(0)]), Atom::new(mul, vec![v(1), v(0), v(2)])],
+                vec![Atom::new(zero, vec![v(2)])],
+            )
+            .into(),
+        );
+
+        // (A⁻¹)⁻¹ = A.
+        out.push(
+            Egd::new(
+                "inv-involution",
+                vec![Atom::new(inv, vec![v(0), v(1)]), Atom::new(inv, vec![v(1), v(2)])],
+                vec![(v(2), v(0))],
+            )
+            .into(),
+        );
+        // A A⁻¹ = I = A⁻¹ A.
+        out.push(
+            Tgd::new(
+                "mul-inv-identity-r",
+                vec![Atom::new(inv, vec![v(0), v(1)]), Atom::new(mul, vec![v(0), v(1), v(2)])],
+                vec![Atom::new(identity, vec![v(2)])],
+            )
+            .into(),
+        );
+        out.push(
+            Tgd::new(
+                "mul-inv-identity-l",
+                vec![Atom::new(inv, vec![v(0), v(1)]), Atom::new(mul, vec![v(1), v(0), v(2)])],
+                vec![Atom::new(identity, vec![v(2)])],
+            )
+            .into(),
+        );
+        // (Aᵀ)⁻¹ = (A⁻¹)ᵀ — both directions.
+        out.push(
+            Tgd::new(
+                "inv-tr",
+                vec![Atom::new(tr, vec![v(0), v(1)]), Atom::new(inv, vec![v(1), v(2)])],
+                vec![Atom::new(inv, vec![v(0), v(3)]), Atom::new(tr, vec![v(3), v(2)])],
+            )
+            .into(),
+        );
+        out.push(
+            Tgd::new(
+                "inv-tr-rev",
+                vec![Atom::new(inv, vec![v(0), v(3)]), Atom::new(tr, vec![v(3), v(2)])],
+                vec![Atom::new(tr, vec![v(0), v(1)]), Atom::new(inv, vec![v(1), v(2)])],
+            )
+            .into(),
+        );
+        // (A B)⁻¹ = B⁻¹ A⁻¹, gated on A square so both factors are
+        // invertible-shaped (the paper gates on metadata the same way).
+        out.push(
+            Tgd::new(
+                "inv-mul",
+                vec![
+                    Atom::new(mul, vec![v(0), v(1), v(2)]),
+                    Atom::new(inv, vec![v(2), v(3)]),
+                    Atom::new(size, vec![v(0), v(4), v(4)]),
+                ],
+                vec![
+                    Atom::new(inv, vec![v(0), v(5)]),
+                    Atom::new(inv, vec![v(1), v(6)]),
+                    Atom::new(mul, vec![v(6), v(5), v(3)]),
+                ],
+            )
+            .into(),
+        );
+        // Q orthogonal ⇒ Q⁻¹ = Qᵀ.
+        out.push(
+            Egd::new(
+                "orthogonal-inv-tr",
+                vec![
+                    Atom::new(ty, vec![v(0), Term::Const(sym_o)]),
+                    Atom::new(tr, vec![v(0), v(1)]),
+                    Atom::new(inv, vec![v(0), v(2)]),
+                ],
+                vec![(v(2), v(1))],
+            )
+            .into(),
+        );
+        // Q orthogonal ⇒ Qᵀ Q = I.
+        out.push(
+            Tgd::new(
+                "orthogonal-gram",
+                vec![
+                    Atom::new(ty, vec![v(0), Term::Const(sym_o)]),
+                    Atom::new(tr, vec![v(0), v(1)]),
+                    Atom::new(mul, vec![v(1), v(0), v(2)]),
+                ],
+                vec![Atom::new(identity, vec![v(2)])],
+            )
+            .into(),
+        );
+
+        // A B + A C = A (B + C) and A C + B C = (A + B) C (the
+        // factoring direction only: expansion never lowers cost and would
+        // blow up the chase).
+        out.push(
+            Tgd::new(
+                "distrib-factor-l",
+                vec![
+                    Atom::new(mul, vec![v(0), v(1), v(2)]),
+                    Atom::new(mul, vec![v(0), v(3), v(4)]),
+                    Atom::new(add, vec![v(2), v(4), v(5)]),
+                ],
+                vec![
+                    Atom::new(add, vec![v(1), v(3), v(6)]),
+                    Atom::new(mul, vec![v(0), v(6), v(5)]),
+                ],
+            )
+            .into(),
+        );
+        out.push(
+            Tgd::new(
+                "distrib-factor-r",
+                vec![
+                    Atom::new(mul, vec![v(0), v(2), v(3)]),
+                    Atom::new(mul, vec![v(1), v(2), v(4)]),
+                    Atom::new(add, vec![v(3), v(4), v(5)]),
+                ],
+                vec![
+                    Atom::new(add, vec![v(0), v(1), v(6)]),
+                    Atom::new(mul, vec![v(6), v(2), v(5)]),
+                ],
+            )
+            .into(),
+        );
+
+        // (s · A) B = s · (A B) and A (s · B) = s · (A B).
+        out.push(
+            Tgd::new(
+                "scalar-pull-l",
+                vec![
+                    Atom::new(smul, vec![v(0), v(1), v(2)]),
+                    Atom::new(mul, vec![v(2), v(3), v(4)]),
+                ],
+                vec![
+                    Atom::new(mul, vec![v(1), v(3), v(5)]),
+                    Atom::new(smul, vec![v(0), v(5), v(4)]),
+                ],
+            )
+            .into(),
+        );
+        out.push(
+            Tgd::new(
+                "scalar-pull-r",
+                vec![
+                    Atom::new(smul, vec![v(0), v(1), v(2)]),
+                    Atom::new(mul, vec![v(3), v(2), v(4)]),
+                ],
+                vec![
+                    Atom::new(mul, vec![v(3), v(1), v(5)]),
+                    Atom::new(smul, vec![v(0), v(5), v(4)]),
+                ],
+            )
+            .into(),
+        );
+
+        out
+    }
+
+    /// Decomposition recomposition and implied structural flags (§6.2.5).
+    pub fn decomposition_rules(vrem: &mut Vrem) -> Vec<Constraint> {
+        let mul = vrem.op(OpKind::Mul);
+        let tr = vrem.op(OpKind::Transpose);
+        let cho = vrem.op(OpKind::Cho);
+        let qr = vrem.op(OpKind::Qr);
+        let lu = vrem.op(OpKind::Lu);
+        let ty = vrem.ty;
+        let sym_s = vrem.vocab.constant("S");
+        let sym_l = vrem.vocab.constant("L");
+        let sym_u = vrem.vocab.constant("U");
+        let sym_o = vrem.vocab.constant("O");
+
+        vec![
+            // M symmetric PD with CHO(M, L): L Lᵀ = M, and L is lower
+            // triangular.
+            Tgd::new(
+                "cho-recompose",
+                vec![
+                    Atom::new(ty, vec![v(0), Term::Const(sym_s)]),
+                    Atom::new(cho, vec![v(0), v(1)]),
+                ],
+                vec![
+                    Atom::new(tr, vec![v(1), v(2)]),
+                    Atom::new(mul, vec![v(1), v(2), v(0)]),
+                    Atom::new(ty, vec![v(1), Term::Const(sym_l)]),
+                ],
+            )
+            .into(),
+            // QR(M) = [Q, R]: Q R = M, Q orthogonal, R upper triangular.
+            Tgd::new(
+                "qr-recompose",
+                vec![Atom::new(qr, vec![v(0), v(1), v(2)])],
+                vec![
+                    Atom::new(mul, vec![v(1), v(2), v(0)]),
+                    Atom::new(ty, vec![v(1), Term::Const(sym_o)]),
+                    Atom::new(ty, vec![v(2), Term::Const(sym_u)]),
+                ],
+            )
+            .into(),
+            // LU(M) = [L, U]: L U = M, L lower / U upper triangular.
+            Tgd::new(
+                "lu-recompose",
+                vec![Atom::new(lu, vec![v(0), v(1), v(2)])],
+                vec![
+                    Atom::new(mul, vec![v(1), v(2), v(0)]),
+                    Atom::new(ty, vec![v(1), Term::Const(sym_l)]),
+                    Atom::new(ty, vec![v(2), Term::Const(sym_u)]),
+                ],
+            )
+            .into(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use crate::expr::dsl::*;
+    use crate::extract::{Extractor, TreeSizeCost};
+    use crate::stats::{MatrixMeta, MetaCatalog, TypeFlags};
+    use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome};
+
+    fn chase_of(
+        e: &crate::expr::Expr,
+        cat: &MetaCatalog,
+    ) -> (Vrem, hadad_chase::Instance, hadad_chase::NodeId, ChaseOutcome) {
+        let mut vrem = Vrem::new();
+        let enc = Encoder::new(&mut vrem, cat).encode(e).unwrap();
+        let catalogue = Catalogue::standard(&mut vrem);
+        let engine = ChaseEngine::new(catalogue.constraints).with_budget(ChaseBudget {
+            max_rounds: 8,
+            max_facts: 20_000,
+            max_nulls: 10_000,
+        });
+        let mut inst = enc.instance;
+        let (outcome, _) = engine.chase(&mut inst);
+        (vrem, inst, enc.root, outcome)
+    }
+
+    #[test]
+    fn standard_catalogue_is_well_formed() {
+        let mut vrem = Vrem::new();
+        let c = Catalogue::standard(&mut vrem);
+        // Every operator gets a functional EGD plus the structural and
+        // decomposition groups.
+        assert!(c.constraints.len() > OpKind::all().len());
+        assert!(c.names().contains(&"trace-cyclic"));
+        assert!(c.names().contains(&"I_multiM"));
+        assert!(c.names().contains(&"qr-recompose"));
+    }
+
+    #[test]
+    fn trace_cyclic_derives_rotated_product() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(30, 4));
+        cat.register("B", MatrixMeta::dense(4, 30));
+        let e = trace(mul(m("A"), m("B")));
+        let (vrem, inst, root, _) = chase_of(&e, &cat);
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        let cands = ex.candidates(root);
+        let strs: Vec<String> = cands.iter().map(|c| c.to_string()).collect();
+        assert!(strs.contains(&"trace((A B))".to_string()), "{strs:?}");
+        assert!(strs.contains(&"trace((B A))".to_string()), "{strs:?}");
+    }
+
+    #[test]
+    fn double_transpose_collapses() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(6, 4));
+        let e = t(t(m("A")));
+        let (vrem, inst, root, outcome) = chase_of(&e, &cat);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        assert_eq!(ex.extract(root).unwrap(), m("A"));
+    }
+
+    #[test]
+    fn qr_recomposition_reaches_input() {
+        // trace(Q·R) where [Q,R] = QR(D) must land in trace(D)'s class.
+        let mut cat = MetaCatalog::new();
+        cat.register("D", MatrixMeta::dense(8, 8));
+        let e = trace(mul(
+            crate::expr::Expr::QrQ(Box::new(m("D"))),
+            crate::expr::Expr::QrR(Box::new(m("D"))),
+        ));
+        let (vrem, inst, root, _) = chase_of(&e, &cat);
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        assert_eq!(ex.extract(root).unwrap(), trace(m("D")));
+    }
+
+    #[test]
+    fn cholesky_recomposition_uses_type_flag() {
+        let mut cat = MetaCatalog::new();
+        cat.register(
+            "S",
+            MatrixMeta::dense(6, 6)
+                .with_flags(TypeFlags { symmetric_pd: true, ..Default::default() }),
+        );
+        // cho(S) · cho(S)ᵀ = S.
+        let e = mul(cho(m("S")), t(cho(m("S"))));
+        let (vrem, inst, root, _) = chase_of(&e, &cat);
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        assert_eq!(ex.extract(root).unwrap(), m("S"));
+    }
+
+    #[test]
+    fn identity_collapses_product() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(5, 5));
+        let e = mul(m("A"), crate::expr::Expr::Identity(5));
+        let (vrem, inst, root, _) = chase_of(&e, &cat);
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        assert_eq!(ex.extract(root).unwrap(), m("A"));
+    }
+
+    #[test]
+    fn associativity_exposes_regroupings() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(40, 10));
+        cat.register("B", MatrixMeta::dense(10, 40));
+        cat.register("x", MatrixMeta::dense(40, 1));
+        let e = mul(mul(m("A"), m("B")), m("x"));
+        let (vrem, inst, root, _) = chase_of(&e, &cat);
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        let strs: Vec<String> = ex.candidates(root).iter().map(|c| c.to_string()).collect();
+        assert!(strs.contains(&"((A B) x)".to_string()), "{strs:?}");
+        assert!(strs.contains(&"(A (B x))".to_string()), "{strs:?}");
+    }
+}

@@ -73,7 +73,7 @@ impl<'a> Encoder<'a> {
     }
 
     fn type_facts(&mut self, node: NodeId, flags: TypeFlags) {
-        let mut add = |enc: &mut Self, tag: &str| {
+        let add = |enc: &mut Self, tag: &str| {
             let sym = enc.vrem.vocab.constant(tag);
             let sn = enc.inst.const_node(sym);
             enc.inst.insert(enc.vrem.ty, vec![node, sn], Provenance::empty(), None);
@@ -142,10 +142,8 @@ impl<'a> Encoder<'a> {
             }
             Sub(a, b) => {
                 // Desugar: a - b = a + (-1 · b).
-                let desugared = Add(
-                    a.clone(),
-                    Box::new(ScalarMul(Box::new(Const(-1.0)), b.clone())),
-                );
+                let desugared =
+                    Add(a.clone(), Box::new(ScalarMul(Box::new(Const(-1.0)), b.clone())));
                 return self.enc(&desugared);
             }
             Add(a, b) => self.binary(OpKind::Add, a, b)?,
@@ -254,17 +252,14 @@ impl<'a> CqEncoder<'a> {
             Mat(n) => {
                 let sym = self.vrem.vocab.constant(n);
                 let v = self.fresh_var();
-                self.atoms.push(Atom::new(
-                    self.vrem.name,
-                    vec![Term::Var(v), Term::Const(sym)],
-                ));
+                self.atoms
+                    .push(Atom::new(self.vrem.name, vec![Term::Var(v), Term::Const(sym)]));
                 v
             }
             Const(c) => {
                 let sym = self.vrem.vocab.constant(format!("{c}"));
                 let v = self.fresh_var();
-                self.atoms
-                    .push(Atom::new(self.vrem.lit, vec![Term::Var(v), Term::Const(sym)]));
+                self.atoms.push(Atom::new(self.vrem.lit, vec![Term::Var(v), Term::Const(sym)]));
                 v
             }
             Identity(_) => {
@@ -312,11 +307,8 @@ impl<'a> CqEncoder<'a> {
             _ => {
                 // Generic operator node.
                 let kind = op_kind_of(e).expect("leaves handled above");
-                let child_vars: Vec<u32> = e
-                    .children()
-                    .iter()
-                    .map(|c| self.enc(c))
-                    .collect::<Result<_, _>>()?;
+                let child_vars: Vec<u32> =
+                    e.children().iter().map(|c| self.enc(c)).collect::<Result<_, _>>()?;
                 let out = self.fresh_var();
                 let mut args: Vec<Term> = child_vars.into_iter().map(Term::Var).collect();
                 args.push(Term::Var(out));

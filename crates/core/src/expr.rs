@@ -101,8 +101,14 @@ impl Expr {
         use Expr::*;
         match self {
             Mat(_) | Const(_) | Identity(_) | Zero(..) => vec![],
-            Add(a, b) | Sub(a, b) | Mul(a, b) | Hadamard(a, b) | Div(a, b) | Kron(a, b)
-            | DirectSum(a, b) | ScalarMul(a, b) => vec![a, b],
+            Add(a, b)
+            | Sub(a, b)
+            | Mul(a, b)
+            | Hadamard(a, b)
+            | Div(a, b)
+            | Kron(a, b)
+            | DirectSum(a, b)
+            | ScalarMul(a, b) => vec![a, b],
             Transpose(a) | Inv(a) | Adj(a) | Exp(a) | Diag(a) | Rev(a) | RowSums(a)
             | ColSums(a) | RowMeans(a) | ColMeans(a) | RowMin(a) | RowMax(a) | ColMin(a)
             | ColMax(a) | RowVar(a) | ColVar(a) | Det(a) | Trace(a) | Sum(a) | Min(a)

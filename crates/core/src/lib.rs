@@ -1,0 +1,23 @@
+//! HADAD core: the hybrid LA expression language, its Virtual Relational
+//! Encoding of Matrices (VREM, paper §6.2), the MMC property catalogue of
+//! linear-algebra integrity constraints (§6.2.3–§6.2.5), matrix metadata /
+//! estimators (§7.2), and the min-cost decoder that walks a chased instance
+//! back into an expression (§6.2.2, the inverse of `enc_LA`).
+//!
+//! The rewriting loop lives one crate up, in `hadad-rewrite`:
+//! encode (this crate) → chase under the catalogue (`hadad-chase`) →
+//! decode + rank (this crate + cost model) → execute (`hadad-linalg`).
+
+pub mod catalogue;
+pub mod encode;
+pub mod expr;
+pub mod extract;
+pub mod schema;
+pub mod stats;
+
+pub use catalogue::Catalogue;
+pub use encode::{CqEncoder, Encoded, Encoder};
+pub use expr::Expr;
+pub use extract::{ExtractionCost, Extractor, TreeSizeCost};
+pub use schema::{OpKind, Vrem};
+pub use stats::{MatrixMeta, MetaCatalog, MncHistogram, ShapeError, TypeFlags};

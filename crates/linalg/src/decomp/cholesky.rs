@@ -47,8 +47,7 @@ mod tests {
     fn reconstructs_spd_matrix() {
         let a = Matrix::Dense(random_spd(8, 42));
         let l = cholesky(&a).unwrap();
-        let llt =
-            Matrix::Dense(l.clone()).multiply(&Matrix::Dense(l.transpose())).unwrap();
+        let llt = Matrix::Dense(l.clone()).multiply(&Matrix::Dense(l.transpose())).unwrap();
         assert!(approx_eq(&a, &llt, 1e-9));
     }
 

@@ -136,7 +136,11 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     let f = lup(a)?;
     let n = a.rows();
     if b.rows() != n {
-        return Err(LinalgError::DimensionMismatch { op: "solve", lhs: a.shape(), rhs: b.shape() });
+        return Err(LinalgError::DimensionMismatch {
+            op: "solve",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     let k = b.cols();
     let mut x = DenseMatrix::zeros(n, k);
@@ -145,8 +149,8 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         // Forward substitution: L y = P b.
         for i in 0..n {
             let mut acc = b.get(f.perm[i], col);
-            for j in 0..i {
-                acc -= f.l.get(i, j) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= f.l.get(i, j) * yj;
             }
             y[i] = acc;
         }

@@ -38,24 +38,24 @@ pub fn qr(a: &Matrix) -> Result<(DenseMatrix, DenseMatrix)> {
         // Apply H = I - 2 v v^T / (v^T v) to R (from the left)...
         for j in k..m {
             let mut dot = 0.0;
-            for i in k..n {
-                dot += v[i] * r.get(i, j);
+            for (i, &vi) in v.iter().enumerate().take(n).skip(k) {
+                dot += vi * r.get(i, j);
             }
             let scale = 2.0 * dot / vnorm2;
-            for i in k..n {
-                let val = r.get(i, j) - scale * v[i];
+            for (i, &vi) in v.iter().enumerate().take(n).skip(k) {
+                let val = r.get(i, j) - scale * vi;
                 r.set(i, j, val);
             }
         }
         // ...and accumulate into Q (from the right: Q <- Q H).
         for i in 0..n {
             let mut dot = 0.0;
-            for j in k..n {
-                dot += q.get(i, j) * v[j];
+            for (j, &vj) in v.iter().enumerate().take(n).skip(k) {
+                dot += q.get(i, j) * vj;
             }
             let scale = 2.0 * dot / vnorm2;
-            for j in k..n {
-                let val = q.get(i, j) - scale * v[j];
+            for (j, &vj) in v.iter().enumerate().take(n).skip(k) {
+                let val = q.get(i, j) - scale * vj;
                 q.set(i, j, val);
             }
         }

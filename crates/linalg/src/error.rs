@@ -6,11 +6,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
     /// Operand shapes are incompatible for the requested operation.
-    DimensionMismatch {
-        op: &'static str,
-        lhs: (usize, usize),
-        rhs: (usize, usize),
-    },
+    DimensionMismatch { op: &'static str, lhs: (usize, usize), rhs: (usize, usize) },
     /// Operation requires a square matrix.
     NotSquare { op: &'static str, shape: (usize, usize) },
     /// Matrix is singular (or numerically singular) where invertibility is required.

@@ -75,9 +75,7 @@ pub fn read_mtx(path: impl AsRef<Path>) -> Result<Matrix> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| LinalgError::Io("empty mtx file".into()))??;
+    let header = lines.next().ok_or_else(|| LinalgError::Io("empty mtx file".into()))??;
     if !header.starts_with("%%MatrixMarket") {
         return Err(LinalgError::Io("missing MatrixMarket header".into()));
     }
@@ -103,17 +101,19 @@ pub fn read_mtx(path: impl AsRef<Path>) -> Result<Matrix> {
         if toks.len() != 3 {
             return Err(LinalgError::Io(format!("malformed mtx entry: {line}")));
         }
-        let r: usize = toks[0].parse().map_err(|e: std::num::ParseIntError| {
-            LinalgError::Io(e.to_string())
-        })?;
-        let c: usize = toks[1].parse().map_err(|e: std::num::ParseIntError| {
-            LinalgError::Io(e.to_string())
-        })?;
-        let v: f64 =
-            toks[2].parse().map_err(|e: std::num::ParseFloatError| LinalgError::Io(e.to_string()))?;
+        let r: usize = toks[0]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| LinalgError::Io(e.to_string()))?;
+        let c: usize = toks[1]
+            .parse()
+            .map_err(|e: std::num::ParseIntError| LinalgError::Io(e.to_string()))?;
+        let v: f64 = toks[2]
+            .parse()
+            .map_err(|e: std::num::ParseFloatError| LinalgError::Io(e.to_string()))?;
         triplets.push((r - 1, c - 1, v));
     }
-    let (rows, cols, _) = dims.ok_or_else(|| LinalgError::Io("missing mtx size line".into()))?;
+    let (rows, cols, _) =
+        dims.ok_or_else(|| LinalgError::Io("missing mtx size line".into()))?;
     Ok(Matrix::Sparse(SparseMatrix::from_triplets(rows, cols, triplets)))
 }
 

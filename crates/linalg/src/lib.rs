@@ -17,6 +17,7 @@ pub mod error;
 pub mod io;
 pub mod matrix;
 pub mod rand_gen;
+pub mod rng;
 pub mod sparse;
 
 pub mod ops {

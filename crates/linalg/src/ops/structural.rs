@@ -83,7 +83,11 @@ pub fn reverse_rows(a: &Matrix) -> Matrix {
 /// Horizontal concatenation `[A | B]` (cbind).
 pub fn hconcat(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.rows() != b.rows() {
-        return Err(LinalgError::DimensionMismatch { op: "hconcat", lhs: a.shape(), rhs: b.shape() });
+        return Err(LinalgError::DimensionMismatch {
+            op: "hconcat",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     let mut out = DenseMatrix::zeros(a.rows(), a.cols() + b.cols());
     for r in 0..a.rows() {
@@ -100,7 +104,11 @@ pub fn hconcat(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// Vertical concatenation (rbind).
 pub fn vconcat(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.cols() != b.cols() {
-        return Err(LinalgError::DimensionMismatch { op: "vconcat", lhs: a.shape(), rhs: b.shape() });
+        return Err(LinalgError::DimensionMismatch {
+            op: "vconcat",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     let mut out = DenseMatrix::zeros(a.rows() + b.rows(), a.cols());
     for r in 0..a.rows() {

@@ -2,37 +2,41 @@
 //! instantiate the paper's synthetic datasets (Table 5) and sparse
 //! stand-ins for its real datasets (Table 4).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::dense::DenseMatrix;
 use crate::matrix::Matrix;
+use crate::rng::Rng64;
 use crate::sparse::SparseMatrix;
 
 /// Uniform `[0, 1)` dense matrix with a fixed seed.
 pub fn random_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen::<f64>()).collect();
+    let mut rng = Rng64::new(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.next_f64()).collect();
     DenseMatrix::from_vec(rows, cols, data)
 }
 
 /// Uniform `[lo, hi)` dense matrix.
-pub fn random_dense_range(rows: usize, cols: usize, lo: f64, hi: f64, seed: u64) -> DenseMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+pub fn random_dense_range(
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> DenseMatrix {
+    let mut rng = Rng64::new(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.range_f64(lo, hi)).collect();
     DenseMatrix::from_vec(rows, cols, data)
 }
 
 /// Sparse matrix with approximately `density * rows * cols` non-zeros drawn
 /// uniformly (values in `[0.5, 1.5)` so entries never cancel to zero).
 pub fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> SparseMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let target = ((rows * cols) as f64 * density).round() as usize;
     let mut triplets = Vec::with_capacity(target);
     for _ in 0..target {
-        let r = rng.gen_range(0..rows.max(1));
-        let c = rng.gen_range(0..cols.max(1));
-        triplets.push((r, c, rng.gen_range(0.5..1.5)));
+        let r = rng.range_usize(rows.max(1));
+        let c = rng.range_usize(cols.max(1));
+        triplets.push((r, c, rng.range_f64(0.5, 1.5)));
     }
     SparseMatrix::from_triplets(rows, cols, triplets)
 }
@@ -47,17 +51,17 @@ pub fn random_sparse_int(
     hi: i64,
     seed: u64,
 ) -> SparseMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let target = ((rows * cols) as f64 * density).round() as usize;
     let mut seen = std::collections::HashSet::with_capacity(target);
     let mut triplets = Vec::with_capacity(target);
     for _ in 0..target {
-        let r = rng.gen_range(0..rows.max(1));
-        let c = rng.gen_range(0..cols.max(1));
+        let r = rng.range_usize(rows.max(1));
+        let c = rng.range_usize(cols.max(1));
         // Skip duplicate coordinates: summed duplicates would leave the
         // declared value range.
         if seen.insert((r, c)) {
-            triplets.push((r, c, rng.gen_range(lo..=hi) as f64));
+            triplets.push((r, c, rng.range_i64(lo, hi) as f64));
         }
     }
     SparseMatrix::from_triplets(rows, cols, triplets)

@@ -1,0 +1,121 @@
+//! Minimal deterministic PRNG (splitmix64 seeding + xoshiro256**) so the
+//! workspace builds without external crates. Only the handful of draws the
+//! generators in [`crate::rand_gen`] need are provided; statistical quality
+//! is more than sufficient for synthetic benchmark matrices.
+
+/// Deterministic, seedable PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Seeds the generator; equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng64 { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // the matrix-dimension ranges used here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform integer draw in the inclusive range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(43);
+        assert_ne!(Rng64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::new(7);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_domain() {
+        let mut r = Rng64::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[r.range_usize(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn i64_range_is_inclusive() {
+        let mut r = Rng64::new(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            let v = r.range_i64(1, 5);
+            assert!((1..=5).contains(&v));
+            lo_seen |= v == 1;
+            hi_seen |= v == 5;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut r = Rng64::new(123);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+}

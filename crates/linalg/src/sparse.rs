@@ -34,7 +34,7 @@ impl SparseMatrix {
             })
             .filter(|&(_, _, v)| v != 0.0)
             .collect();
-        trips.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        trips.sort_unstable_by_key(|t| (t.0, t.1));
 
         let mut indptr = vec![0usize; rows + 1];
         let mut indices = Vec::with_capacity(trips.len());
@@ -55,8 +55,6 @@ impl SparseMatrix {
         // Forward-fill row pointers for empty rows.
         for r in 0..rows {
             if indptr[r + 1] < indptr[r] {
-                indptr[r + 1] = indptr[r];
-            } else if indptr[r + 1] == 0 {
                 indptr[r + 1] = indptr[r];
             }
         }

@@ -165,8 +165,7 @@ mod tests {
     fn join_handles_duplicate_probe_keys() {
         let j = hash_join(&tweets(), "uid", &users(), "id");
         // User 1 posted two tweets.
-        let uid_one =
-            (0..j.num_rows()).filter(|&r| j.value(r, "uid") == Value::Int(1)).count();
+        let uid_one = (0..j.num_rows()).filter(|&r| j.value(r, "uid") == Value::Int(1)).count();
         assert_eq!(uid_one, 2);
     }
 

@@ -1,0 +1,130 @@
+//! Micro-benchmark for `Optimizer::rewrite` on three pipeline sizes,
+//! emitting `BENCH_rewrite.json` (first point of the perf trajectory).
+//!
+//! Each pipeline is rewritten, then both the original and the winning plan
+//! are executed on the dense backend to report measured — not only
+//! estimated — speedups.
+
+use std::time::Instant;
+
+use hadad_core::expr::dsl::*;
+use hadad_core::{Expr, MatrixMeta, MetaCatalog};
+use hadad_linalg::{rand_gen, Matrix};
+use hadad_rewrite::{eval, Env, Optimizer};
+
+struct Pipeline {
+    name: &'static str,
+    expr: Expr,
+    cat: MetaCatalog,
+    env: Env,
+}
+
+fn trace_pipeline(n: usize, k: usize) -> Pipeline {
+    let mut cat = MetaCatalog::new();
+    cat.register("A", MatrixMeta::dense(n, k));
+    cat.register("B", MatrixMeta::dense(k, n));
+    let mut env = Env::new();
+    env.bind("A", Matrix::Dense(rand_gen::random_dense(n, k, 11)));
+    env.bind("B", Matrix::Dense(rand_gen::random_dense(k, n, 12)));
+    Pipeline { name: "trace_cyclic", expr: trace(mul(m("A"), m("B"))), cat, env }
+}
+
+fn chain_pipeline(n: usize, k: usize) -> Pipeline {
+    let mut cat = MetaCatalog::new();
+    cat.register("A", MatrixMeta::dense(n, k));
+    cat.register("B", MatrixMeta::dense(k, n));
+    cat.register("x", MatrixMeta::dense(n, 1));
+    let mut env = Env::new();
+    env.bind("A", Matrix::Dense(rand_gen::random_dense(n, k, 21)));
+    env.bind("B", Matrix::Dense(rand_gen::random_dense(k, n, 22)));
+    env.bind("x", Matrix::Dense(rand_gen::random_dense(n, 1, 23)));
+    Pipeline { name: "matvec_chain", expr: mul(mul(m("A"), m("B")), m("x")), cat, env }
+}
+
+fn decomposition_pipeline(n: usize) -> Pipeline {
+    let mut cat = MetaCatalog::new();
+    cat.register("D", MatrixMeta::dense(n, n));
+    let mut env = Env::new();
+    env.bind("D", Matrix::Dense(rand_gen::random_invertible(n, 31)));
+    Pipeline {
+        name: "qr_reuse",
+        expr: trace(mul(Expr::QrQ(Box::new(m("D"))), Expr::QrR(Box::new(m("D"))))),
+        cat,
+        env,
+    }
+}
+
+fn time_exec(e: &Expr, env: &Env, reps: u32) -> f64 {
+    // One warm-up, then the mean of `reps` runs, in microseconds.
+    let _ = eval(e, env).expect("pipeline evaluates");
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = eval(e, env).expect("pipeline evaluates");
+    }
+    start.elapsed().as_micros() as f64 / reps as f64
+}
+
+fn main() {
+    let pipelines =
+        vec![trace_pipeline(400, 8), chain_pipeline(300, 40), decomposition_pipeline(60)];
+
+    let mut rows = Vec::new();
+    for p in &pipelines {
+        let opt = Optimizer::new(p.cat.clone());
+        // Time the rewrite itself (mean of several runs; it is pure).
+        let reps = 5;
+        let start = Instant::now();
+        let mut ranked = opt.rewrite(&p.expr).expect("rewrite succeeds");
+        for _ in 1..reps {
+            ranked = opt.rewrite(&p.expr).expect("rewrite succeeds");
+        }
+        let rewrite_us = start.elapsed().as_micros() as f64 / reps as f64;
+
+        let best = ranked.best().clone();
+        let equivalent = opt
+            .check_equivalent(&p.expr, &best.expr, &p.env, 1e-9)
+            .expect("both plans evaluate");
+        let orig_exec_us = time_exec(&p.expr, &p.env, 3);
+        let best_exec_us = time_exec(&best.expr, &p.env, 3);
+
+        println!(
+            "{:<14} {:>10.0}us rewrite | {} -> {} | est x{:.1} | exec {:.0}us -> {:.0}us | equivalent: {}",
+            p.name,
+            rewrite_us,
+            p.expr,
+            best.expr,
+            ranked.est_speedup(),
+            orig_exec_us,
+            best_exec_us,
+            equivalent,
+        );
+
+        rows.push(format!(
+            concat!(
+                "    {{\"pipeline\": \"{}\", \"nodes\": {}, \"rewrite_us\": {:.1}, ",
+                "\"candidates\": {}, \"chase_facts\": {}, \"original\": \"{}\", ",
+                "\"best\": \"{}\", \"est_cost_original\": {:.1}, \"est_cost_best\": {:.1}, ",
+                "\"exec_us_original\": {:.1}, \"exec_us_best\": {:.1}, \"equivalent\": {}}}"
+            ),
+            p.name,
+            p.expr.node_count(),
+            rewrite_us,
+            ranked.report.num_candidates,
+            ranked.report.num_facts,
+            p.expr,
+            best.expr,
+            ranked.original.est_cost,
+            best.est_cost,
+            orig_exec_us,
+            best_exec_us,
+            equivalent,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"Optimizer::rewrite\",\n  \"pipelines\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_rewrite.json", &json).expect("write BENCH_rewrite.json");
+    println!("wrote BENCH_rewrite.json");
+}

@@ -1,0 +1,332 @@
+//! Cost estimation for candidate plans (paper §7.1–§7.2).
+//!
+//! Two estimators cooperate:
+//!
+//! * [`FlopsCost`] — a shape-only dense-flops model implementing
+//!   [`ExtractionCost`]. It guides the e-graph extraction DP, where only
+//!   class shapes are known (chase-created intermediates carry no
+//!   sparsity facts).
+//! * [`CostModel`] — the naïve metadata estimator of §7.2.1 over full
+//!   expressions: propagates shapes *and* densities from
+//!   [`MetaCatalog`] entries (nnz counts come from the same metadata files
+//!   the MNC histograms of §7.2.2 are built from), charging flops plus
+//!   intermediate materialization. Used to rank the extracted candidates.
+
+use hadad_core::{Expr, ExtractionCost, MetaCatalog, OpKind, ShapeError};
+
+/// Weight of one materialized output cell relative to one flop.
+const MEM_WEIGHT: f64 = 0.5;
+
+/// Dense flop estimate for one operator application (children excluded).
+fn dense_op_flops(kind: OpKind, child: &[(usize, usize)], out: (usize, usize)) -> f64 {
+    use OpKind::*;
+    let cells = |s: (usize, usize)| s.0 as f64 * s.1 as f64;
+    let n = child.first().map_or(1.0, |&(r, _)| r as f64);
+    match kind {
+        Mul => 2.0 * child[0].0 as f64 * child[0].1 as f64 * child[1].1 as f64,
+        Add | Hadamard | Div => cells(child[0]),
+        ScalarMul => cells(child[1]),
+        Kron => cells(out),
+        DirectSum => cells(out),
+        Transpose | Rev => cells(child[0]),
+        Inv => 2.0 * n * n * n,
+        Adj => 2.0 * n * n * n * n,
+        Exp => 30.0 * n * n * n,
+        Det => n * n * n,
+        Cho => n * n * n / 3.0,
+        Qr => 2.0 * n * n * n,
+        Lu => 2.0 * n * n * n / 3.0,
+        Diag | Trace => n,
+        RowSums | ColSums | RowMeans | ColMeans | RowMin | RowMax | ColMin | ColMax | Sum
+        | Min | Max | Mean => cells(child[0]),
+        RowVar | ColVar | Var => 2.0 * cells(child[0]),
+    }
+}
+
+/// Shape-only cost for the extraction DP: dense flops plus a memory charge
+/// for the materialized output.
+pub struct FlopsCost;
+
+impl ExtractionCost for FlopsCost {
+    fn leaf_cost(&self, _shape: (usize, usize)) -> f64 {
+        // Base matrices and literals are already materialized.
+        0.0
+    }
+
+    fn op_cost(
+        &self,
+        kind: OpKind,
+        _out_idx: usize,
+        child_shapes: &[(usize, usize)],
+        out_shape: (usize, usize),
+    ) -> f64 {
+        dense_op_flops(kind, child_shapes, out_shape)
+            + MEM_WEIGHT * out_shape.0 as f64 * out_shape.1 as f64
+    }
+}
+
+/// Shape + density estimate of a subexpression.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimate {
+    pub rows: usize,
+    pub cols: usize,
+    /// Estimated fraction of non-zero cells in `[0, 1]`.
+    pub density: f64,
+    /// Accumulated cost of computing the subexpression.
+    pub cost: f64,
+}
+
+impl Estimate {
+    fn cells(&self) -> f64 {
+        self.rows as f64 * self.cols as f64
+    }
+
+    fn nnz(&self) -> f64 {
+        self.cells() * self.density
+    }
+}
+
+/// The naïve sparsity-aware estimator over full expressions.
+pub struct CostModel<'a> {
+    cat: &'a MetaCatalog,
+}
+
+impl<'a> CostModel<'a> {
+    pub fn new(cat: &'a MetaCatalog) -> Self {
+        CostModel { cat }
+    }
+
+    /// Total estimated cost of evaluating `e`.
+    pub fn cost(&self, e: &Expr) -> Result<f64, ShapeError> {
+        Ok(self.estimate(e)?.cost)
+    }
+
+    /// Full shape/density/cost estimate of `e`.
+    pub fn estimate(&self, e: &Expr) -> Result<Estimate, ShapeError> {
+        use Expr::*;
+        let est = match e {
+            Mat(n) => {
+                let m = self.cat.get(n).ok_or_else(|| ShapeError::UnknownMatrix(n.clone()))?;
+                Estimate { rows: m.rows, cols: m.cols, density: m.density(), cost: 0.0 }
+            }
+            Const(_) => Estimate { rows: 1, cols: 1, density: 1.0, cost: 0.0 },
+            Identity(n) => {
+                Estimate { rows: *n, cols: *n, density: 1.0 / (*n).max(1) as f64, cost: 0.0 }
+            }
+            Zero(r, c) => Estimate { rows: *r, cols: *c, density: 0.0, cost: 0.0 },
+            Add(a, b) | Sub(a, b) => {
+                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
+                self.check_same(e, &ea, &eb)?;
+                // Union bound on non-zeros.
+                let density = (ea.density + eb.density).min(1.0);
+                self.combine(ea, eb, ea.rows, ea.cols, density, ea.cells())
+            }
+            Hadamard(a, b) => {
+                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
+                self.check_same(e, &ea, &eb)?;
+                let density = ea.density * eb.density;
+                self.combine(ea, eb, ea.rows, ea.cols, density, ea.nnz().min(eb.nnz()))
+            }
+            Div(a, b) => {
+                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
+                self.check_same(e, &ea, &eb)?;
+                self.combine(ea, eb, ea.rows, ea.cols, ea.density, ea.cells())
+            }
+            Mul(a, b) => {
+                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
+                if ea.cols != eb.rows {
+                    return Err(ShapeError::Mismatch(format!("{e}")));
+                }
+                let k = ea.cols as f64;
+                // Naïve independence estimate (§7.2.1): the chance a result
+                // cell stays zero is (1 - dA·dB)^k.
+                let density = 1.0 - (1.0 - ea.density * eb.density).powf(k);
+                let flops = 2.0 * ea.rows as f64 * k * eb.cols as f64 * ea.density * eb.density
+                    + ea.rows as f64 * eb.cols as f64;
+                self.combine(ea, eb, ea.rows, eb.cols, density.clamp(0.0, 1.0), flops)
+            }
+            Kron(a, b) => {
+                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
+                let rows = ea.rows * eb.rows;
+                let cols = ea.cols * eb.cols;
+                self.combine(ea, eb, rows, cols, ea.density * eb.density, ea.nnz() * eb.nnz())
+            }
+            DirectSum(a, b) => {
+                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
+                let rows = ea.rows + eb.rows;
+                let cols = ea.cols + eb.cols;
+                let cells = rows as f64 * cols as f64;
+                let density = if cells == 0.0 { 0.0 } else { (ea.nnz() + eb.nnz()) / cells };
+                self.combine(ea, eb, rows, cols, density, ea.nnz() + eb.nnz())
+            }
+            ScalarMul(s, a) => {
+                let (es, ea) = (self.estimate(s)?, self.estimate(a)?);
+                if (es.rows, es.cols) != (1, 1) {
+                    return Err(ShapeError::Mismatch(format!("non-scalar multiplier in {e}")));
+                }
+                self.combine(es, ea, ea.rows, ea.cols, ea.density, ea.nnz())
+            }
+            Transpose(a) | Rev(a) => {
+                let ea = self.estimate(a)?;
+                let (rows, cols) = if matches!(e, Transpose(_)) {
+                    (ea.cols, ea.rows)
+                } else {
+                    (ea.rows, ea.cols)
+                };
+                self.unary(ea, rows, cols, ea.density, ea.nnz())
+            }
+            Inv(a) | Adj(a) | Exp(a) => {
+                let ea = self.square_input(e, a)?;
+                let n = ea.rows as f64;
+                let flops = match e {
+                    Inv(_) => 2.0 * n * n * n,
+                    Adj(_) => 2.0 * n * n * n * n,
+                    _ => 30.0 * n * n * n,
+                };
+                // Inverses/exponentials of sparse matrices are dense.
+                self.unary(ea, ea.rows, ea.cols, 1.0, flops)
+            }
+            Cho(a) => {
+                let ea = self.square_input(e, a)?;
+                let n = ea.rows as f64;
+                self.unary(ea, ea.rows, ea.cols, 0.5, n * n * n / 3.0)
+            }
+            QrQ(a) | QrR(a) => {
+                let ea = self.square_input(e, a)?;
+                let n = ea.rows as f64;
+                let density = if matches!(e, QrQ(_)) { 1.0 } else { 0.5 };
+                self.unary(ea, ea.rows, ea.cols, density, 2.0 * n * n * n)
+            }
+            LuL(a) | LuU(a) => {
+                let ea = self.square_input(e, a)?;
+                let n = ea.rows as f64;
+                self.unary(ea, ea.rows, ea.cols, 0.5, 2.0 * n * n * n / 3.0)
+            }
+            Diag(a) => {
+                let ea = self.square_input(e, a)?;
+                self.unary(ea, ea.rows, 1, ea.density.min(1.0), ea.rows as f64)
+            }
+            RowSums(a) | RowMeans(a) | RowMin(a) | RowMax(a) | RowVar(a) => {
+                let ea = self.estimate(a)?;
+                self.unary(ea, ea.rows, 1, 1.0, ea.cells())
+            }
+            ColSums(a) | ColMeans(a) | ColMin(a) | ColMax(a) | ColVar(a) => {
+                let ea = self.estimate(a)?;
+                self.unary(ea, 1, ea.cols, 1.0, ea.cells())
+            }
+            Det(a) | Trace(a) => {
+                let ea = self.square_input(e, a)?;
+                let n = ea.rows as f64;
+                let flops = if matches!(e, Det(_)) { n * n * n } else { n };
+                self.unary(ea, 1, 1, 1.0, flops)
+            }
+            Sum(a) | Min(a) | Max(a) | Mean(a) | Var(a) => {
+                let ea = self.estimate(a)?;
+                self.unary(ea, 1, 1, 1.0, ea.cells())
+            }
+        };
+        Ok(est)
+    }
+
+    fn check_same(&self, e: &Expr, a: &Estimate, b: &Estimate) -> Result<(), ShapeError> {
+        if (a.rows, a.cols) != (b.rows, b.cols) {
+            return Err(ShapeError::Mismatch(format!("{e}")));
+        }
+        Ok(())
+    }
+
+    fn square_input(&self, e: &Expr, a: &Expr) -> Result<Estimate, ShapeError> {
+        let ea = self.estimate(a)?;
+        if ea.rows != ea.cols {
+            return Err(ShapeError::Mismatch(format!("{e} requires square input")));
+        }
+        Ok(ea)
+    }
+
+    fn combine(
+        &self,
+        a: Estimate,
+        b: Estimate,
+        rows: usize,
+        cols: usize,
+        density: f64,
+        flops: f64,
+    ) -> Estimate {
+        let out = Estimate { rows, cols, density, cost: 0.0 };
+        Estimate { cost: a.cost + b.cost + flops + MEM_WEIGHT * out.nnz(), ..out }
+    }
+
+    fn unary(
+        &self,
+        a: Estimate,
+        rows: usize,
+        cols: usize,
+        density: f64,
+        flops: f64,
+    ) -> Estimate {
+        let out = Estimate { rows, cols, density, cost: 0.0 };
+        Estimate { cost: a.cost + flops + MEM_WEIGHT * out.nnz(), ..out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadad_core::expr::dsl::*;
+    use hadad_core::MatrixMeta;
+
+    fn cat() -> MetaCatalog {
+        let mut c = MetaCatalog::new();
+        c.register("A", MatrixMeta::dense(30, 4));
+        c.register("B", MatrixMeta::dense(4, 30));
+        c.register("S", MatrixMeta::sparse(1000, 1000, 5000));
+        c
+    }
+
+    #[test]
+    fn rotated_trace_is_cheaper() {
+        let c = cat();
+        let cm = CostModel::new(&c);
+        let ab = cm.cost(&trace(mul(m("A"), m("B")))).unwrap();
+        let ba = cm.cost(&trace(mul(m("B"), m("A")))).unwrap();
+        assert!(ba < ab, "trace(BA)={ba} should beat trace(AB)={ab}");
+    }
+
+    #[test]
+    fn right_deep_chain_is_cheaper() {
+        let mut c = cat();
+        c.register("x", MatrixMeta::dense(30, 1));
+        let cm = CostModel::new(&c);
+        let left = cm.cost(&mul(mul(m("A"), m("B")), m("x"))).unwrap();
+        let right = cm.cost(&mul(m("A"), mul(m("B"), m("x")))).unwrap();
+        assert!(right < left);
+    }
+
+    #[test]
+    fn sparsity_lowers_product_cost() {
+        let c = cat();
+        let cm = CostModel::new(&c);
+        let sparse = cm.cost(&mul(m("S"), m("S"))).unwrap();
+        let mut dense_cat = MetaCatalog::new();
+        dense_cat.register("S", MatrixMeta::dense(1000, 1000));
+        let dense = CostModel::new(&dense_cat).cost(&mul(m("S"), m("S"))).unwrap();
+        assert!(sparse < dense / 10.0, "sparse={sparse} dense={dense}");
+    }
+
+    #[test]
+    fn shape_errors_surface() {
+        let c = cat();
+        let cm = CostModel::new(&c);
+        assert!(cm.cost(&add(m("A"), m("B"))).is_err());
+        assert!(cm.cost(&m("missing")).is_err());
+    }
+
+    #[test]
+    fn flops_cost_orders_mul_shapes() {
+        use hadad_core::ExtractionCost;
+        let f = FlopsCost;
+        let big = f.op_cost(OpKind::Mul, 0, &[(30, 4), (4, 30)], (30, 30));
+        let small = f.op_cost(OpKind::Mul, 0, &[(4, 30), (30, 4)], (4, 4));
+        assert!(small < big);
+    }
+}

@@ -1,0 +1,197 @@
+//! Expression evaluation on the `hadad-linalg` backends: the execution hook
+//! the optimizer uses to check a rewriting's output against the original
+//! (machine-checkable soundness, paper Theorem 8.1) and the substrate the
+//! benchmarks time.
+
+use std::collections::HashMap;
+
+use hadad_core::Expr;
+use hadad_linalg::ops::{aggregates, structural};
+use hadad_linalg::{decomp, LinalgError, Matrix};
+
+/// Named matrix bindings for evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: HashMap<String, Matrix>,
+}
+
+impl Env {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn bind(&mut self, name: impl Into<String>, m: Matrix) -> &mut Self {
+        self.bindings.insert(name.into(), m);
+        self
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.bindings.get(name)
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug)]
+pub enum EvalError {
+    /// The expression references a matrix the environment does not bind.
+    Unbound(String),
+    /// A scalar position held a non-1x1 matrix.
+    NonScalar(String),
+    /// Kernel-level failure (shape mismatch, singular matrix, ...).
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Unbound(n) => write!(f, "unbound matrix {n}"),
+            EvalError::NonScalar(e) => write!(f, "non-scalar multiplier in {e}"),
+            EvalError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<LinalgError> for EvalError {
+    fn from(e: LinalgError) -> Self {
+        EvalError::Linalg(e)
+    }
+}
+
+/// Evaluates `e` under `env`, dispatching to dense/sparse kernels.
+/// `qr.Q`/`qr.R` (and `lu.L`/`lu.U`) of the same operand share one
+/// factorization per call; other repeated subexpressions are re-evaluated
+/// (general CSE is a ROADMAP item).
+pub fn eval(e: &Expr, env: &Env) -> Result<Matrix, EvalError> {
+    let mut memo: HashMap<String, Matrix> = HashMap::new();
+    eval_memo(e, env, &mut memo)
+}
+
+/// QR/LU factorizations memoized per input subexpression, so an
+/// expression using both components factors once, matching how the
+/// encoder shares one VREM fact for the pair.
+fn decomp_pair(
+    e: &Expr,
+    a: &Expr,
+    env: &Env,
+    memo: &mut HashMap<String, Matrix>,
+) -> Result<Matrix, EvalError> {
+    use Expr::*;
+    let (tag, first) = match e {
+        QrQ(_) => ("QR", true),
+        QrR(_) => ("QR", false),
+        LuL(_) => ("LU", true),
+        _ => ("LU", false),
+    };
+    let (key1, key2) = (format!("{tag}.1({a})"), format!("{tag}.2({a})"));
+    let key = if first { key1.clone() } else { key2.clone() };
+    if let Some(m) = memo.get(&key) {
+        return Ok(m.clone());
+    }
+    let input = eval_memo(a, env, memo)?;
+    let (c1, c2) = if tag == "QR" { decomp::qr::qr(&input)? } else { decomp::lu::lu(&input)? };
+    memo.insert(key1, Matrix::Dense(c1));
+    memo.insert(key2, Matrix::Dense(c2));
+    Ok(memo[&key].clone())
+}
+
+fn eval_memo(
+    e: &Expr,
+    env: &Env,
+    memo: &mut HashMap<String, Matrix>,
+) -> Result<Matrix, EvalError> {
+    use Expr::*;
+    Ok(match e {
+        Mat(n) => env.get(n).ok_or_else(|| EvalError::Unbound(n.clone()))?.clone(),
+        Const(v) => Matrix::scalar(*v),
+        Identity(n) => Matrix::identity(*n),
+        Zero(r, c) => Matrix::zeros(*r, *c),
+        Add(a, b) => eval_memo(a, env, memo)?.add(&eval_memo(b, env, memo)?)?,
+        Sub(a, b) => eval_memo(a, env, memo)?.sub(&eval_memo(b, env, memo)?)?,
+        Mul(a, b) => eval_memo(a, env, memo)?.multiply(&eval_memo(b, env, memo)?)?,
+        Hadamard(a, b) => eval_memo(a, env, memo)?.hadamard(&eval_memo(b, env, memo)?)?,
+        Div(a, b) => eval_memo(a, env, memo)?.divide(&eval_memo(b, env, memo)?)?,
+        Kron(a, b) => {
+            structural::kronecker(&eval_memo(a, env, memo)?, &eval_memo(b, env, memo)?)
+        }
+        DirectSum(a, b) => {
+            structural::direct_sum(&eval_memo(a, env, memo)?, &eval_memo(b, env, memo)?)
+        }
+        ScalarMul(s, a) => {
+            let sv = eval_memo(s, env, memo)?
+                .as_scalar()
+                .ok_or_else(|| EvalError::NonScalar(e.to_string()))?;
+            eval_memo(a, env, memo)?.scalar_mul(sv)
+        }
+        Transpose(a) => eval_memo(a, env, memo)?.transpose(),
+        Inv(a) => eval_memo(a, env, memo)?.inverse()?,
+        Adj(a) => decomp::adjugate::adjugate(&eval_memo(a, env, memo)?)?,
+        Exp(a) => decomp::exp::matrix_exp(&eval_memo(a, env, memo)?)?,
+        Diag(a) => structural::diag(&eval_memo(a, env, memo)?)?,
+        Rev(a) => structural::reverse_rows(&eval_memo(a, env, memo)?),
+        RowSums(a) => aggregates::row_sums(&eval_memo(a, env, memo)?),
+        ColSums(a) => aggregates::col_sums(&eval_memo(a, env, memo)?),
+        RowMeans(a) => aggregates::row_means(&eval_memo(a, env, memo)?),
+        ColMeans(a) => aggregates::col_means(&eval_memo(a, env, memo)?),
+        RowMin(a) => aggregates::row_min(&eval_memo(a, env, memo)?),
+        RowMax(a) => aggregates::row_max(&eval_memo(a, env, memo)?),
+        ColMin(a) => aggregates::col_min(&eval_memo(a, env, memo)?),
+        ColMax(a) => aggregates::col_max(&eval_memo(a, env, memo)?),
+        RowVar(a) => aggregates::row_var(&eval_memo(a, env, memo)?),
+        ColVar(a) => aggregates::col_var(&eval_memo(a, env, memo)?),
+        Det(a) => Matrix::scalar(eval_memo(a, env, memo)?.det()?),
+        Trace(a) => Matrix::scalar(eval_memo(a, env, memo)?.trace()?),
+        Sum(a) => Matrix::scalar(eval_memo(a, env, memo)?.sum()),
+        Min(a) => Matrix::scalar(aggregates::min(&eval_memo(a, env, memo)?)),
+        Max(a) => Matrix::scalar(aggregates::max(&eval_memo(a, env, memo)?)),
+        Mean(a) => Matrix::scalar(aggregates::mean(&eval_memo(a, env, memo)?)),
+        Var(a) => Matrix::scalar(aggregates::var(&eval_memo(a, env, memo)?)),
+        Cho(a) => Matrix::Dense(decomp::cholesky::cholesky(&eval_memo(a, env, memo)?)?),
+        QrQ(a) | QrR(a) | LuL(a) | LuU(a) => decomp_pair(e, a, env, memo)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadad_core::expr::dsl::*;
+    use hadad_linalg::{approx_eq, rand_gen};
+
+    #[test]
+    fn evaluates_arithmetic() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::dense(2, 2, vec![1., 2., 3., 4.]));
+        env.bind("B", Matrix::dense(2, 2, vec![5., 6., 7., 8.]));
+        let sum = eval(&add(m("A"), m("B")), &env).unwrap();
+        assert_eq!(sum.get(0, 0), 6.0);
+        let prod = eval(&mul(m("A"), m("B")), &env).unwrap();
+        assert_eq!(prod.get(0, 0), 19.0);
+        let d = eval(&sub(m("A"), m("B")), &env).unwrap();
+        assert_eq!(d.get(1, 1), -4.0);
+    }
+
+    #[test]
+    fn scalar_positions_are_checked() {
+        let mut env = Env::new();
+        env.bind("A", Matrix::dense(2, 2, vec![1., 2., 3., 4.]));
+        assert!(matches!(eval(&smul(m("A"), m("A")), &env), Err(EvalError::NonScalar(_))));
+        assert!(matches!(eval(&m("missing"), &env), Err(EvalError::Unbound(_))));
+    }
+
+    #[test]
+    fn decompositions_recompose() {
+        let mut env = Env::new();
+        let d = Matrix::Dense(rand_gen::random_invertible(8, 3));
+        env.bind("D", d.clone());
+        let q_r = eval(
+            &mul(
+                hadad_core::Expr::QrQ(Box::new(m("D"))),
+                hadad_core::Expr::QrR(Box::new(m("D"))),
+            ),
+            &env,
+        )
+        .unwrap();
+        assert!(approx_eq(&q_r, &d, 1e-9));
+    }
+}

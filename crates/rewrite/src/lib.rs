@@ -1,0 +1,26 @@
+//! End-to-end HADAD rewriting: the optimizer facade tying the VREM
+//! encoding (`hadad-core`), the chase under the MMC catalogue
+//! (`hadad-chase`), min-cost decoding, cost-based ranking, and execution
+//! on the matrix backends (`hadad-linalg`) into one call:
+//!
+//! ```
+//! use hadad_core::{expr::dsl::*, MatrixMeta, MetaCatalog};
+//! use hadad_rewrite::Optimizer;
+//!
+//! let mut cat = MetaCatalog::new();
+//! cat.register("A", MatrixMeta::dense(1000, 20));
+//! cat.register("B", MatrixMeta::dense(20, 1000));
+//! let opt = Optimizer::new(cat);
+//!
+//! // trace(A B) is a 1000x1000 intermediate; trace(B A) is 20x20.
+//! let ranked = opt.rewrite(&trace(mul(m("A"), m("B")))).unwrap();
+//! assert_eq!(ranked.best().expr.to_string(), "trace((B A))");
+//! ```
+
+pub mod cost;
+pub mod eval;
+pub mod optimizer;
+
+pub use cost::{CostModel, Estimate, FlopsCost};
+pub use eval::{eval, Env, EvalError};
+pub use optimizer::{Optimizer, Plan, RankedPlans, RewriteError, RewriteReport};

@@ -1,0 +1,250 @@
+//! The end-to-end rewriting facade: encode → chase under the MMC
+//! catalogue → decode candidates → rank by estimated cost → (optionally)
+//! execute to check semantic equivalence.
+//!
+//! This is the paper's §4–§7 loop specialized to pure LA inputs: the chase
+//! saturates the VREM encoding of the input expression under `LAprop`, and
+//! cost-ranked extraction from the saturated instance plays the role of
+//! the backchase — every candidate it returns is a full reformulation
+//! justified by the constraints, and the cost model picks the winner.
+
+use std::time::Instant;
+
+use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome};
+use hadad_core::{Catalogue, Encoder, Expr, Extractor, MetaCatalog, ShapeError, Vrem};
+use hadad_linalg::{approx_eq, Matrix};
+
+use crate::cost::{CostModel, FlopsCost};
+use crate::eval::{eval, Env, EvalError};
+
+/// One candidate plan: an expression equivalent to the input under the
+/// catalogue, with its estimated cost.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub expr: Expr,
+    pub est_cost: f64,
+}
+
+/// Diagnostics from one `rewrite` call.
+#[derive(Debug, Clone)]
+pub struct RewriteReport {
+    pub chase_outcome: ChaseOutcome,
+    pub chase_rounds: usize,
+    pub num_facts: usize,
+    pub num_candidates: usize,
+    pub elapsed_us: u128,
+}
+
+/// Result of `Optimizer::rewrite`: the original plan plus all candidate
+/// reformulations, cheapest first.
+#[derive(Debug, Clone)]
+pub struct RankedPlans {
+    pub original: Plan,
+    /// Candidates sorted by ascending estimated cost (the original
+    /// expression is among them whenever extraction can rebuild it).
+    pub plans: Vec<Plan>,
+    pub report: RewriteReport,
+}
+
+impl RankedPlans {
+    /// The cheapest plan (falls back to the original when the chase or
+    /// extraction produced nothing better).
+    pub fn best(&self) -> &Plan {
+        self.plans.first().unwrap_or(&self.original)
+    }
+
+    /// Estimated speedup of the best plan over the original. A zero-cost
+    /// best plan (a rewrite onto an already-materialized matrix) yields
+    /// `f64::INFINITY` rather than masking the win.
+    pub fn est_speedup(&self) -> f64 {
+        if self.best().est_cost > 0.0 {
+            self.original.est_cost / self.best().est_cost
+        } else if self.original.est_cost > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Rewriting failure.
+#[derive(Debug)]
+pub enum RewriteError {
+    Shape(ShapeError),
+    /// The reference expression failed to evaluate in `rewrite_verified`.
+    Eval(EvalError),
+    /// The root class could not be decoded (should not happen for
+    /// well-formed encodings; kept explicit instead of panicking).
+    NoPlan,
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::Shape(e) => write!(f, "{e}"),
+            RewriteError::Eval(e) => write!(f, "original failed to evaluate: {e}"),
+            RewriteError::NoPlan => write!(f, "no plan could be extracted"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<ShapeError> for RewriteError {
+    fn from(e: ShapeError) -> Self {
+        RewriteError::Shape(e)
+    }
+}
+
+/// The optimizer facade.
+pub struct Optimizer {
+    pub cat: MetaCatalog,
+    pub budget: ChaseBudget,
+}
+
+impl Optimizer {
+    pub fn new(cat: MetaCatalog) -> Self {
+        Optimizer {
+            cat,
+            // Tighter than the chase default: rewriting works expression by
+            // expression, so instances are small and saturate quickly.
+            budget: ChaseBudget { max_rounds: 8, max_facts: 30_000, max_nulls: 15_000 },
+        }
+    }
+
+    pub fn with_budget(mut self, budget: ChaseBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Rewrites `e` into cost-ranked equivalent plans.
+    pub fn rewrite(&self, e: &Expr) -> Result<RankedPlans, RewriteError> {
+        let start = Instant::now();
+        let cm = CostModel::new(&self.cat);
+        let original = Plan { expr: e.clone(), est_cost: cm.cost(e)? };
+
+        let mut vrem = Vrem::new();
+        let encoded = Encoder::new(&mut vrem, &self.cat).encode(e)?;
+        let catalogue = Catalogue::standard(&mut vrem);
+        let engine = ChaseEngine::new(catalogue.constraints).with_budget(self.budget);
+        let mut inst = encoded.instance;
+        let (chase_outcome, stats) = engine.chase(&mut inst);
+
+        let extractor = Extractor::new(&vrem, &inst, &FlopsCost);
+        let mut candidates = extractor.candidates(encoded.root);
+        if candidates.is_empty() {
+            // Un-chased leaf-only expressions still decode via `extract`.
+            candidates.extend(extractor.extract(encoded.root));
+        }
+        if candidates.is_empty() {
+            return Err(RewriteError::NoPlan);
+        }
+
+        let mut plans = Vec::with_capacity(candidates.len());
+        for expr in candidates.drain(..) {
+            // Candidates assembled from chase-created classes can in rare
+            // cases fall outside the metadata catalog (e.g. a literal the
+            // cost model cannot shape); skip rather than fail the call.
+            if let Ok(est_cost) = cm.cost(&expr) {
+                plans.push(Plan { expr, est_cost });
+            }
+        }
+        plans.sort_by(|a, b| {
+            a.est_cost.partial_cmp(&b.est_cost).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let report = RewriteReport {
+            chase_outcome,
+            chase_rounds: stats.rounds,
+            num_facts: inst.num_facts(),
+            num_candidates: plans.len(),
+            elapsed_us: start.elapsed().as_micros(),
+        };
+        Ok(RankedPlans { original, plans, report })
+    }
+
+    /// Execution hook: evaluates `original` and `candidate` on the linalg
+    /// backend and checks element-wise agreement within `rtol`.
+    pub fn check_equivalent(
+        &self,
+        original: &Expr,
+        candidate: &Expr,
+        env: &Env,
+        rtol: f64,
+    ) -> Result<bool, EvalError> {
+        let a = eval(original, env)?;
+        let b = eval(candidate, env)?;
+        Ok(approx_eq(&a, &b, rtol))
+    }
+
+    /// Rewrites `e`, then executes plans (cheapest first) against `env`
+    /// until one agrees with the original's value; returns that plan and
+    /// the matrices. A plan that fails to evaluate (e.g. a numerically
+    /// singular inverse) is skipped, mirroring the paper's stance that
+    /// rewritten plans must be machine-checked before being trusted.
+    pub fn rewrite_verified(
+        &self,
+        e: &Expr,
+        env: &Env,
+        rtol: f64,
+    ) -> Result<(RankedPlans, Plan, Matrix), RewriteError> {
+        let ranked = self.rewrite(e)?;
+        let reference = eval(e, env).map_err(RewriteError::Eval)?;
+        for plan in &ranked.plans {
+            if let Ok(value) = eval(&plan.expr, env) {
+                if approx_eq(&value, &reference, rtol) {
+                    let plan = plan.clone();
+                    return Ok((ranked, plan, reference));
+                }
+            }
+        }
+        let plan = ranked.original.clone();
+        Ok((ranked, plan, reference))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadad_core::expr::dsl::*;
+    use hadad_core::MatrixMeta;
+    use hadad_linalg::rand_gen;
+
+    fn trace_setup() -> (Optimizer, Env) {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(30, 4));
+        cat.register("B", MatrixMeta::dense(4, 30));
+        let mut env = Env::new();
+        env.bind("A", Matrix::Dense(rand_gen::random_dense(30, 4, 1)));
+        env.bind("B", Matrix::Dense(rand_gen::random_dense(4, 30, 2)));
+        (Optimizer::new(cat), env)
+    }
+
+    #[test]
+    fn trace_rotation_wins_and_verifies() {
+        let (opt, env) = trace_setup();
+        let e = trace(mul(m("A"), m("B")));
+        let ranked = opt.rewrite(&e).unwrap();
+        assert!(ranked.plans.len() >= 2, "plans: {}", ranked.plans.len());
+        assert_eq!(ranked.best().expr.to_string(), "trace((B A))");
+        assert!(ranked.est_speedup() > 2.0);
+        assert!(opt.check_equivalent(&e, &ranked.best().expr, &env, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn rewrite_verified_returns_checked_plan() {
+        let (opt, env) = trace_setup();
+        let e = trace(mul(m("A"), m("B")));
+        let (_, plan, _) = opt.rewrite_verified(&e, &env, 1e-9).unwrap();
+        assert_eq!(plan.expr.to_string(), "trace((B A))");
+    }
+
+    #[test]
+    fn leaf_expression_survives() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(3, 3));
+        let opt = Optimizer::new(cat);
+        let ranked = opt.rewrite(&m("A")).unwrap();
+        assert_eq!(ranked.best().expr, m("A"));
+    }
+}
