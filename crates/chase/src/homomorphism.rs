@@ -1,6 +1,13 @@
 //! Homomorphism (containment-mapping) enumeration: all ways to map a
 //! conjunction of atoms into an instance. This powers TGD/EGD premise
 //! matching in the chase and the query-match phase of PACB.
+//!
+//! Candidate facts for each atom are seeded from the instance's positional
+//! index whenever an argument is already bound (by an earlier atom or by a
+//! constant), instead of scanning every fact of the predicate. On top of
+//! that, [`for_each_match_since`] enumerates only matches that touch the
+//! *delta* — facts stamped after a watermark — which is the semi-naïve
+//! evaluation primitive the chase engine builds on.
 
 use std::collections::HashMap;
 
@@ -16,12 +23,94 @@ pub struct Match {
     pub fact_indices: Vec<usize>,
 }
 
+/// Stamp filter applied to the facts an atom may map to. The semi-naïve
+/// pivot decomposition assigns `OldOnly` to atoms before the pivot,
+/// `NewOnly` to the pivot, and `Any` after it, so each delta match is
+/// enumerated exactly once across pivots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StampReq {
+    Any,
+    /// Fact stamp must be `<= watermark`.
+    OldOnly,
+    /// Fact stamp must be `> watermark`.
+    NewOnly,
+}
+
 /// Enumerates homomorphisms of `atoms` into `inst`, invoking `sink` for
 /// each. `sink` returning `false` stops the search early.
 pub fn for_each_match(inst: &Instance, atoms: &[Atom], sink: &mut dyn FnMut(&Match) -> bool) {
-    let order = atom_order(inst, atoms);
+    let reqs = vec![StampReq::Any; atoms.len()];
+    let order = atom_order(inst, atoms, &reqs, 0);
     let mut m = Match { bindings: HashMap::new(), fact_indices: vec![usize::MAX; atoms.len()] };
-    search(inst, atoms, &order, 0, &mut m, &mut |mm| sink(mm));
+    search(inst, atoms, &order, &reqs, 0, 0, &mut m, &mut |mm| sink(mm));
+}
+
+/// Semi-naïve enumeration: only homomorphisms mapping at least one atom to
+/// a fact stamped after `watermark` (see [`Instance::clock`]). Each such
+/// match is produced exactly once. `watermark == 0` degenerates to full
+/// enumeration.
+pub fn for_each_match_since(
+    inst: &Instance,
+    atoms: &[Atom],
+    watermark: u64,
+    sink: &mut dyn FnMut(&Match) -> bool,
+) {
+    if watermark == 0 {
+        return for_each_match(inst, atoms, sink);
+    }
+    // An empty premise has one (empty) match, which involves no delta fact.
+    if atoms.is_empty() {
+        return;
+    }
+    for pivot in 0..atoms.len() {
+        // O(log n) skip: a pivot whose predicate gained no facts since the
+        // watermark contributes no matches. A rule whose premise preds all
+        // sit outside the delta therefore costs one lookup per atom.
+        if inst.facts_with_pred_since(atoms[pivot].pred, watermark).is_empty() {
+            continue;
+        }
+        let mut reqs = vec![StampReq::Any; atoms.len()];
+        for r in reqs.iter_mut().take(pivot) {
+            *r = StampReq::OldOnly;
+        }
+        reqs[pivot] = StampReq::NewOnly;
+        // Join order weighs each atom by its stamp-restricted cardinality:
+        // with a small delta the pivot leads; with a large one (heavy EGD
+        // churn) the small old prefix leads instead, keeping the total
+        // probe volume across pivots at roughly one full pass.
+        let order = atom_order(inst, atoms, &reqs, watermark);
+        let mut m =
+            Match { bindings: HashMap::new(), fact_indices: vec![usize::MAX; atoms.len()] };
+        if !search(inst, atoms, &order, &reqs, watermark, 0, &mut m, sink) {
+            return;
+        }
+    }
+}
+
+/// Like [`for_each_match_since`], but for *symmetric* two-atom premises —
+/// both atoms identical up to one equated variable, the [`crate::Egd::functional`]
+/// shape. The match set is closed under swapping the two atoms and a swap
+/// preserves the induced equality pair, so the single `Δ ⋈ any` pass covers
+/// every consequence of the delta: a `(old, new)` match is the mirror of a
+/// `(new, old)` one this pass enumerates. Halves the dominant EGD
+/// enumeration cost of the chase.
+pub fn for_each_match_since_symmetric(
+    inst: &Instance,
+    atoms: &[Atom],
+    watermark: u64,
+    sink: &mut dyn FnMut(&Match) -> bool,
+) {
+    debug_assert_eq!(atoms.len(), 2);
+    if watermark == 0 {
+        return for_each_match(inst, atoms, sink);
+    }
+    if inst.facts_with_pred_since(atoms[0].pred, watermark).is_empty() {
+        return;
+    }
+    let reqs = vec![StampReq::NewOnly, StampReq::Any];
+    let order = atom_order(inst, atoms, &reqs, watermark);
+    let mut m = Match { bindings: HashMap::new(), fact_indices: vec![usize::MAX; atoms.len()] };
+    search(inst, atoms, &order, &reqs, watermark, 0, &mut m, sink);
 }
 
 /// Collects all homomorphisms (convenience for tests and small workloads).
@@ -41,21 +130,27 @@ pub fn satisfiable_with(
     atoms: &[Atom],
     partial: &HashMap<u32, NodeId>,
 ) -> bool {
-    let order = atom_order(inst, atoms);
+    let reqs = vec![StampReq::Any; atoms.len()];
+    let order = atom_order(inst, atoms, &reqs, 0);
     let mut m =
         Match { bindings: partial.clone(), fact_indices: vec![usize::MAX; atoms.len()] };
     let mut found = false;
-    search(inst, atoms, &order, 0, &mut m, &mut |_| {
+    search(inst, atoms, &order, &reqs, 0, 0, &mut m, &mut |_| {
         found = true;
         false // stop at first witness
     });
     found
 }
 
-/// Greedy atom ordering: start from the most selective atom (fewest facts
-/// with that predicate), then prefer atoms sharing variables with what is
-/// already bound. A cheap, effective join order for chase workloads.
-fn atom_order(inst: &Instance, atoms: &[Atom]) -> Vec<usize> {
+/// Greedy atom ordering: start from the most selective atom — fewest facts
+/// admitted by its stamp requirement — then prefer atoms sharing variables
+/// with what is already bound.
+fn atom_order(
+    inst: &Instance,
+    atoms: &[Atom],
+    reqs: &[StampReq],
+    watermark: u64,
+) -> Vec<usize> {
     let n = atoms.len();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
@@ -66,9 +161,17 @@ fn atom_order(inst: &Instance, atoms: &[Atom]) -> Vec<usize> {
             .enumerate()
             .min_by_key(|(_, &i)| {
                 let connected = atoms[i].vars().any(|v| bound_vars.contains(&v));
-                let card = inst.facts_with_pred(atoms[i].pred).len();
+                let card = match reqs[i] {
+                    StampReq::Any => inst.facts_with_pred(atoms[i].pred).len(),
+                    StampReq::NewOnly => {
+                        inst.facts_with_pred_since(atoms[i].pred, watermark).len()
+                    }
+                    StampReq::OldOnly => {
+                        inst.facts_with_pred_until(atoms[i].pred, watermark).len()
+                    }
+                };
                 // Connected atoms first (their candidates are filtered by
-                // bindings), then by predicate cardinality.
+                // bindings), then by restricted cardinality.
                 (!connected as usize, card)
             })
             .expect("remaining non-empty");
@@ -79,10 +182,55 @@ fn atom_order(inst: &Instance, atoms: &[Atom]) -> Vec<usize> {
     order
 }
 
+/// Candidate facts for `atom` under the current bindings: the smallest
+/// positional-index posting list among bound argument positions, falling
+/// back to the stamp-range slice of the predicate that the atom's
+/// requirement admits. `None` means a constant argument has no node in the
+/// instance, so the atom cannot match at all. Stamp filtering still runs
+/// per fact in `search` (posting lists mix old and new facts).
+fn candidate_facts<'a>(
+    inst: &'a Instance,
+    atom: &Atom,
+    bindings: &HashMap<u32, NodeId>,
+    req: StampReq,
+    watermark: u64,
+) -> Option<&'a [usize]> {
+    let mut best: Option<&[usize]> = None;
+    for (p, t) in atom.args.iter().enumerate() {
+        let node = match t {
+            Term::Const(c) => inst.node_of_const(*c)?,
+            Term::Var(v) => match bindings.get(v) {
+                Some(&b) => inst.find(b),
+                None => continue,
+            },
+        };
+        if let Some(list) = inst.facts_with_pred_arg(atom.pred, p as u32, node) {
+            if best.map_or(true, |b| list.len() < b.len()) {
+                best = Some(list);
+                if list.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    let fallback = || match req {
+        StampReq::Any => inst.facts_with_pred(atom.pred),
+        StampReq::NewOnly => inst.facts_with_pred_since(atom.pred, watermark),
+        StampReq::OldOnly => inst.facts_with_pred_until(atom.pred, watermark),
+    };
+    match best {
+        Some(list) => Some(if list.len() <= fallback().len() { list } else { fallback() }),
+        None => Some(fallback()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn search(
     inst: &Instance,
     atoms: &[Atom],
     order: &[usize],
+    reqs: &[StampReq],
+    watermark: u64,
     depth: usize,
     m: &mut Match,
     sink: &mut dyn FnMut(&Match) -> bool,
@@ -92,8 +240,17 @@ fn search(
     }
     let ai = order[depth];
     let atom = &atoms[ai];
-    for &fi in inst.facts_with_pred(atom.pred) {
+    let Some(candidates) = candidate_facts(inst, atom, &m.bindings, reqs[ai], watermark) else {
+        return true; // a constant absent from the instance: no match here
+    };
+    for &fi in candidates {
         let fact = inst.fact(fi);
+        match reqs[ai] {
+            StampReq::Any => {}
+            StampReq::NewOnly if fact.stamp <= watermark => continue,
+            StampReq::OldOnly if fact.stamp > watermark => continue,
+            _ => {}
+        }
         debug_assert_eq!(fact.args.len(), atom.args.len());
         // Try to unify atom args with fact args under current bindings.
         let mut newly_bound: Vec<u32> = Vec::new();
@@ -123,7 +280,7 @@ fn search(
         }
         if ok {
             m.fact_indices[ai] = fi;
-            if !search(inst, atoms, order, depth + 1, m, sink) {
+            if !search(inst, atoms, order, reqs, watermark, depth + 1, m, sink) {
                 return false;
             }
             m.fact_indices[ai] = usize::MAX;
@@ -188,6 +345,14 @@ mod tests {
     }
 
     #[test]
+    fn unknown_constant_matches_nothing() {
+        let (mut vocab, inst, r, _) = setup();
+        let zz = vocab.constant("zz"); // interned in vocab, absent from inst
+        let atoms = vec![Atom::new(r, vec![Term::Const(zz), Term::Var(0)])];
+        assert!(all_matches(&inst, &atoms).is_empty());
+    }
+
+    #[test]
     fn repeated_variable_requires_equality() {
         let (_, inst, r, _) = setup();
         // R(x, x) has no match.
@@ -206,5 +371,85 @@ mod tests {
         let c = inst.const_node(vocab.constant("c"));
         partial.insert(0u32, c);
         assert!(!satisfiable_with(&inst, &atoms, &partial));
+    }
+
+    #[test]
+    fn delta_enumeration_sees_only_new_matches() {
+        let (mut vocab, mut inst, r, s) = setup();
+        let atoms = vec![
+            Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
+            Atom::new(s, vec![Term::Var(1), Term::Var(2)]),
+        ];
+        // Everything is old: nothing to enumerate.
+        let w = inst.clock();
+        let mut seen = 0;
+        for_each_match_since(&inst, &atoms, w, &mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 0);
+        // Add S(c, e): exactly the one new join (through R(b, c)) appears.
+        let c = inst.const_node(vocab.constant("c"));
+        let e = inst.const_node(vocab.constant("e"));
+        inst.insert(s, vec![c, e], Provenance::empty(), None);
+        let mut new_matches = Vec::new();
+        for_each_match_since(&inst, &atoms, w, &mut |m| {
+            new_matches.push(m.clone());
+            true
+        });
+        assert_eq!(new_matches.len(), 1);
+        // Full enumeration agrees with old + new.
+        assert_eq!(all_matches(&inst, &atoms).len(), 2);
+    }
+
+    #[test]
+    fn delta_enumeration_has_no_duplicates() {
+        let mut vocab = Vocabulary::new();
+        let p = vocab.predicate("P", 1);
+        let q = vocab.predicate("Q", 1);
+        let mut inst = Instance::new();
+        let w = inst.clock();
+        // Both atoms map to new facts sharing a node: the pivot scheme must
+        // yield the match exactly once even though two atoms are in delta.
+        let a = inst.const_node(vocab.constant("a"));
+        inst.insert(p, vec![a], Provenance::empty(), None);
+        inst.insert(q, vec![a], Provenance::empty(), None);
+        let atoms = vec![Atom::new(p, vec![Term::Var(0)]), Atom::new(q, vec![Term::Var(0)])];
+        let mut seen = 0;
+        for_each_match_since(&inst, &atoms, w, &mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn merge_rewritten_facts_enter_the_delta() {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.predicate("R", 2);
+        let s = vocab.predicate("S", 2);
+        let mut inst = Instance::new();
+        let a = inst.const_node(vocab.constant("a"));
+        let b = inst.fresh_null();
+        let c = inst.fresh_null();
+        let d = inst.const_node(vocab.constant("d"));
+        inst.insert(r, vec![a, b], Provenance::empty(), None);
+        inst.insert(s, vec![c, d], Provenance::empty(), None);
+        let atoms = vec![
+            Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
+            Atom::new(s, vec![Term::Var(1), Term::Var(2)]),
+        ];
+        assert!(all_matches(&inst, &atoms).is_empty());
+        let w = inst.clock();
+        // Merging b and c creates the join out of two *old* facts; the
+        // rewritten fact's fresh stamp must expose it to the delta scan.
+        inst.merge(b, c).unwrap();
+        inst.rehash();
+        let mut seen = 0;
+        for_each_match_since(&inst, &atoms, w, &mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 1);
     }
 }

@@ -29,10 +29,15 @@ pub struct Fact {
     pub prov: Provenance,
     /// Index (into the engine's rule list) of the producing rule, if any.
     pub rule: Option<usize>,
+    /// Monotonic revision stamp: assigned on insertion and bumped by
+    /// [`Instance::rehash`] whenever a merge rewrote the fact's canonical
+    /// args (or attached a constant to one of its classes). Semi-naïve
+    /// chase deltas are "facts with stamp above a rule's watermark".
+    pub stamp: u64,
 }
 
 /// Canonical database: facts over union-find nodes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Instance {
     parent: Vec<u32>,
     rank: Vec<u8>,
@@ -44,16 +49,48 @@ pub struct Instance {
     index: HashMap<(PredId, Vec<NodeId>), usize>,
     /// Per-predicate fact indices (not canonicalized; consult `find`).
     by_pred: HashMap<PredId, Vec<usize>>,
+    /// (pred, arg position, canonical node) -> fact indices. Seeds
+    /// homomorphism search with only the facts that can match a bound
+    /// argument; valid only while `canonical` holds.
+    pos_index: HashMap<(PredId, u32, NodeId), Vec<usize>>,
+    /// Monotonic revision clock feeding fact stamps.
+    clock: u64,
+    /// False between a `merge` and the next `rehash`: positional-index
+    /// keys may then name stale roots, so lookups fall back to scans.
+    canonical: bool,
+    /// Roots that gained a constant from a merge whose own facts were not
+    /// rewritten; `rehash` must still re-stamp those facts (a constant
+    /// premise atom can newly match them).
+    const_dirty: Vec<NodeId>,
     /// Number of labelled nulls created so far (for budget accounting).
     nulls: usize,
 }
 
 /// Error: two distinct constants were equated by an EGD (the constraint set
 /// is inconsistent with the instance).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConstClash {
     pub a: SymId,
     pub b: SymId,
+}
+
+impl Default for Instance {
+    fn default() -> Self {
+        Instance {
+            parent: Vec::new(),
+            rank: Vec::new(),
+            const_of: Vec::new(),
+            node_of_const: HashMap::new(),
+            facts: Vec::new(),
+            index: HashMap::new(),
+            by_pred: HashMap::new(),
+            pos_index: HashMap::new(),
+            clock: 0,
+            canonical: true,
+            const_dirty: Vec::new(),
+            nulls: 0,
+        }
+    }
 }
 
 impl Instance {
@@ -137,10 +174,17 @@ impl Instance {
         if self.rank[big.0 as usize] == self.rank[small.0 as usize] {
             self.rank[big.0 as usize] += 1;
         }
+        // A constant attached to a previously constant-free winner makes
+        // constant premise atoms match the winner's facts even though their
+        // args are unchanged; remember it so `rehash` re-stamps them.
+        if const_new.is_some() && self.const_of[big.0 as usize].is_none() {
+            self.const_dirty.push(big);
+        }
         self.const_of[big.0 as usize] = const_new;
         if let Some(c) = const_new {
             self.node_of_const.insert(c, big);
         }
+        self.canonical = false;
         Ok(big)
     }
 
@@ -150,6 +194,8 @@ impl Instance {
     pub fn rehash(&mut self) {
         let roots: Vec<Vec<NodeId>> =
             self.facts.iter().map(|f| f.args.iter().map(|&a| self.find(a)).collect()).collect();
+        let dirty_roots: HashSet<NodeId> =
+            std::mem::take(&mut self.const_dirty).iter().map(|&n| self.find(n)).collect();
         self.index.clear();
         let mut keep: Vec<bool> = vec![true; self.facts.len()];
         for (i, canon) in roots.iter().enumerate() {
@@ -167,9 +213,16 @@ impl Instance {
             }
         }
         // Compact: drop duplicate facts, rewrite args to canonical roots.
+        // A fact whose canonical args changed (or whose classes gained a
+        // constant) is re-stamped: it can participate in matches that did
+        // not exist before the merge, so semi-naïve rules must revisit it.
         let mut new_facts = Vec::with_capacity(self.facts.len());
         for (i, mut f) in std::mem::take(&mut self.facts).into_iter().enumerate() {
             if keep[i] {
+                if f.args != roots[i] || roots[i].iter().any(|a| dirty_roots.contains(a)) {
+                    self.clock += 1;
+                    f.stamp = self.clock;
+                }
                 f.args = roots[i].clone();
                 new_facts.push(f);
             }
@@ -177,10 +230,20 @@ impl Instance {
         self.facts = new_facts;
         self.index.clear();
         self.by_pred.clear();
+        self.pos_index.clear();
         for (i, f) in self.facts.iter().enumerate() {
             self.index.insert((f.pred, f.args.clone()), i);
             self.by_pred.entry(f.pred).or_default().push(i);
+            for (p, &a) in f.args.iter().enumerate() {
+                self.pos_index.entry((f.pred, p as u32, a)).or_default().push(i);
+            }
         }
+        // Restore the stamp-sorted invariant (re-stamping scrambles it):
+        // delta slices are then suffix lookups, not full scans.
+        for list in self.by_pred.values_mut() {
+            list.sort_by_key(|&i| self.facts[i].stamp);
+        }
+        self.canonical = true;
     }
 
     /// Inserts a fact (args canonicalized). Returns `(fact index, inserted)`;
@@ -200,7 +263,11 @@ impl Instance {
         let i = self.facts.len();
         self.index.insert((pred, canon.clone()), i);
         self.by_pred.entry(pred).or_default().push(i);
-        self.facts.push(Fact { pred, args: canon, prov, rule });
+        for (p, &a) in canon.iter().enumerate() {
+            self.pos_index.entry((pred, p as u32, a)).or_default().push(i);
+        }
+        self.clock += 1;
+        self.facts.push(Fact { pred, args: canon, prov, rule, stamp: self.clock });
         (i, true)
     }
 
@@ -229,9 +296,65 @@ impl Instance {
         self.facts.len()
     }
 
-    /// Indices of facts with the given predicate.
+    /// Indices of facts with the given predicate, sorted by stamp.
     pub fn facts_with_pred(&self, pred: PredId) -> &[usize] {
         self.by_pred.get(&pred).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Suffix of [`Self::facts_with_pred`] with stamps above `watermark`
+    /// (the predicate's delta). O(log n) thanks to the stamp-sorted
+    /// per-predicate lists.
+    pub fn facts_with_pred_since(&self, pred: PredId, watermark: u64) -> &[usize] {
+        let list = self.facts_with_pred(pred);
+        let cut = list.partition_point(|&i| self.facts[i].stamp <= watermark);
+        &list[cut..]
+    }
+
+    /// Prefix of [`Self::facts_with_pred`] with stamps at or below
+    /// `watermark` (the predicate's pre-delta facts).
+    pub fn facts_with_pred_until(&self, pred: PredId, watermark: u64) -> &[usize] {
+        let list = self.facts_with_pred(pred);
+        let cut = list.partition_point(|&i| self.facts[i].stamp <= watermark);
+        &list[..cut]
+    }
+
+    /// Indices of facts whose `pos`-th argument lies in `node`'s class,
+    /// served from the positional index. Returns `None` while the instance
+    /// is non-canonical (merges pending a `rehash`), in which case callers
+    /// must fall back to [`Self::facts_with_pred`].
+    pub fn facts_with_pred_arg(
+        &self,
+        pred: PredId,
+        pos: u32,
+        node: NodeId,
+    ) -> Option<&[usize]> {
+        if !self.canonical {
+            return None;
+        }
+        Some(self.pos_index.get(&(pred, pos, node)).map_or(&[], |v| v.as_slice()))
+    }
+
+    /// True when no merge is pending a `rehash` (all indexed keys name
+    /// current union-find roots).
+    pub fn is_canonical(&self) -> bool {
+        self.canonical
+    }
+
+    /// Current revision clock: the stamp of the most recently inserted or
+    /// re-stamped fact. Semi-naïve watermarks snapshot this.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of facts stamped after `watermark` (the delta frontier size).
+    pub fn delta_size(&self, watermark: u64) -> usize {
+        self.facts.iter().filter(|f| f.stamp > watermark).count()
+    }
+
+    /// Node carrying a constant, if the constant was ever interned into the
+    /// instance (read-only counterpart of [`Self::const_node`]).
+    pub fn node_of_const(&self, c: SymId) -> Option<NodeId> {
+        self.node_of_const.get(&c).map(|&n| self.find(n))
     }
 
     /// True when the instance contains a fact with these canonical args.
@@ -323,6 +446,60 @@ mod tests {
         assert_eq!(i1, i2);
         assert_eq!(inst.num_facts(), 1);
         assert_eq!(inst.fact(i1).prov.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn positional_index_tracks_inserts_and_rehash() {
+        let mut inst = Instance::new();
+        let a = inst.fresh_null();
+        let b = inst.fresh_null();
+        let c = inst.fresh_null();
+        inst.insert(PredId(0), vec![a, b], Provenance::empty(), None);
+        inst.insert(PredId(0), vec![c, b], Provenance::empty(), None);
+        assert_eq!(inst.facts_with_pred_arg(PredId(0), 0, a), Some(&[0usize][..]));
+        assert_eq!(inst.facts_with_pred_arg(PredId(0), 1, b).unwrap().len(), 2);
+        assert!(inst.is_canonical());
+        inst.merge(a, c).unwrap();
+        assert!(!inst.is_canonical());
+        assert_eq!(inst.facts_with_pred_arg(PredId(0), 0, a), None, "stale index refused");
+        inst.rehash();
+        assert!(inst.is_canonical());
+        let root = inst.find(a);
+        assert_eq!(inst.facts_with_pred_arg(PredId(0), 0, root).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rehash_restamps_rewritten_facts_only() {
+        let mut inst = Instance::new();
+        let a = inst.fresh_null();
+        let b = inst.fresh_null();
+        let c = inst.fresh_null();
+        let (i_ab, _) = inst.insert(PredId(0), vec![a], Provenance::empty(), None);
+        let (i_c, _) = inst.insert(PredId(1), vec![c], Provenance::empty(), None);
+        let clock_before = inst.clock();
+        assert_eq!(inst.delta_size(0), 2);
+        assert_eq!(inst.delta_size(clock_before), 0);
+        inst.merge(a, b).unwrap();
+        inst.rehash();
+        // `a` was the rank-equal merge target; whichever root won, the fact
+        // over `a`'s class is rewritten or untouched, the fact over `c`
+        // must keep its stamp.
+        assert!(inst.fact(i_c).stamp <= clock_before);
+        // A merge that rewrites args re-stamps the rewritten fact only:
+        // merging `c` into `a`'s (higher-rank) class rewrites the P1 fact.
+        let before = inst.clock();
+        inst.merge(c, a).unwrap();
+        inst.rehash();
+        assert_eq!(inst.delta_size(before), 1, "only the fact over c's class is rewritten");
+        assert!(inst.fact(i_ab).stamp <= before);
+    }
+
+    #[test]
+    fn node_of_const_is_read_only_lookup() {
+        let mut inst = Instance::new();
+        assert_eq!(inst.node_of_const(SymId(7)), None);
+        let n = inst.const_node(SymId(7));
+        assert_eq!(inst.node_of_const(SymId(7)), Some(n));
     }
 
     #[test]

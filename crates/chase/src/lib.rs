@@ -32,10 +32,10 @@ pub mod symbols;
 pub mod term;
 
 pub use atom::Atom;
-pub use chase::{ChaseBudget, ChaseEngine, ChaseOutcome};
+pub use chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, EvalMode};
 pub use constraint::{Constraint, Egd, Tgd};
 pub use cq::Cq;
-pub use instance::{Instance, NodeId};
+pub use instance::{ConstClash, Instance, NodeId};
 pub use pacb::{Pacb, PacbOptions, Rewriting};
 pub use provenance::Provenance;
 pub use symbols::{PredId, SymId, Vocabulary};

@@ -83,10 +83,50 @@ pub struct Extractor<'a> {
     best: HashMap<NodeId, (f64, usize)>,
 }
 
+/// Class count above which the cost relaxation switches from sequential
+/// Gauss-Seidel sweeps to parallel Jacobi passes. Small instances (the
+/// common per-expression case) stay on the sequential path, which needs no
+/// thread setup and converges in fewer passes.
+const PARALLEL_CLASS_THRESHOLD: usize = 768;
+
+/// Workers for the parallel paths: physical parallelism, capped so a large
+/// host does not drown small workloads in spawn overhead.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Order-preserving parallel map over `std::thread::scope`, the one
+/// fan-out shape every parallel path here (and plan ranking in
+/// `hadad-rewrite`) shares. Falls back to a plain sequential map below
+/// `min_len` items or without real parallelism.
+pub fn par_map<'i, T, R>(
+    items: &'i [T],
+    min_len: usize,
+    f: impl Fn(&'i T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let workers = worker_count();
+    if items.len() < min_len || workers < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("par_map worker")).collect()
+    })
+}
+
 impl<'a> Extractor<'a> {
     /// Collects e-nodes and shapes from the instance and runs the cost
     /// relaxation to fixpoint.
-    pub fn new(vrem: &Vrem, inst: &'a Instance, cost: &dyn ExtractionCost) -> Self {
+    pub fn new(vrem: &Vrem, inst: &'a Instance, cost: &(dyn ExtractionCost + Sync)) -> Self {
         let mut ex = Extractor {
             inst,
             classes: HashMap::new(),
@@ -142,93 +182,94 @@ impl<'a> Extractor<'a> {
         }
     }
 
-    /// Shape of an operator output given child shapes (mirrors
-    /// [`crate::stats::shape`], but over shapes so it also covers classes
-    /// the chase created without `size` facts).
-    fn op_shape(kind: OpKind, out_idx: usize, child: &[(usize, usize)]) -> (usize, usize) {
-        use OpKind::*;
-        let _ = out_idx; // both QR/LU outputs share the (square) input shape
-        match kind {
-            Add | Hadamard | Div => child[0],
-            Mul => (child[0].0, child[1].1),
-            Kron => (child[0].0 * child[1].0, child[0].1 * child[1].1),
-            DirectSum => (child[0].0 + child[1].0, child[0].1 + child[1].1),
-            ScalarMul => child[1],
-            Transpose => (child[0].1, child[0].0),
-            Inv | Adj | Exp | Rev | Cho | Qr | Lu => child[0],
-            Diag => (child[0].0, 1),
-            RowSums | RowMeans | RowMin | RowMax | RowVar => (child[0].0, 1),
-            ColSums | ColMeans | ColMin | ColMax | ColVar => (1, child[0].1),
-            Det | Trace | Sum | Min | Max | Mean | Var => (1, 1),
+    /// Bellman-Ford relaxation: every pass can only lower class costs, and
+    /// each finite cost certifies a finite (cycle-free) derivation, so the
+    /// loop reaches fixpoint in at most `#classes` passes. Large instances
+    /// run Jacobi-style parallel passes (each pass reads the previous
+    /// pass's costs, proposals merge at a barrier); small ones run the
+    /// in-place sequential sweep, which propagates further per pass.
+    fn solve(&mut self, cost: &(dyn ExtractionCost + Sync)) {
+        let class_ids: Vec<NodeId> = self.classes.keys().copied().collect();
+        if class_ids.len() >= PARALLEL_CLASS_THRESHOLD && worker_count() > 1 {
+            self.solve_parallel(&class_ids, cost);
+        } else {
+            self.solve_sequential(&class_ids, cost);
         }
     }
 
-    /// Bellman-Ford relaxation: every pass can only lower class costs, and
-    /// each finite cost certifies a finite (cycle-free) derivation, so the
-    /// loop reaches fixpoint in at most `#classes` passes.
-    fn solve(&mut self, cost: &dyn ExtractionCost) {
-        let class_ids: Vec<NodeId> = self.classes.keys().copied().collect();
-        let max_rounds = class_ids.len() + 1;
+    fn solve_sequential(&mut self, class_ids: &[NodeId], cost: &dyn ExtractionCost) {
+        // Costs converge within #classes passes; tie-break refinement (keys
+        // depend on child costs) may take as long again.
+        let max_rounds = 2 * (class_ids.len() + 1);
         for _ in 0..max_rounds {
             let mut changed = false;
-            for &class in &class_ids {
+            for &class in class_ids {
                 let num_nodes = self.classes[&class].len();
                 for idx in 0..num_nodes {
                     // Borrow the node per iteration (instead of cloning the
                     // whole e-node vector per round); `best`/`shapes` are
                     // only written after the borrow ends.
                     let node = &self.classes[&class][idx];
-                    let computed = match node {
-                        ENode::Mat(_) => {
-                            self.shapes.get(&class).map(|&s| (cost.leaf_cost(s), s))
-                        }
-                        ENode::Const(_) => Some((cost.leaf_cost((1, 1)), (1, 1))),
-                        ENode::Identity | ENode::Zero => {
-                            self.shapes.get(&class).map(|&s| (cost.leaf_cost(s), s))
-                        }
-                        ENode::Op { kind, inputs, out_idx } => {
-                            let mut child_costs = 0.0;
-                            let mut child_shapes = Vec::with_capacity(inputs.len());
-                            let mut ready = true;
-                            for &i in inputs {
-                                match (self.best.get(&i), self.shapes.get(&i)) {
-                                    (Some(&(c, _)), Some(&s)) => {
-                                        child_costs += c;
-                                        child_shapes.push(s);
-                                    }
-                                    _ => {
-                                        ready = false;
-                                        break;
-                                    }
-                                }
-                            }
-                            if !ready {
-                                None
-                            } else {
-                                let out_shape =
-                                    self.shapes.get(&class).copied().unwrap_or_else(|| {
-                                        Self::op_shape(*kind, *out_idx, &child_shapes)
-                                    });
-                                let op =
-                                    cost.op_cost(*kind, *out_idx, &child_shapes, out_shape);
-                                // Clamp so parents always cost strictly more
-                                // than children; cyclic classes then cannot
-                                // be their own best derivation.
-                                Some((op.max(1e-9) + child_costs, out_shape))
-                            }
-                        }
-                    };
+                    let computed = node_candidate(node, class, &self.best, &self.shapes, cost);
                     if let Some((c, shape)) = computed {
                         self.shapes.entry(class).or_insert(shape);
-                        let better = match self.best.get(&class) {
-                            Some(&(cur, _)) => c < cur,
-                            None => true,
-                        };
-                        if better {
+                        let incumbent = self
+                            .best
+                            .get(&class)
+                            .map(|&(cur, ci)| (cur, &self.classes[&class][ci]));
+                        if improves((c, node), incumbent, &self.best) {
                             self.best.insert(class, (c, idx));
                             changed = true;
                         }
                     }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn solve_parallel(&mut self, class_ids: &[NodeId], cost: &(dyn ExtractionCost + Sync)) {
+        /// One accepted improvement: (class, cost, winning e-node index, shape).
+        type Proposal = (NodeId, f64, usize, (usize, usize));
+        // Jacobi needs at most one extra pass per level of the deepest
+        // derivation, bounded by the class count; doubled for tie-break
+        // refinement, as in the sequential path.
+        let max_rounds = 2 * (class_ids.len() + 1);
+        for _ in 0..max_rounds {
+            let proposals: Vec<Option<Proposal>> = {
+                let classes = &self.classes;
+                let best = &self.best;
+                let shapes = &self.shapes;
+                par_map(class_ids, 2, |&class| {
+                    let nodes = &classes[&class];
+                    let mut winner: Option<(f64, usize, (usize, usize))> = None;
+                    for (idx, node) in nodes.iter().enumerate() {
+                        if let Some((c, shape)) =
+                            node_candidate(node, class, best, shapes, cost)
+                        {
+                            let cur = winner.map(|(w, wi, _)| (w, &nodes[wi]));
+                            if improves((c, node), cur, best) {
+                                winner = Some((c, idx, shape));
+                            }
+                        }
+                    }
+                    winner.and_then(|(c, idx, shape)| {
+                        let incumbent = best.get(&class).map(|&(cur, ci)| (cur, &nodes[ci]));
+                        improves((c, &nodes[idx]), incumbent, best)
+                            .then_some((class, c, idx, shape))
+                    })
+                })
+            };
+            let mut changed = false;
+            for (class, c, idx, shape) in proposals.into_iter().flatten() {
+                self.shapes.entry(class).or_insert(shape);
+                let incumbent =
+                    self.best.get(&class).map(|&(cur, ci)| (cur, &self.classes[&class][ci]));
+                if improves((c, &self.classes[&class][idx]), incumbent, &self.best) {
+                    self.best.insert(class, (c, idx));
+                    changed = true;
                 }
             }
             if !changed {
@@ -262,20 +303,35 @@ impl<'a> Extractor<'a> {
 
     /// One candidate expression per derivation of the root class, each
     /// completed with min-cost children and deduplicated syntactically.
-    /// The caller ranks these with its own (richer) cost model.
+    /// The caller ranks these with its own (richer) cost model. Roots with
+    /// many derivations build their candidates on worker threads.
     pub fn candidates(&self, root: NodeId) -> Vec<Expr> {
+        self.build_candidates(root, 16)
+    }
+
+    /// Candidates for several root classes at once, sharded across worker
+    /// threads (the parallel backchase side: each root e-class decodes
+    /// independently against the shared solved DP). The per-root builds
+    /// run sequentially inside each worker — nesting a second fan-out
+    /// would only oversubscribe the cores this layer already fills.
+    pub fn candidates_many(&self, roots: &[NodeId]) -> Vec<Vec<Expr>> {
+        par_map(roots, 2, |&r| self.build_candidates(r, usize::MAX))
+    }
+
+    /// Shared body of [`Self::candidates`]/[`Self::candidates_many`]:
+    /// `parallel_min` is the e-node count from which the per-node builds
+    /// shard across threads (`usize::MAX` forces sequential).
+    fn build_candidates(&self, root: NodeId, parallel_min: usize) -> Vec<Expr> {
         let root = self.inst.find(root);
+        let Some(nodes) = self.classes.get(&root) else {
+            return Vec::new();
+        };
+        let built = par_map(nodes, parallel_min, |n| self.build(root, n).map(|e| resugar(&e)));
         let mut out: Vec<Expr> = Vec::new();
         let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
-        let Some(nodes) = self.classes.get(&root) else {
-            return out;
-        };
-        for node in nodes {
-            if let Some(e) = self.build(root, node) {
-                let e = resugar(&e);
-                if seen.insert(e.to_string()) {
-                    out.push(e);
-                }
+        for e in built.into_iter().flatten() {
+            if seen.insert(e.to_string()) {
+                out.push(e);
             }
         }
         out
@@ -305,6 +361,108 @@ impl<'a> Extractor<'a> {
             }
         };
         Some(expr)
+    }
+}
+
+/// Shape of an operator output given child shapes (mirrors
+/// [`crate::stats::shape`], but over shapes so it also covers classes
+/// the chase created without `size` facts).
+fn op_shape(kind: OpKind, out_idx: usize, child: &[(usize, usize)]) -> (usize, usize) {
+    use OpKind::*;
+    let _ = out_idx; // both QR/LU outputs share the (square) input shape
+    match kind {
+        Add | Hadamard | Div => child[0],
+        Mul => (child[0].0, child[1].1),
+        Kron => (child[0].0 * child[1].0, child[0].1 * child[1].1),
+        DirectSum => (child[0].0 + child[1].0, child[0].1 + child[1].1),
+        ScalarMul => child[1],
+        Transpose => (child[0].1, child[0].0),
+        Inv | Adj | Exp | Rev | Cho | Qr | Lu => child[0],
+        Diag => (child[0].0, 1),
+        RowSums | RowMeans | RowMin | RowMax | RowVar => (child[0].0, 1),
+        ColSums | ColMeans | ColMin | ColMax | ColVar => (1, child[0].1),
+        Det | Trace | Sum | Min | Max | Mean | Var => (1, 1),
+    }
+}
+
+/// Deterministic tie-break key for e-nodes whose derivations cost exactly
+/// the same: variant, operator, output index, then the child best-cost
+/// bits. Depends only on isomorphism-invariant data (never on `NodeId`s or
+/// collection order), so two structurally equal instances extract the same
+/// plan regardless of fact ordering — which keeps the naive and semi-naïve
+/// chase engines observationally identical.
+fn tie_key<'n>(
+    node: &'n ENode,
+    best: &HashMap<NodeId, (f64, usize)>,
+) -> (u8, u32, u8, Vec<u64>, &'n str) {
+    match node {
+        ENode::Mat(n) => (0, 0, 0, Vec::new(), n.as_str()),
+        ENode::Const(v) => (1, 0, 0, vec![v.to_bits()], ""),
+        ENode::Identity => (2, 0, 0, Vec::new(), ""),
+        ENode::Zero => (3, 0, 0, Vec::new(), ""),
+        ENode::Op { kind, inputs, out_idx } => {
+            let child_costs = inputs
+                .iter()
+                .map(|i| best.get(i).map_or(u64::MAX, |&(c, _)| c.to_bits()))
+                .collect();
+            (4, *kind as u32, *out_idx as u8, child_costs, "")
+        }
+    }
+}
+
+/// `true` when `candidate` should replace the incumbent `(cur_cost, cur_idx)`
+/// derivation: strictly cheaper, or equally cheap with a smaller tie key.
+fn improves(
+    candidate: (f64, &ENode),
+    incumbent: Option<(f64, &ENode)>,
+    best: &HashMap<NodeId, (f64, usize)>,
+) -> bool {
+    match incumbent {
+        None => true,
+        Some((cur, cur_node)) => {
+            let (c, node) = candidate;
+            c < cur || (c == cur && tie_key(node, best) < tie_key(cur_node, best))
+        }
+    }
+}
+
+/// Cost and shape of one e-node derivation against a cost/shape snapshot,
+/// or `None` while some child is still unsolved. Shared by the sequential
+/// sweep and the parallel Jacobi passes, which only differ in when writes
+/// land.
+fn node_candidate(
+    node: &ENode,
+    class: NodeId,
+    best: &HashMap<NodeId, (f64, usize)>,
+    shapes: &HashMap<NodeId, (usize, usize)>,
+    cost: &dyn ExtractionCost,
+) -> Option<(f64, (usize, usize))> {
+    match node {
+        ENode::Mat(_) | ENode::Identity | ENode::Zero => {
+            shapes.get(&class).map(|&s| (cost.leaf_cost(s), s))
+        }
+        ENode::Const(_) => Some((cost.leaf_cost((1, 1)), (1, 1))),
+        ENode::Op { kind, inputs, out_idx } => {
+            let mut child_costs = 0.0;
+            let mut child_shapes = Vec::with_capacity(inputs.len());
+            for &i in inputs {
+                match (best.get(&i), shapes.get(&i)) {
+                    (Some(&(c, _)), Some(&s)) => {
+                        child_costs += c;
+                        child_shapes.push(s);
+                    }
+                    _ => return None,
+                }
+            }
+            let out_shape = shapes
+                .get(&class)
+                .copied()
+                .unwrap_or_else(|| op_shape(*kind, *out_idx, &child_shapes));
+            let op = cost.op_cost(*kind, *out_idx, &child_shapes, out_shape);
+            // Clamp so parents always cost strictly more than children;
+            // cyclic classes then cannot be their own best derivation.
+            Some((op.max(1e-9) + child_costs, out_shape))
+        }
     }
 }
 
@@ -516,6 +674,56 @@ mod tests {
         assert_eq!(roundtrip(&e), e);
         let z = add(m("D"), Expr::Zero(10, 10));
         assert_eq!(roundtrip(&z), z);
+    }
+
+    #[test]
+    fn parallel_solver_handles_wide_instances() {
+        // A balanced sum over 640 distinct leaves yields >1200 distinct
+        // classes, pushing the DP over PARALLEL_CLASS_THRESHOLD so the
+        // Jacobi path runs (while recursion depth stays ~10).
+        let mut vrem = Vrem::new();
+        let mut c = MetaCatalog::new();
+        let mut layer: Vec<Expr> = (0..640)
+            .map(|i| {
+                let name = format!("L{i}");
+                c.register(&name, MatrixMeta::dense(10, 10));
+                m(&name)
+            })
+            .collect();
+        while layer.len() > 1 {
+            layer =
+                layer
+                    .chunks(2)
+                    .map(|p| {
+                        if p.len() == 2 {
+                            add(p[0].clone(), p[1].clone())
+                        } else {
+                            p[0].clone()
+                        }
+                    })
+                    .collect();
+        }
+        let e = layer.pop().unwrap();
+        let enc = Encoder::new(&mut vrem, &c).encode(&e).unwrap();
+        let ex = Extractor::new(&vrem, &enc.instance, &TreeSizeCost);
+        assert_eq!(ex.extract(enc.root).unwrap(), e);
+        // Tree size: 640 leaves + 639 adds.
+        assert!((ex.class_cost(enc.root).unwrap() - 1279.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn candidates_many_matches_per_root_candidates() {
+        let mut vrem = Vrem::new();
+        let c = cat();
+        let e1 = mul(m("M"), m("N"));
+        let e2 = t(m("D"));
+        let (inst, roots) = Encoder::new(&mut vrem, &c).encode_many(&[&e1, &e2]).unwrap();
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        let many = ex.candidates_many(&roots);
+        assert_eq!(many.len(), 2);
+        for (i, &r) in roots.iter().enumerate() {
+            assert_eq!(many[i], ex.candidates(r));
+        }
     }
 
     #[test]

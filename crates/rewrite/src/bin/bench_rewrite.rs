@@ -1,16 +1,20 @@
-//! Micro-benchmark for `Optimizer::rewrite` on three pipeline sizes,
-//! emitting `BENCH_rewrite.json` (first point of the perf trajectory).
+//! Micro-benchmark for `Optimizer::rewrite` across five pipeline families,
+//! emitting `BENCH_rewrite.json` (a tracked point of the perf trajectory).
 //!
-//! Each pipeline is rewritten, then both the original and the winning plan
-//! are executed on the dense backend to report measured — not only
-//! estimated — speedups.
+//! Each pipeline is rewritten with the default semi-naïve chase *and* with
+//! the naive baseline engine, so the JSON carries both chase-phase timings
+//! and both match-enumeration counts — semi-naïve wins are observable in
+//! the artifact, not just asserted in tests. The original and the winning
+//! plan are then executed on the dense backend to report measured — not
+//! only estimated — speedups.
 
 use std::time::Instant;
 
+use hadad_chase::{ChaseBudget, ChaseOutcome, EvalMode};
 use hadad_core::expr::dsl::*;
 use hadad_core::{Expr, MatrixMeta, MetaCatalog};
 use hadad_linalg::{rand_gen, Matrix};
-use hadad_rewrite::{eval, Env, Optimizer};
+use hadad_rewrite::{eval, Env, Optimizer, RankedPlans};
 
 struct Pipeline {
     name: &'static str,
@@ -54,6 +58,46 @@ fn decomposition_pipeline(n: usize) -> Pipeline {
     }
 }
 
+/// Left-deep product of eight matrices with shrinking inner dimensions
+/// ending in a vector: re-association to a right-deep chain collapses the
+/// flops by orders of magnitude, and saturating the 8-chain is the scaling
+/// stress for the chase (dozens of subchain classes, hundreds of facts).
+fn chain8_pipeline() -> Pipeline {
+    let dims = [96usize, 80, 64, 48, 36, 24, 12, 6, 1];
+    let mut cat = MetaCatalog::new();
+    let mut env = Env::new();
+    let mut expr: Option<Expr> = None;
+    for i in 0..8 {
+        let name = format!("M{}", i + 1);
+        cat.register(&name, MatrixMeta::dense(dims[i], dims[i + 1]));
+        env.bind(
+            &name,
+            Matrix::Dense(rand_gen::random_dense(dims[i], dims[i + 1], 41 + i as u64)),
+        );
+        let leaf = m(&name);
+        expr = Some(match expr {
+            Some(e) => mul(e, leaf),
+            None => leaf,
+        });
+    }
+    Pipeline { name: "matmul_chain8", expr: expr.unwrap(), cat, env }
+}
+
+/// Ridge-regression normal equations: (XᵀX + λI)⁻¹ (Xᵀ y). The three-term
+/// pipeline mixes transpose push-down, re-association, and an inverse, the
+/// shape HADAD's ML workloads (paper §9) are built from.
+fn ridge_pipeline(n: usize, d: usize) -> Pipeline {
+    let mut cat = MetaCatalog::new();
+    cat.register("X", MatrixMeta::dense(n, d));
+    cat.register("y", MatrixMeta::dense(n, 1));
+    let mut env = Env::new();
+    env.bind("X", Matrix::Dense(rand_gen::random_dense(n, d, 51)));
+    env.bind("y", Matrix::Dense(rand_gen::random_dense(n, 1, 52)));
+    let gram = add(mul(t(m("X")), m("X")), smul(lit(0.5), Expr::Identity(d)));
+    let expr = mul(inv(gram), mul(t(m("X")), m("y")));
+    Pipeline { name: "ridge_normal_eq", expr, cat, env }
+}
+
 fn time_exec(e: &Expr, env: &Env, reps: u32) -> f64 {
     // One warm-up, then the mean of `reps` runs, in microseconds.
     let _ = eval(e, env).expect("pipeline evaluates");
@@ -64,21 +108,63 @@ fn time_exec(e: &Expr, env: &Env, reps: u32) -> f64 {
     start.elapsed().as_micros() as f64 / reps as f64
 }
 
+/// Per-phase mean timings of `reps` rewrites, in microseconds.
+struct RewriteTimings {
+    total: f64,
+    encode: f64,
+    chase: f64,
+    extract: f64,
+    rank: f64,
+}
+
+fn time_rewrite(opt: &Optimizer, e: &Expr, reps: u32) -> (RankedPlans, RewriteTimings) {
+    // One warm-up (also the result we report), then timed runs.
+    let ranked = opt.rewrite(e).expect("rewrite succeeds");
+    let start = Instant::now();
+    let (mut encode, mut chase, mut extract, mut rank) = (0f64, 0f64, 0f64, 0f64);
+    for _ in 0..reps {
+        let r = opt.rewrite(e).expect("rewrite succeeds");
+        encode += r.report.encode_us as f64;
+        chase += r.report.chase_us as f64;
+        extract += r.report.extract_us as f64;
+        rank += r.report.rank_us as f64;
+    }
+    let total = start.elapsed().as_micros() as f64 / reps as f64;
+    let r = reps as f64;
+    let timings = RewriteTimings {
+        total,
+        encode: encode / r,
+        chase: chase / r,
+        extract: extract / r,
+        rank: rank / r,
+    };
+    (ranked, timings)
+}
+
 fn main() {
-    let pipelines =
-        vec![trace_pipeline(400, 8), chain_pipeline(300, 40), decomposition_pipeline(60)];
+    let pipelines = vec![
+        trace_pipeline(400, 8),
+        chain_pipeline(300, 40),
+        decomposition_pipeline(60),
+        chain8_pipeline(),
+        ridge_pipeline(200, 30),
+    ];
 
     let mut rows = Vec::new();
     for p in &pipelines {
-        let opt = Optimizer::new(p.cat.clone());
-        // Time the rewrite itself (mean of several runs; it is pure).
+        // Default ChaseBudget: the acceptance bar is that even the 8-chain
+        // saturates within it on the semi-naïve engine.
+        let opt = Optimizer::new(p.cat.clone()).with_budget(ChaseBudget::default());
+        let naive_opt = Optimizer::new(p.cat.clone())
+            .with_budget(ChaseBudget::default())
+            .with_mode(EvalMode::Naive);
         let reps = 5;
-        let start = Instant::now();
-        let mut ranked = opt.rewrite(&p.expr).expect("rewrite succeeds");
-        for _ in 1..reps {
-            ranked = opt.rewrite(&p.expr).expect("rewrite succeeds");
-        }
-        let rewrite_us = start.elapsed().as_micros() as f64 / reps as f64;
+        let (ranked, tm) = time_rewrite(&opt, &p.expr, reps);
+        let (naive_ranked, naive_tm) = time_rewrite(&naive_opt, &p.expr, reps);
+
+        let stats = &ranked.report.chase_stats;
+        let matches = stats.matches_enumerated();
+        let naive_matches = naive_ranked.report.chase_stats.matches_enumerated();
 
         let best = ranked.best().clone();
         let equivalent = opt
@@ -88,9 +174,13 @@ fn main() {
         let best_exec_us = time_exec(&best.expr, &p.env, 3);
 
         println!(
-            "{:<14} {:>10.0}us rewrite | {} -> {} | est x{:.1} | exec {:.0}us -> {:.0}us | equivalent: {}",
+            "{:<16} {:>8.0}us rewrite (enc {:.0} chase {:.0} ext {:.0} rank {:.0}) | {} -> {} | est x{:.1} | exec {:.0}us -> {:.0}us | equivalent: {}",
             p.name,
-            rewrite_us,
+            tm.total,
+            tm.encode,
+            tm.chase,
+            tm.extract,
+            tm.rank,
             p.expr,
             best.expr,
             ranked.est_speedup(),
@@ -98,17 +188,48 @@ fn main() {
             best_exec_us,
             equivalent,
         );
+        println!(
+            "  chase: {:?} in {} rounds | matches semi-naive {} vs naive {} ({:.1}x) | chase {:.0}us vs naive {:.0}us ({:.1}x)",
+            ranked.report.chase_outcome,
+            ranked.report.chase_rounds,
+            matches,
+            naive_matches,
+            naive_matches as f64 / matches.max(1) as f64,
+            tm.chase,
+            naive_tm.chase,
+            naive_tm.chase / tm.chase.max(1.0),
+        );
+        println!("  round deltas: {:?}", stats.round_deltas);
+        let mut top_rules: Vec<&(String, u64)> =
+            stats.rule_matches.iter().filter(|(_, n)| *n > 0).collect();
+        top_rules.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let summary: Vec<String> =
+            top_rules.iter().take(5).map(|(name, n)| format!("{name}={n}")).collect();
+        println!("  top rules by matches: {}", summary.join(" "));
 
         rows.push(format!(
             concat!(
                 "    {{\"pipeline\": \"{}\", \"nodes\": {}, \"rewrite_us\": {:.1}, ",
+                "\"encode_us\": {:.1}, \"chase_us\": {:.1}, \"extract_us\": {:.1}, ",
+                "\"rank_us\": {:.1}, \"naive_chase_us\": {:.1}, ",
+                "\"chase_matches\": {}, \"naive_chase_matches\": {}, ",
+                "\"chase_rounds\": {}, \"saturated\": {}, ",
                 "\"candidates\": {}, \"chase_facts\": {}, \"original\": \"{}\", ",
                 "\"best\": \"{}\", \"est_cost_original\": {:.1}, \"est_cost_best\": {:.1}, ",
                 "\"exec_us_original\": {:.1}, \"exec_us_best\": {:.1}, \"equivalent\": {}}}"
             ),
             p.name,
             p.expr.node_count(),
-            rewrite_us,
+            tm.total,
+            tm.encode,
+            tm.chase,
+            tm.extract,
+            tm.rank,
+            naive_tm.chase,
+            matches,
+            naive_matches,
+            ranked.report.chase_rounds,
+            ranked.report.chase_outcome == ChaseOutcome::Saturated,
             ranked.report.num_candidates,
             ranked.report.num_facts,
             p.expr,

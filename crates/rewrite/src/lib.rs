@@ -23,4 +23,5 @@ pub mod optimizer;
 
 pub use cost::{CostModel, Estimate, FlopsCost};
 pub use eval::{eval, Env, EvalError};
+pub use hadad_chase::EvalMode;
 pub use optimizer::{Optimizer, Plan, RankedPlans, RewriteError, RewriteReport};

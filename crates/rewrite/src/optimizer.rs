@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome};
+use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, EvalMode};
 use hadad_core::{Catalogue, Encoder, Expr, Extractor, MetaCatalog, ShapeError, Vrem};
 use hadad_linalg::{approx_eq, Matrix};
 
@@ -25,7 +25,11 @@ pub struct Plan {
     pub est_cost: f64,
 }
 
-/// Diagnostics from one `rewrite` call.
+/// Diagnostics from one `rewrite` call, including a per-phase time
+/// breakdown (encode → chase → extract → rank) and the full chase
+/// statistics, so regressions show up in the right phase. Setup work —
+/// original-plan costing and MMC catalogue construction — is covered only
+/// by `elapsed_us`, not by any phase bucket.
 #[derive(Debug, Clone)]
 pub struct RewriteReport {
     pub chase_outcome: ChaseOutcome,
@@ -33,6 +37,12 @@ pub struct RewriteReport {
     pub num_facts: usize,
     pub num_candidates: usize,
     pub elapsed_us: u128,
+    pub encode_us: u128,
+    pub chase_us: u128,
+    pub extract_us: u128,
+    pub rank_us: u128,
+    /// Per-rule firings/matches and per-round delta sizes from the chase.
+    pub chase_stats: ChaseStats,
 }
 
 /// Result of `Optimizer::rewrite`: the original plan plus all candidate
@@ -96,10 +106,17 @@ impl From<ShapeError> for RewriteError {
     }
 }
 
+/// Candidate count from which plan ranking shards cost estimation across
+/// worker threads.
+const PARALLEL_RANK_THRESHOLD: usize = 16;
+
 /// The optimizer facade.
 pub struct Optimizer {
     pub cat: MetaCatalog,
     pub budget: ChaseBudget,
+    /// Premise-matching strategy for the chase; semi-naïve by default,
+    /// naive kept for differential testing and baselining.
+    pub mode: EvalMode,
 }
 
 impl Optimizer {
@@ -108,12 +125,18 @@ impl Optimizer {
             cat,
             // Tighter than the chase default: rewriting works expression by
             // expression, so instances are small and saturate quickly.
-            budget: ChaseBudget { max_rounds: 8, max_facts: 30_000, max_nulls: 15_000 },
+            budget: ChaseBudget { max_rounds: 12, max_facts: 30_000, max_nulls: 15_000 },
+            mode: EvalMode::default(),
         }
     }
 
     pub fn with_budget(mut self, budget: ChaseBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    pub fn with_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -124,34 +147,37 @@ impl Optimizer {
         let original = Plan { expr: e.clone(), est_cost: cm.cost(e)? };
 
         let mut vrem = Vrem::new();
+        let encode_start = Instant::now();
         let encoded = Encoder::new(&mut vrem, &self.cat).encode(e)?;
+        let encode_us = encode_start.elapsed().as_micros();
         let catalogue = Catalogue::standard(&mut vrem);
-        let engine = ChaseEngine::new(catalogue.constraints).with_budget(self.budget);
-        let mut inst = encoded.instance;
-        let (chase_outcome, stats) = engine.chase(&mut inst);
 
+        let engine = ChaseEngine::new(catalogue.constraints)
+            .with_budget(self.budget)
+            .with_mode(self.mode);
+        let mut inst = encoded.instance;
+        let chase_start = Instant::now();
+        let (chase_outcome, stats) = engine.chase(&mut inst);
+        let chase_us = chase_start.elapsed().as_micros();
+
+        let extract_start = Instant::now();
         let extractor = Extractor::new(&vrem, &inst, &FlopsCost);
         let mut candidates = extractor.candidates(encoded.root);
         if candidates.is_empty() {
             // Un-chased leaf-only expressions still decode via `extract`.
             candidates.extend(extractor.extract(encoded.root));
         }
+        let extract_us = extract_start.elapsed().as_micros();
         if candidates.is_empty() {
             return Err(RewriteError::NoPlan);
         }
 
-        let mut plans = Vec::with_capacity(candidates.len());
-        for expr in candidates.drain(..) {
-            // Candidates assembled from chase-created classes can in rare
-            // cases fall outside the metadata catalog (e.g. a literal the
-            // cost model cannot shape); skip rather than fail the call.
-            if let Ok(est_cost) = cm.cost(&expr) {
-                plans.push(Plan { expr, est_cost });
-            }
-        }
+        let rank_start = Instant::now();
+        let mut plans = rank_candidates(&cm, candidates);
         plans.sort_by(|a, b| {
             a.est_cost.partial_cmp(&b.est_cost).unwrap_or(std::cmp::Ordering::Equal)
         });
+        let rank_us = rank_start.elapsed().as_micros();
 
         let report = RewriteReport {
             chase_outcome,
@@ -159,6 +185,11 @@ impl Optimizer {
             num_facts: inst.num_facts(),
             num_candidates: plans.len(),
             elapsed_us: start.elapsed().as_micros(),
+            encode_us,
+            chase_us,
+            extract_us,
+            rank_us,
+            chase_stats: stats,
         };
         Ok(RankedPlans { original, plans, report })
     }
@@ -201,6 +232,19 @@ impl Optimizer {
         let plan = ranked.original.clone();
         Ok((ranked, plan, reference))
     }
+}
+
+/// Estimates candidate costs, sharding across worker threads when the
+/// candidate set is large. Candidates assembled from chase-created classes
+/// can in rare cases fall outside the metadata catalog (e.g. a literal the
+/// cost model cannot shape); those are skipped rather than failing the call.
+fn rank_candidates(cm: &CostModel<'_>, candidates: Vec<Expr>) -> Vec<Plan> {
+    hadad_core::extract::par_map(&candidates, PARALLEL_RANK_THRESHOLD, |expr| {
+        cm.cost(expr).ok().map(|est_cost| Plan { expr: expr.clone(), est_cost })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,280 @@
+//! Differential property test: the naive and semi-naïve chase engines must
+//! agree. For a corpus of random shape-valid expressions, both engines
+//! chase the same encoded instance and the results are compared on
+//! structure (facts and union-find partition, modulo labelled-null
+//! renaming, via a colour-refinement signature) and on behaviour (the
+//! extracted min-cost plan). The semi-naïve engine must also enumerate
+//! fewer premise matches over the corpus — that is the point of it.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, EvalMode, Instance, NodeId};
+use hadad_core::expr::dsl::*;
+use hadad_core::{Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, Vrem};
+use hadad_linalg::rng::Rng64;
+use hadad_rewrite::FlopsCost;
+
+/// Base matrices every random expression draws from. Two square sizes, a
+/// compatible rectangular pair, and vectors keep all binary ops satisfiable.
+fn corpus_catalog() -> MetaCatalog {
+    let mut cat = MetaCatalog::new();
+    cat.register("A", MatrixMeta::dense(12, 8));
+    cat.register("B", MatrixMeta::dense(8, 12));
+    cat.register("C", MatrixMeta::dense(8, 8));
+    cat.register("D", MatrixMeta::dense(12, 12));
+    cat.register("x", MatrixMeta::dense(8, 1));
+    cat.register("y", MatrixMeta::dense(12, 1));
+    cat
+}
+
+/// Grows a pool of shape-tracked expressions by random composition and
+/// returns the largest composite below a node budget. Only chase-friendly
+/// operators (no divergent inverse interplay) so every sample saturates
+/// within the test budget.
+fn random_expr(rng: &mut Rng64) -> Expr {
+    let mut pool: Vec<(Expr, (usize, usize))> = vec![
+        (m("A"), (12, 8)),
+        (m("B"), (8, 12)),
+        (m("C"), (8, 8)),
+        (m("D"), (12, 12)),
+        (m("x"), (8, 1)),
+        (m("y"), (12, 1)),
+    ];
+    let steps = 3 + rng.range_usize(4);
+    let mut last_composite: Option<(Expr, usize)> = None;
+    for _ in 0..steps {
+        let op = rng.range_usize(8);
+        let pick = |rng: &mut Rng64, pool: &[(Expr, (usize, usize))]| {
+            pool[rng.range_usize(pool.len())].clone()
+        };
+        let made: Option<(Expr, (usize, usize))> = match op {
+            // Multiplication dominates (it is what the catalogue rewrites
+            // hardest): pick a left factor, then any right factor that fits.
+            0..=2 => {
+                let (l, (lr, lc)) = pick(rng, &pool);
+                let fits: Vec<&(Expr, (usize, usize))> =
+                    pool.iter().filter(|(_, (rr, _))| *rr == lc).collect();
+                if fits.is_empty() {
+                    None
+                } else {
+                    let (r, (_, rc)) = fits[rng.range_usize(fits.len())].clone();
+                    Some((mul(l, r), (lr, rc)))
+                }
+            }
+            3..=5 => {
+                let (l, ls) = pick(rng, &pool);
+                let fits: Vec<&(Expr, (usize, usize))> =
+                    pool.iter().filter(|(_, s)| *s == ls).collect();
+                let (r, _) = fits[rng.range_usize(fits.len())].clone();
+                Some(match op {
+                    3 => (add(l, r), ls),
+                    4 => (sub(l, r), ls),
+                    _ => (had(l, r), ls),
+                })
+            }
+            6 => {
+                let (e, (r, c)) = pick(rng, &pool);
+                Some((t(e), (c, r)))
+            }
+            _ => {
+                let squares: Vec<&(Expr, (usize, usize))> =
+                    pool.iter().filter(|(_, (r, c))| r == c && *r > 1).collect();
+                if squares.is_empty() {
+                    None
+                } else {
+                    let (e, _) = squares[rng.range_usize(squares.len())].clone();
+                    Some((trace(e), (1, 1)))
+                }
+            }
+        };
+        if let Some((e, shape)) = made {
+            let n = e.node_count();
+            if n <= 16 {
+                if last_composite.as_ref().map_or(true, |(_, best)| n >= *best) {
+                    last_composite = Some((e.clone(), n));
+                }
+                pool.push((e, shape));
+            }
+        }
+    }
+    last_composite.map_or_else(|| m("A"), |(e, _)| e)
+}
+
+/// Structural signature of an instance, stable under renaming of labelled
+/// nulls: colour refinement over the bipartite fact/class incidence graph.
+/// Classes start from their constant (or "null"), then are iteratively
+/// refined by the multiset of (fact hash, position) incidences; the final
+/// signature is the sorted list of facts rendered with class colours.
+fn signature(inst: &Instance) -> Vec<(u32, Vec<u64>)> {
+    let hash_one = |vals: &dyn Fn(&mut DefaultHasher)| {
+        let mut h = DefaultHasher::new();
+        vals(&mut h);
+        h.finish()
+    };
+    let mut label: HashMap<NodeId, u64> = HashMap::new();
+    for f in inst.facts() {
+        for &a in &f.args {
+            let root = inst.find(a);
+            let init = match inst.const_of(root) {
+                Some(s) => hash_one(&|h| (1u8, s.0).hash(h)),
+                None => 0,
+            };
+            label.insert(root, init);
+        }
+    }
+    for _ in 0..5 {
+        let mut incidence: HashMap<NodeId, Vec<u64>> = HashMap::new();
+        for f in inst.facts() {
+            let fact_hash = hash_one(&|h| {
+                f.pred.0.hash(h);
+                for &a in &f.args {
+                    label[&inst.find(a)].hash(h);
+                }
+            });
+            for (pos, &a) in f.args.iter().enumerate() {
+                let entry = hash_one(&|h| (fact_hash, pos as u32).hash(h));
+                incidence.entry(inst.find(a)).or_default().push(entry);
+            }
+        }
+        label = label
+            .iter()
+            .map(|(&n, &old)| {
+                let mut inc = incidence.remove(&n).unwrap_or_default();
+                inc.sort_unstable();
+                (n, hash_one(&|h| (old, &inc).hash(h)))
+            })
+            .collect();
+    }
+    let mut sig: Vec<(u32, Vec<u64>)> = inst
+        .facts()
+        .iter()
+        .map(|f| (f.pred.0, f.args.iter().map(|&a| label[&inst.find(a)]).collect()))
+        .collect();
+    sig.sort();
+    sig
+}
+
+/// Number of distinct union-find classes appearing in facts.
+fn active_classes(inst: &Instance) -> usize {
+    inst.active_nodes().len()
+}
+
+struct ChasePair {
+    naive_inst: Instance,
+    semi_inst: Instance,
+    naive_matches: u64,
+    semi_matches: u64,
+    root: NodeId,
+    vrem: Vrem,
+}
+
+fn chase_both(e: &Expr, cat: &MetaCatalog, budget: ChaseBudget) -> ChasePair {
+    let mut vrem = Vrem::new();
+    let enc = Encoder::new(&mut vrem, cat).encode(e).expect("generator emits valid shapes");
+    let catalogue = Catalogue::standard(&mut vrem);
+    let naive_engine = ChaseEngine::new(catalogue.constraints.clone())
+        .with_budget(budget)
+        .with_mode(EvalMode::Naive);
+    let semi_engine = ChaseEngine::new(catalogue.constraints).with_budget(budget);
+    assert_eq!(semi_engine.mode, EvalMode::SemiNaive, "semi-naïve is the default");
+    let mut naive_inst = enc.instance.clone();
+    let mut semi_inst = enc.instance;
+    let (naive_outcome, naive_stats) = naive_engine.chase(&mut naive_inst);
+    let (semi_outcome, semi_stats) = semi_engine.chase(&mut semi_inst);
+    assert_eq!(naive_outcome, ChaseOutcome::Saturated, "naive did not saturate on {e}");
+    assert_eq!(semi_outcome, ChaseOutcome::Saturated, "semi-naïve did not saturate on {e}");
+    ChasePair {
+        naive_inst,
+        semi_inst,
+        naive_matches: naive_stats.matches_enumerated(),
+        semi_matches: semi_stats.matches_enumerated(),
+        root: enc.root,
+        vrem,
+    }
+}
+
+#[test]
+fn naive_and_semi_naive_chases_agree_on_random_corpus() {
+    let cat = corpus_catalog();
+    let budget = ChaseBudget { max_rounds: 12, max_facts: 20_000, max_nulls: 10_000 };
+    let mut rng = Rng64::new(0xADAD_5EED);
+    let mut total_naive = 0u64;
+    let mut total_semi = 0u64;
+    let mut composites = 0usize;
+    for i in 0..120 {
+        let e = random_expr(&mut rng);
+        if e.node_count() > 1 {
+            composites += 1;
+        }
+        let pair = chase_both(&e, &cat, budget);
+        assert_eq!(
+            pair.naive_inst.num_facts(),
+            pair.semi_inst.num_facts(),
+            "sample {i} ({e}): fact counts diverge"
+        );
+        assert_eq!(
+            active_classes(&pair.naive_inst),
+            active_classes(&pair.semi_inst),
+            "sample {i} ({e}): union-find partitions diverge"
+        );
+        assert_eq!(
+            signature(&pair.naive_inst),
+            signature(&pair.semi_inst),
+            "sample {i} ({e}): saturated instances are not isomorphic"
+        );
+        let naive_ex = Extractor::new(&pair.vrem, &pair.naive_inst, &FlopsCost);
+        let semi_ex = Extractor::new(&pair.vrem, &pair.semi_inst, &FlopsCost);
+        let (np, sp) = (naive_ex.extract(pair.root), semi_ex.extract(pair.root));
+        if np != sp {
+            panic!(
+                "sample {i} ({e}): best plans diverge\n naive: {:?}\n semi:  {:?}",
+                np.map(|x| x.to_string()),
+                sp.map(|x| x.to_string())
+            );
+        }
+        let (cn, cs) = (
+            naive_ex.class_cost(pair.root).expect("root solvable"),
+            semi_ex.class_cost(pair.root).expect("root solvable"),
+        );
+        assert!((cn - cs).abs() <= 1e-6 * cn.abs().max(1.0), "sample {i} ({e}): costs diverge");
+        total_naive += pair.naive_matches;
+        total_semi += pair.semi_matches;
+    }
+    assert!(composites >= 100, "corpus too degenerate: {composites} composite samples");
+    assert!(
+        total_semi < total_naive,
+        "semi-naïve enumerated {total_semi} matches vs naive {total_naive}"
+    );
+}
+
+#[test]
+fn chain8_saturates_in_default_budget_and_semi_naive_wins() {
+    // The bench's 8-matrix chain, chased under the *default* budget: the
+    // semi-naïve engine must saturate it and enumerate strictly fewer
+    // premise matches than the naive baseline (ISSUE 2 acceptance).
+    let dims = [96usize, 80, 64, 48, 36, 24, 12, 6, 1];
+    let mut cat = MetaCatalog::new();
+    let mut expr: Option<Expr> = None;
+    for i in 0..8 {
+        let name = format!("M{}", i + 1);
+        cat.register(&name, MatrixMeta::dense(dims[i], dims[i + 1]));
+        let leaf = m(&name);
+        expr = Some(match expr {
+            Some(e) => mul(e, leaf),
+            None => leaf,
+        });
+    }
+    let e = expr.unwrap();
+    let pair = chase_both(&e, &cat, ChaseBudget::default());
+    assert!(
+        pair.semi_matches < pair.naive_matches,
+        "semi-naïve must enumerate strictly fewer matches: {} vs {}",
+        pair.semi_matches,
+        pair.naive_matches
+    );
+    let ex = Extractor::new(&pair.vrem, &pair.semi_inst, &FlopsCost);
+    let best = ex.extract(pair.root).expect("chain decodes");
+    assert_eq!(best.to_string(), "(M1 (M2 (M3 (M4 (M5 (M6 (M7 M8)))))))");
+}
