@@ -4,25 +4,39 @@ use crate::atom::Atom;
 use crate::symbols::Vocabulary;
 use crate::term::Term;
 
-/// A conjunctive query: distinguished head variables plus a body of
-/// relational atoms.
+/// A conjunctive query: distinguished head terms plus a body of relational
+/// atoms. Head positions are usually variables, but queries produced by
+/// selections (and rewritings of them) may carry constants in the head —
+/// e.g. `Q(x, 7) :- R(x, 7)` after an equality selection on the second
+/// column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cq {
-    /// Distinguished (head) variables.
-    pub head: Vec<u32>,
+    /// Distinguished (head) terms.
+    pub head: Vec<Term>,
     pub body: Vec<Atom>,
 }
 
 impl Cq {
-    pub fn new(head: Vec<u32>, body: Vec<Atom>) -> Self {
+    pub fn new(head: Vec<Term>, body: Vec<Atom>) -> Self {
         let q = Cq { head, body };
         debug_assert!(q.is_safe(), "head variables must occur in the body");
         q
     }
 
-    /// Safety: every head variable appears in some body atom.
+    /// Convenience constructor for the common all-variable head.
+    pub fn with_var_head(head: Vec<u32>, body: Vec<Atom>) -> Self {
+        Cq::new(head.into_iter().map(Term::Var).collect(), body)
+    }
+
+    /// Head variables, skipping constant head positions.
+    pub fn head_vars(&self) -> impl Iterator<Item = u32> + '_ {
+        self.head.iter().filter_map(Term::as_var)
+    }
+
+    /// Safety: every head *variable* appears in some body atom (constants
+    /// are trivially safe).
     pub fn is_safe(&self) -> bool {
-        self.head.iter().all(|h| self.body.iter().any(|a| a.vars().any(|v| v == *h)))
+        self.head_vars().all(|h| self.body.iter().any(|a| a.vars().any(|v| v == h)))
     }
 
     /// Largest variable index used, plus one (for fresh-variable allocation).
@@ -30,36 +44,37 @@ impl Cq {
         self.body
             .iter()
             .flat_map(|a| a.vars())
-            .chain(self.head.iter().copied())
+            .chain(self.head_vars())
             .max()
             .map_or(0, |v| v + 1)
     }
 
     /// Renders `Q(?h..) :- atom, atom` for debugging.
     pub fn display(&self, vocab: &Vocabulary) -> String {
-        let head: Vec<String> = self.head.iter().map(|h| format!("?{h}")).collect();
+        let head: Vec<String> = self
+            .head
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => format!("?{v}"),
+                Term::Const(c) => vocab.const_name(*c).to_owned(),
+            })
+            .collect();
         let body: Vec<String> = self.body.iter().map(|a| a.display(vocab)).collect();
         format!("Q({}) :- {}", head.join(", "), body.join(" ∧ "))
     }
 
     /// Applies a variable renaming `old -> new` to every term.
     pub fn rename_vars(&self, f: impl Fn(u32) -> u32) -> Cq {
+        let map = |t: &Term| match t {
+            Term::Var(v) => Term::Var(f(*v)),
+            c => *c,
+        };
         Cq {
-            head: self.head.iter().map(|&v| f(v)).collect(),
+            head: self.head.iter().map(&map).collect(),
             body: self
                 .body
                 .iter()
-                .map(|a| Atom {
-                    pred: a.pred,
-                    args: a
-                        .args
-                        .iter()
-                        .map(|t| match t {
-                            Term::Var(v) => Term::Var(f(*v)),
-                            c => *c,
-                        })
-                        .collect(),
-                })
+                .map(|a| Atom { pred: a.pred, args: a.args.iter().map(&map).collect() })
                 .collect(),
         }
     }
@@ -76,23 +91,32 @@ mod tests {
 
     #[test]
     fn safety_check() {
-        let q = Cq { head: vec![0], body: vec![atom(0, &[0, 1])] };
+        let q = Cq { head: vec![Term::Var(0)], body: vec![atom(0, &[0, 1])] };
         assert!(q.is_safe());
-        let unsafe_q = Cq { head: vec![9], body: vec![atom(0, &[0, 1])] };
+        let unsafe_q = Cq { head: vec![Term::Var(9)], body: vec![atom(0, &[0, 1])] };
         assert!(!unsafe_q.is_safe());
     }
 
     #[test]
+    fn constant_heads_are_safe() {
+        let mut vocab = Vocabulary::new();
+        let seven = vocab.constant("7");
+        let q = Cq::new(vec![Term::Var(0), Term::Const(seven)], vec![atom(0, &[0, 1])]);
+        assert!(q.is_safe());
+        assert_eq!(q.head_vars().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
     fn var_bound_counts_head_and_body() {
-        let q = Cq { head: vec![0], body: vec![atom(0, &[0, 5])] };
+        let q = Cq { head: vec![Term::Var(0)], body: vec![atom(0, &[0, 5])] };
         assert_eq!(q.var_bound(), 6);
     }
 
     #[test]
     fn rename_shifts_everything() {
-        let q = Cq::new(vec![0], vec![atom(0, &[0, 1])]);
+        let q = Cq::with_var_head(vec![0], vec![atom(0, &[0, 1])]);
         let r = q.rename_vars(|v| v + 10);
-        assert_eq!(r.head, vec![10]);
+        assert_eq!(r.head, vec![Term::Var(10)]);
         assert_eq!(r.body[0].args, vec![Term::Var(10), Term::Var(11)]);
     }
 }

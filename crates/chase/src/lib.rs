@@ -36,7 +36,7 @@ pub use chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, EvalMode};
 pub use constraint::{Constraint, Egd, Tgd};
 pub use cq::Cq;
 pub use instance::{ConstClash, Instance, NodeId};
-pub use pacb::{Pacb, PacbOptions, Rewriting};
+pub use pacb::{CostFn, Pacb, PacbOptions, PacbResult, Rewriting, View};
 pub use provenance::Provenance;
 pub use symbols::{PredId, SymId, Vocabulary};
 pub use term::Term;

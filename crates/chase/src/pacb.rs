@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use crate::atom::Atom;
-use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, Pruner};
+use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, Pruner};
 use crate::constraint::{Constraint, Tgd};
 use crate::cq::Cq;
 use crate::homomorphism::{self, Match};
@@ -46,10 +46,7 @@ impl View {
         Tgd::new(
             format!("V_IO:{}", self.name),
             self.def.body.clone(),
-            vec![Atom::new(
-                self.head_pred,
-                self.def.head.iter().map(|&v| Term::Var(v)).collect(),
-            )],
+            vec![Atom::new(self.head_pred, self.def.head.clone())],
         )
     }
 
@@ -57,10 +54,7 @@ impl View {
     pub fn oi_constraint(&self) -> Tgd {
         Tgd::new(
             format!("V_OI:{}", self.name),
-            vec![Atom::new(
-                self.head_pred,
-                self.def.head.iter().map(|&v| Term::Var(v)).collect(),
-            )],
+            vec![Atom::new(self.head_pred, self.def.head.clone())],
             self.def.body.clone(),
         )
     }
@@ -104,7 +98,6 @@ pub struct Pacb<'a> {
 struct BackchasePruner<'b> {
     threshold: f64,
     cost_fn: CostFn<'b>,
-    pruned: usize,
 }
 
 impl Pruner for BackchasePruner<'_> {
@@ -118,14 +111,12 @@ impl Pruner for BackchasePruner<'_> {
         if combined.is_empty() {
             return true; // no universal-plan justification — not prunable
         }
-        let viable = combined.conjuncts().iter().any(|&c| {
+        // Vetoed firings are counted by the engine (`ChaseStats::
+        // pruned_firings`), which PACB surfaces as `backchase_stats`.
+        combined.conjuncts().iter().any(|&c| {
             let atoms = Provenance::conjunct_terms(c);
             (self.cost_fn)(inst, &atoms) <= self.threshold
-        });
-        if !viable {
-            self.pruned += 1;
-        }
-        viable
+        })
     }
 }
 
@@ -137,6 +128,11 @@ pub struct PacbResult {
     pub backchase_outcome: ChaseOutcome,
     /// Number of universal-plan atoms.
     pub universal_plan_size: usize,
+    /// Statistics of the forward chase (phase i).
+    pub chase_stats: ChaseStats,
+    /// Statistics of the backchase (phase iv); `pruned_firings` counts the
+    /// steps vetoed by `Prune_prov`.
+    pub backchase_stats: ChaseStats,
 }
 
 impl<'a> Pacb<'a> {
@@ -174,7 +170,10 @@ impl<'a> Pacb<'a> {
         let head_nodes: Vec<NodeId> = q
             .head
             .iter()
-            .map(|v| *var_node.entry(*v).or_insert_with(|| inst.fresh_null()))
+            .map(|t| match t {
+                Term::Var(v) => *var_node.entry(*v).or_insert_with(|| inst.fresh_null()),
+                Term::Const(c) => inst.const_node(*c),
+            })
             .collect();
 
         let mut io_constraints: Vec<Constraint> = self.constraints.to_vec();
@@ -182,7 +181,7 @@ impl<'a> Pacb<'a> {
             io_constraints.push(v.io_constraint().into());
         }
         let engine = ChaseEngine::new(io_constraints).with_budget(self.options.budget);
-        let (chase_outcome, _) = engine.chase(&mut inst);
+        let (chase_outcome, chase_stats) = engine.chase(&mut inst);
 
         // Phase (ii)+(iii): universal plan = view atoms, each with a fresh
         // provenance term, rebuilt in a fresh instance.
@@ -222,22 +221,30 @@ impl<'a> Pacb<'a> {
             oi_constraints.push(v.oi_constraint().into());
         }
         let back_engine = ChaseEngine::new(oi_constraints).with_budget(self.options.budget);
-        let backchase_outcome = match (self.options.prune_threshold, self.cost_fn) {
-            (Some(t), Some(f)) => {
-                let mut pruner = BackchasePruner { threshold: t, cost_fn: f, pruned: 0 };
-                back_engine.chase_with(&mut u, &mut pruner).0
-            }
-            _ => back_engine.chase(&mut u).0,
-        };
+        let (backchase_outcome, backchase_stats) =
+            match (self.options.prune_threshold, self.cost_fn) {
+                (Some(t), Some(f)) => {
+                    let mut pruner = BackchasePruner { threshold: t, cost_fn: f };
+                    back_engine.chase_with(&mut u, &mut pruner)
+                }
+                _ => back_engine.chase(&mut u),
+            };
 
         // Phase (v): match Q into the backchase result; read rewritings off
         // the provenance formulas of the match images.
         let mut rewriting_masks: Provenance = Provenance::empty();
         homomorphism::for_each_match(&u, &q.body, &mut |m| {
             // Head compatibility: h(head of Q) must equal the universal
-            // plan's head nodes.
-            let compatible = q.head.iter().zip(&head_in_u).all(|(v, hu)| match hu {
-                Some(hu) => m.bindings.get(v).map(|n| u.find(*n)) == Some(u.find(*hu)),
+            // plan's head nodes. Constant head positions pin to the
+            // constant's node in `u`.
+            let compatible = q.head.iter().zip(&head_in_u).all(|(t, hu)| match hu {
+                Some(hu) => {
+                    let image = match t {
+                        Term::Var(v) => m.bindings.get(v).map(|n| u.find(*n)),
+                        Term::Const(c) => u.node_of_const(*c).map(|n| u.find(n)),
+                    };
+                    image == Some(u.find(*hu))
+                }
                 None => false,
             });
             if compatible {
@@ -251,7 +258,13 @@ impl<'a> Pacb<'a> {
         let mut rewritings = Vec::new();
         for &c in rewriting_masks.conjuncts() {
             let atom_idxs = Provenance::conjunct_terms(c);
-            let rw = self.build_rewriting(&u, &u_atoms, &atom_idxs, &head_in_u);
+            // A head node that is neither a constant nor covered by the
+            // chosen atoms would make the rewriting unsafe; such candidates
+            // are rejected (previously they were emitted with a sentinel
+            // variable, silently malformed).
+            let Some(rw) = self.build_rewriting(&u, &u_atoms, &atom_idxs, &head_in_u) else {
+                continue;
+            };
             let cost = self.cost_fn.map(|f| f(&u, &atom_idxs));
             if let (Some(cost_v), Some(t)) = (cost, self.options.prune_threshold) {
                 if cost_v > t {
@@ -266,18 +279,27 @@ impl<'a> Pacb<'a> {
                 .partial_cmp(&b.cost.unwrap_or(f64::INFINITY))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        PacbResult { rewritings, chase_outcome, backchase_outcome, universal_plan_size }
+        PacbResult {
+            rewritings,
+            chase_outcome,
+            backchase_outcome,
+            universal_plan_size,
+            chase_stats,
+            backchase_stats,
+        }
     }
 
     /// Converts a subset of universal-plan atoms back into a CQ over view
     /// predicates: nodes become variables (constants stay constants).
+    /// Returns `None` when some head node is neither a constant nor bound
+    /// by the chosen atoms (the rewriting would be unsafe).
     fn build_rewriting(
         &self,
         u: &Instance,
         u_atoms: &[(PredId, Vec<NodeId>)],
         atom_idxs: &[usize],
         head_in_u: &[Option<NodeId>],
-    ) -> Cq {
+    ) -> Option<Cq> {
         let mut var_of: HashMap<NodeId, u32> = HashMap::new();
         let mut next = 0u32;
         let mut body = Vec::with_capacity(atom_idxs.len());
@@ -302,11 +324,15 @@ impl<'a> Pacb<'a> {
                 .collect();
             body.push(Atom::new(*pred, terms));
         }
-        let head: Vec<u32> = head_in_u
-            .iter()
-            .filter_map(|h| h.map(|n| *var_of.get(&u.find(n)).unwrap_or(&u32::MAX)))
-            .collect();
-        Cq { head, body }
+        let mut head = Vec::with_capacity(head_in_u.len());
+        for h in head_in_u {
+            let root = u.find((*h)?);
+            match u.const_of(root) {
+                Some(c) => head.push(Term::Const(c)),
+                None => head.push(Term::Var(*var_of.get(&root)?)),
+            }
+        }
+        Some(Cq { head, body })
     }
 }
 
@@ -327,7 +353,7 @@ mod tests {
         let view = View::new(
             "V",
             v,
-            Cq::new(
+            Cq::with_var_head(
                 vec![0, 2],
                 vec![
                     Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
@@ -335,7 +361,7 @@ mod tests {
                 ],
             ),
         );
-        let q = Cq::new(
+        let q = Cq::with_var_head(
             vec![0, 2],
             vec![
                 Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
@@ -353,8 +379,7 @@ mod tests {
         assert_eq!(rw.query.body[0].pred, v);
         assert_eq!(rw.query.head.len(), 2);
         // ρ(x, y) :- V(x, y): head variables are the view atom's args.
-        let args: Vec<u32> = rw.query.body[0].args.iter().filter_map(Term::as_var).collect();
-        assert_eq!(rw.query.head, args);
+        assert_eq!(rw.query.head, rw.query.body[0].args);
     }
 
     /// A query that the views cannot answer gets no rewriting.
@@ -368,9 +393,10 @@ mod tests {
         let view = View::new(
             "V",
             v,
-            Cq::new(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]),
+            Cq::with_var_head(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]),
         );
-        let q = Cq::new(vec![0, 1], vec![Atom::new(t, vec![Term::Var(0), Term::Var(1)])]);
+        let q =
+            Cq::with_var_head(vec![0, 1], vec![Atom::new(t, vec![Term::Var(0), Term::Var(1)])]);
         let views = [view];
         let pacb = Pacb::new(&[], &views);
         let result = pacb.rewrite(&q);
@@ -387,10 +413,10 @@ mod tests {
         let view = View::new(
             "V",
             v,
-            Cq::new(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]),
+            Cq::with_var_head(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]),
         );
         // Q(x,y) :- R(x,y), R(x,y) — redundant atom.
-        let q = Cq::new(
+        let q = Cq::with_var_head(
             vec![0, 1],
             vec![
                 Atom::new(r, vec![Term::Var(0), Term::Var(1)]),
@@ -402,5 +428,80 @@ mod tests {
         let result = pacb.rewrite(&q);
         assert_eq!(result.rewritings.len(), 1);
         assert_eq!(result.rewritings[0].query.body.len(), 1);
+    }
+
+    /// Regression: a constant in the query head must survive into the
+    /// rewriting as a constant (previously it became the `u32::MAX`
+    /// sentinel variable, silently malformed).
+    #[test]
+    fn constant_head_round_trips() {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.predicate("R", 2);
+        let v = vocab.predicate("V", 2);
+        let seven = vocab.constant("7");
+
+        // V(x, y) :- R(x, y); Q(x, 7) :- R(x, 7).
+        let view = View::new(
+            "V",
+            v,
+            Cq::with_var_head(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]),
+        );
+        let q = Cq::new(
+            vec![Term::Var(0), Term::Const(seven)],
+            vec![Atom::new(r, vec![Term::Var(0), Term::Const(seven)])],
+        );
+        let views = [view];
+        let pacb = Pacb::new(&[], &views);
+        let result = pacb.rewrite(&q);
+        assert_eq!(result.rewritings.len(), 1);
+        let rw = &result.rewritings[0];
+        assert_eq!(rw.query.body.len(), 1);
+        assert_eq!(rw.query.body[0].pred, v);
+        // Head: the variable of the view atom's first arg, then the constant.
+        assert_eq!(rw.query.head.len(), 2);
+        assert_eq!(rw.query.head[0], rw.query.body[0].args[0]);
+        assert!(rw.query.head[0].is_var());
+        assert_eq!(rw.query.head[1], Term::Const(seven));
+        assert_eq!(rw.query.body[0].args[1], Term::Const(seven));
+        assert!(rw.query.is_safe());
+    }
+
+    /// `Prune_prov`: with a cost function and a threshold, backchase steps
+    /// justified only by expensive universal-plan atoms are vetoed (and
+    /// counted), while the cheap rewriting survives.
+    #[test]
+    fn prune_prov_vetoes_expensive_steps() {
+        let mut vocab = Vocabulary::new();
+        let r = vocab.predicate("R", 2);
+        let ve = vocab.predicate("Ve", 2);
+        let vc = vocab.predicate("Vc", 2);
+
+        let def =
+            Cq::with_var_head(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]);
+        // Two copies of the same view; the expensive one is listed first so
+        // its backchase step is offered (and vetoed) before the cheap one
+        // satisfies the conclusion.
+        let views = [View::new("Ve", ve, def.clone()), View::new("Vc", vc, def)];
+        let q =
+            Cq::with_var_head(vec![0, 1], vec![Atom::new(r, vec![Term::Var(0), Term::Var(1)])]);
+
+        // Universal-plan atom 0 is Ve (cost 100), atom 1 is Vc (cost 1).
+        let cost_fn = |inst: &Instance, atoms: &[usize]| -> f64 {
+            atoms.iter().map(|&i| if inst.fact(i).pred == ve { 100.0 } else { 1.0 }).sum()
+        };
+        let pacb = Pacb::new(&[], &views)
+            .with_options(PacbOptions { prune_threshold: Some(50.0), ..Default::default() })
+            .with_cost_fn(&cost_fn);
+        let result = pacb.rewrite(&q);
+
+        assert_eq!(result.universal_plan_size, 2);
+        // The Ve-justified backchase step was pruned...
+        assert_eq!(result.backchase_stats.pruned_firings, 1);
+        // ...and only the cheap rewriting survives, with its cost attached.
+        assert_eq!(result.rewritings.len(), 1);
+        let rw = &result.rewritings[0];
+        assert_eq!(rw.query.body[0].pred, vc);
+        assert_eq!(rw.cost, Some(1.0));
+        assert_eq!(rw.u_atoms, vec![1]);
     }
 }

@@ -226,11 +226,29 @@ pub struct CqEncoder<'a> {
     pub atoms: Vec<Atom>,
     next_var: u32,
     memo: HashMap<String, u32>,
+    /// When set, a `size(v, r, c)` atom (constant dims) is emitted per
+    /// encoded subexpression, so TGD conclusions built from these atoms
+    /// carry shapes for classes the chase creates (view-leaf shape
+    /// inference in extraction relies on this).
+    emit_sizes: bool,
 }
 
 impl<'a> CqEncoder<'a> {
     pub fn new(vrem: &'a mut Vrem, cat: &'a MetaCatalog) -> Self {
-        CqEncoder { vrem, cat, atoms: Vec::new(), next_var: 0, memo: HashMap::new() }
+        CqEncoder {
+            vrem,
+            cat,
+            atoms: Vec::new(),
+            next_var: 0,
+            memo: HashMap::new(),
+            emit_sizes: false,
+        }
+    }
+
+    /// Enables per-subexpression `size` atoms.
+    pub fn with_sizes(mut self) -> Self {
+        self.emit_sizes = true;
+        self
     }
 
     pub fn fresh_var(&mut self) -> u32 {
@@ -247,7 +265,7 @@ impl<'a> CqEncoder<'a> {
             return Ok(v);
         }
         // Validate shapes eagerly (errors surface at view-registration time).
-        crate::stats::shape(e, self.cat)?;
+        let (rows, cols) = crate::stats::shape(e, self.cat)?;
         let var = match e {
             Mat(n) => {
                 let sym = self.vrem.vocab.constant(n);
@@ -316,6 +334,14 @@ impl<'a> CqEncoder<'a> {
                 out
             }
         };
+        if self.emit_sizes {
+            let r = self.vrem.vocab.int(rows as i64);
+            let c = self.vrem.vocab.int(cols as i64);
+            self.atoms.push(Atom::new(
+                self.vrem.size,
+                vec![Term::Var(var), Term::Const(r), Term::Const(c)],
+            ));
+        }
         self.memo.insert(key, var);
         Ok(var)
     }
@@ -443,6 +469,25 @@ mod tests {
         assert!(root > 0);
         let shape_err = CqEncoder::new(&mut vrem, &c).enc(&mul(m("M"), t(m("M"))));
         assert!(shape_err.is_ok());
+    }
+
+    #[test]
+    fn cq_encoder_with_sizes_emits_size_atoms() {
+        let mut vrem = Vrem::new();
+        let mut c = MetaCatalog::new();
+        c.register("M", MatrixMeta::dense(6, 4));
+        let mut enc = CqEncoder::new(&mut vrem, &c).with_sizes();
+        let root = enc.enc(&t(m("M"))).unwrap();
+        // name(M) + size(M) + tr + size(root) = 4 atoms.
+        assert_eq!(enc.atoms.len(), 4);
+        let sizes: Vec<&Atom> = enc.atoms.iter().filter(|a| a.pred == vrem.size).collect();
+        assert_eq!(sizes.len(), 2);
+        // The root's size atom carries the transposed constant dims.
+        let four = vrem.vocab.constant("4");
+        let six = vrem.vocab.constant("6");
+        assert!(sizes
+            .iter()
+            .any(|a| a.args == vec![Term::Var(root), Term::Const(four), Term::Const(six)]));
     }
 
     #[test]

@@ -32,6 +32,15 @@ impl Catalog {
     pub fn cardinality(&self, name: &str) -> Option<usize> {
         self.tables.get(name).map(|t| t.num_rows())
     }
+
+    /// Row-count cost of a plan that scans the named tables once each: the
+    /// sum of their cardinalities, with unknown tables costed at
+    /// `f64::INFINITY` so they can never beat a known plan. This is the
+    /// cost function `Prune_prov` runs the PACB backchase with (§7.3): a
+    /// rewriting is only as expensive as the relations it reads.
+    pub fn scan_cost<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> f64 {
+        names.into_iter().map(|n| self.cardinality(n).map_or(f64::INFINITY, |c| c as f64)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -46,5 +55,16 @@ mod tests {
         assert_eq!(cat.cardinality("users"), Some(2));
         assert!(cat.get("missing").is_none());
         assert_eq!(cat.names().collect::<Vec<_>>(), vec!["users"]);
+    }
+
+    #[test]
+    fn scan_cost_sums_cardinalities() {
+        let mut cat = Catalog::new();
+        cat.register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]));
+        cat.register("tweets", Table::new(vec![("tid", Column::Int(vec![1, 2, 3]))]));
+        assert_eq!(cat.scan_cost(["users", "tweets"]), 5.0);
+        assert_eq!(cat.scan_cost(["users", "users"]), 4.0);
+        assert_eq!(cat.scan_cost(["users", "missing"]), f64::INFINITY);
+        assert_eq!(cat.scan_cost([]), 0.0);
     }
 }

@@ -64,11 +64,12 @@ pub fn hash_join(left: &Table, left_key: &str, right: &Table, right_key: &str) -
         if name == right_key {
             continue; // key already present from the left side
         }
-        let out_name = if out.column_index(name).is_some() {
-            format!("right.{name}")
-        } else {
-            name.clone()
-        };
+        // Prefix until unique: the left table may itself already carry a
+        // `right.<name>` column (e.g. the output of an earlier join).
+        let mut out_name = name.clone();
+        while out.column_index(&out_name).is_some() {
+            out_name = format!("right.{out_name}");
+        }
         out = out.with_column(&out_name, gathered_right.column_at(i).clone());
     }
     out
@@ -173,6 +174,51 @@ mod tests {
     fn text_search() {
         let t = select_contains(&tweets(), "text", "covid");
         assert_eq!(t.num_rows(), 2);
+    }
+
+    /// A float key column joins on exact integral values only: 1.0 matches
+    /// key 1, while 1.2 and 1.9 match nothing (truncation used to merge
+    /// them all onto key 1).
+    #[test]
+    fn join_on_float_key_requires_integral_values() {
+        let measurements = Table::new(vec![
+            ("uid", Column::Float(vec![1.0, 1.2, 1.9, 2.0])),
+            ("reading", Column::Int(vec![10, 20, 30, 40])),
+        ]);
+        let j = hash_join(&measurements, "uid", &users(), "id");
+        assert_eq!(j.num_rows(), 2);
+        assert_eq!(j.value(0, "reading"), Value::Int(10));
+        assert_eq!(j.value(0, "followers"), Value::Int(10));
+        assert_eq!(j.value(1, "reading"), Value::Int(40));
+        assert_eq!(j.value(1, "followers"), Value::Int(20));
+    }
+
+    /// The left table already carries a `right.<name>` column (from an
+    /// earlier join); the second join must not duplicate the name.
+    #[test]
+    fn join_uniquifies_colliding_column_names() {
+        let left = Table::new(vec![
+            ("id", Column::Int(vec![1, 2])),
+            ("score", Column::Int(vec![5, 6])),
+            ("right.score", Column::Int(vec![7, 8])),
+        ]);
+        let right = Table::new(vec![
+            ("id", Column::Int(vec![1, 2])),
+            ("score", Column::Int(vec![50, 60])),
+        ]);
+        let j = hash_join(&left, "id", &right, "id");
+        assert_eq!(
+            j.column_names(),
+            &[
+                "id".to_string(),
+                "score".to_string(),
+                "right.score".to_string(),
+                "right.right.score".to_string(),
+            ]
+        );
+        assert_eq!(j.value(0, "score"), Value::Int(5));
+        assert_eq!(j.value(0, "right.score"), Value::Int(7));
+        assert_eq!(j.value(0, "right.right.score"), Value::Int(50));
     }
 
     #[test]

@@ -30,10 +30,19 @@ impl Value {
         }
     }
 
+    /// Integer view. Non-integral floats return `None` — truncating them
+    /// would silently merge distinct join/group keys (1.2 and 1.9 both
+    /// landing on key 1).
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(v) => Some(*v),
-            Value::Float(v) => Some(*v as i64),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && *v >= i64::MIN as f64 && *v <= i64::MAX as f64 {
+                    Some(*v as i64)
+                } else {
+                    None
+                }
+            }
             Value::Str(_) => None,
         }
     }
@@ -84,7 +93,10 @@ impl Column {
         match self {
             Column::Int(v) => v[row] as f64,
             Column::Float(v) => v[row],
-            Column::Str(v) => stable_hash(&v[row]) as f64 % 1000.0,
+            // Reduce in u64 *before* the f64 cast: hashes exceed 2^53, so
+            // casting first would round and make the encoding depend on
+            // platform float rounding.
+            Column::Str(v) => (stable_hash(&v[row]) % 1000) as f64,
         }
     }
 }
@@ -202,7 +214,12 @@ mod tests {
     #[test]
     fn value_conversions() {
         assert_eq!(Value::Int(3).as_f64(), Some(3.0));
-        assert_eq!(Value::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Value::Float(2.0).as_i64(), Some(2));
+        // Non-integral floats are not integers: truncation would merge
+        // distinct keys.
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+        assert_eq!(Value::Float(-0.5).as_i64(), None);
+        assert_eq!(Value::Float(f64::NAN).as_i64(), None);
         assert_eq!(Value::Str("x".into()).as_f64(), None);
     }
 
@@ -210,5 +227,25 @@ mod tests {
     fn string_numeric_encoding_is_deterministic() {
         let c = Column::Str(vec!["hello".into(), "hello".into()]);
         assert_eq!(c.numeric(0), c.numeric(1));
+    }
+
+    /// Pins the categorical encoding to exact values: FNV-1a reduced mod
+    /// 1000 in integer space. A platform-rounding-dependent u64→f64 cast
+    /// before the modulo would shift these.
+    #[test]
+    fn string_numeric_encoding_is_pinned() {
+        let expected = |s: &str| (stable_hash(s) % 1000) as f64;
+        let c = Column::Str(vec!["hello".into(), "covid".into(), "".into()]);
+        assert_eq!(c.numeric(0), expected("hello"));
+        assert_eq!(c.numeric(1), expected("covid"));
+        assert_eq!(c.numeric(2), expected(""));
+        // Exact FNV-1a values, computed independently.
+        assert_eq!(stable_hash(""), 0xcbf29ce484222325);
+        assert_eq!(stable_hash("a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(c.numeric(2), 37.0); // 14695981039346656037 % 1000
+                                        // All encodings land in [0, 1000).
+        for r in 0..3 {
+            assert!((0.0..1000.0).contains(&c.numeric(r)));
+        }
     }
 }

@@ -1,5 +1,7 @@
-//! Micro-benchmark for `Optimizer::rewrite` across five pipeline families,
-//! emitting `BENCH_rewrite.json` (a tracked point of the perf trajectory).
+//! Micro-benchmark for `Optimizer::rewrite` across six pipeline families
+//! (five pure-LA, one hybrid relational→LA), emitting `BENCH_rewrite.json`
+//! (a tracked point of the perf trajectory). CI asserts the JSON parses and
+//! carries every family, so a silently dropped family fails the build.
 //!
 //! Each pipeline is rewritten with the default semi-naïve chase *and* with
 //! the naive baseline engine, so the JSON carries both chase-phase timings
@@ -14,7 +16,21 @@ use hadad_chase::{ChaseBudget, ChaseOutcome, EvalMode};
 use hadad_core::expr::dsl::*;
 use hadad_core::{Expr, MatrixMeta, MetaCatalog};
 use hadad_linalg::{rand_gen, Matrix};
-use hadad_rewrite::{eval, Env, Optimizer, RankedPlans};
+use hadad_relational::{Catalog, Column, Table};
+use hadad_rewrite::{
+    eval, CastKind, Env, HybridOptimizer, HybridPipeline, Optimizer, RankedPlans, RelQuery,
+};
+
+/// Every family the JSON must carry; CI cross-checks the emitted artifact
+/// against this list.
+const FAMILIES: [&str; 6] = [
+    "trace_cyclic",
+    "matvec_chain",
+    "qr_reuse",
+    "matmul_chain8",
+    "ridge_normal_eq",
+    "hybrid_tweets",
+];
 
 struct Pipeline {
     name: &'static str,
@@ -141,6 +157,117 @@ fn time_rewrite(opt: &Optimizer, e: &Expr, reps: u32) -> (RankedPlans, RewriteTi
     (ranked, timings)
 }
 
+/// The hybrid family (paper §9.2, tweet flavour): a topic filter over a
+/// synthetic tweets table, PACB-rewritten onto a materialized filtered
+/// view, cast to the ultra-sparse filter-level matrix `N`, with the `Nᵀ w`
+/// suffix rewritten onto the materialized `NT` view. Returns the JSON row.
+fn hybrid_family(reps: u32) -> String {
+    let n_tweets = 4000usize;
+    let n_topics = 40usize;
+    let covid = 7i64;
+
+    let n = n_tweets as i64;
+    let tweets = Table::new(vec![
+        ("tid", Column::Int((0..n).collect())),
+        ("topic", Column::Int((0..n).map(|i| i % n_topics as i64).collect())),
+        ("level", Column::Int((0..n).map(|i| i % 5 + 1).collect())),
+    ]);
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets);
+
+    let mut la_cat = MetaCatalog::new();
+    la_cat.register("w", MatrixMeta::dense(n_tweets, 1));
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(la_cat));
+    hy.register_table_view("covid_tweets", RelQuery::scan("tweets").select_eq("topic", covid))
+        .expect("view materializes");
+    hy.register_la_view("NT", t(m("N")));
+
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("tweets").select_eq("topic", covid),
+        sort_key: None,
+        cast: CastKind::Sparse {
+            row: "tid".into(),
+            col: "topic".into(),
+            val: "level".into(),
+            rows: n_tweets,
+            cols: n_topics,
+        },
+        cast_name: "N".into(),
+        suffix: mul(t(m("N")), m("w")),
+    };
+    let mut env = Env::new();
+    env.bind("w", Matrix::Dense(rand_gen::random_dense(n_tweets, 1, 61)));
+
+    // One verified warm-up carries the result fields; unverified reps carry
+    // the per-phase timings.
+    let verified =
+        hy.rewrite_hybrid_verified(&pipeline, &env, 1e-9).expect("hybrid pipeline rewrites");
+    let start = Instant::now();
+    let (mut pacb, mut rel_exec, mut cast_t, mut encode, mut chase, mut extract, mut rank) =
+        (0f64, 0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
+    for _ in 0..reps {
+        let r = hy.rewrite_hybrid(&pipeline).expect("hybrid pipeline rewrites");
+        pacb += r.rel.pacb_us as f64;
+        rel_exec += r.rel.exec_us as f64;
+        cast_t += r.cast_us as f64;
+        encode += r.ranked.report.encode_us as f64;
+        chase += r.ranked.report.chase_us as f64;
+        extract += r.ranked.report.extract_us as f64;
+        rank += r.ranked.report.rank_us as f64;
+    }
+    let total = start.elapsed().as_micros() as f64 / reps as f64;
+    let rf = reps as f64;
+
+    println!(
+        "{:<16} {:>8.0}us rewrite (pacb {:.0} rel-exec {:.0} cast {:.0} enc {:.0} chase {:.0} ext {:.0} rank {:.0}) | {} -> {} | rel rows {} -> {} | verified: {:?}",
+        "hybrid_tweets",
+        total,
+        pacb / rf,
+        rel_exec / rf,
+        cast_t / rf,
+        encode / rf,
+        chase / rf,
+        extract / rf,
+        rank / rf,
+        pipeline.suffix,
+        verified.best.expr,
+        verified.rel.cost_original,
+        verified.rel.rows_out,
+        verified.verified,
+    );
+
+    format!(
+        concat!(
+            "    {{\"pipeline\": \"hybrid_tweets\", \"nodes\": {}, \"rewrite_us\": {:.1}, ",
+            "\"pacb_us\": {:.1}, \"rel_exec_us\": {:.1}, \"cast_us\": {:.1}, ",
+            "\"encode_us\": {:.1}, \"chase_us\": {:.1}, \"extract_us\": {:.1}, ",
+            "\"rank_us\": {:.1}, \"rel_cost_original\": {:.1}, \"rel_cost_best\": {}, ",
+            "\"rel_rewritten\": {}, \"rel_rows_out\": {}, \"original\": \"{}\", ",
+            "\"best\": \"{}\", \"est_cost_original\": {:.1}, \"est_cost_best\": {:.1}, ",
+            "\"equivalent\": {}}}"
+        ),
+        pipeline.suffix.node_count(),
+        total,
+        pacb / rf,
+        rel_exec / rf,
+        cast_t / rf,
+        encode / rf,
+        chase / rf,
+        extract / rf,
+        rank / rf,
+        verified.rel.cost_original,
+        // `null`, not NaN: NaN is not valid JSON and breaks strict parsers.
+        verified.rel.cost_best.map_or("null".to_owned(), |c| format!("{c:.1}")),
+        verified.rel.rewriting.is_some(),
+        verified.rel.rows_out,
+        pipeline.suffix,
+        verified.best.expr,
+        verified.ranked.original.est_cost,
+        verified.best.est_cost,
+        verified.verified == Some(true),
+    )
+}
+
 fn main() {
     let pipelines = vec![
         trace_pipeline(400, 8),
@@ -242,10 +369,18 @@ fn main() {
         ));
     }
 
+    rows.push(hybrid_family(5));
+
     let json = format!(
         "{{\n  \"bench\": \"Optimizer::rewrite\",\n  \"pipelines\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
+    for family in FAMILIES {
+        assert!(
+            json.contains(&format!("\"pipeline\": \"{family}\"")),
+            "bench family {family} missing from BENCH_rewrite.json"
+        );
+    }
     std::fs::write("BENCH_rewrite.json", &json).expect("write BENCH_rewrite.json");
-    println!("wrote BENCH_rewrite.json");
+    println!("wrote BENCH_rewrite.json ({} families)", FAMILIES.len());
 }

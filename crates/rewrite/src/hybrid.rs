@@ -1,0 +1,974 @@
+//! Hybrid relational–LA pipelines (paper §3, §9.2): a declarative
+//! relational prefix over catalog tables, a cast into a matrix, and an LA
+//! suffix over that matrix.
+//!
+//! Both halves rewrite against materialized views:
+//!
+//! * the relational prefix compiles to a [`Cq`] over a vocabulary derived
+//!   from the table catalog and runs through [`Pacb::rewrite`], with
+//!   `Prune_prov` driven by the catalog's row-count cost
+//!   ([`hadad_relational::Catalog::scan_cost`]), so preprocessing queries
+//!   land on materialized table views instead of re-scanning base tables;
+//! * the LA suffix goes through [`Optimizer::rewrite`], whose registered
+//!   LA views contribute `V_IO`/`V_OI` constraints to the chase, so the
+//!   pipeline lands on zero-cost `Mat(view)` leaves.
+//!
+//! Execution verifies both halves (the paper's machine-checkable
+//! soundness): the rewritten prefix must produce the same cast matrix as
+//! the operator pipeline, and the winning LA plan must agree with the
+//! original suffix on the backend.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use hadad_chase::{
+    Atom, ChaseBudget, Cq, Instance, Pacb, PacbOptions, PacbResult, PredId, Term, Vocabulary,
+};
+use hadad_core::MatrixMeta;
+use hadad_linalg::{approx_eq, Matrix};
+use hadad_relational::{cast, ops, Catalog, Column, Table, Value};
+
+use crate::eval::{Env, EvalError};
+use crate::optimizer::{Optimizer, Plan, RankedPlans, RewriteError};
+use hadad_core::Expr;
+
+/// Hybrid-pipeline failure.
+#[derive(Debug)]
+pub enum HybridError {
+    MissingTable(String),
+    MissingColumn(String),
+    /// An equality selection contradicts an earlier one on the same column.
+    Unsatisfiable(String),
+    /// A table view's materialized arity differs from its definition's.
+    ViewArity {
+        view: String,
+        expected: usize,
+        got: usize,
+    },
+    Rewrite(RewriteError),
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for HybridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HybridError::MissingTable(t) => write!(f, "unknown table {t}"),
+            HybridError::MissingColumn(c) => write!(f, "unknown column {c}"),
+            HybridError::Unsatisfiable(c) => {
+                write!(f, "contradictory equality selections on {c}")
+            }
+            HybridError::ViewArity { view, expected, got } => {
+                write!(f, "view {view}: definition has {expected} columns, table has {got}")
+            }
+            HybridError::Rewrite(e) => write!(f, "{e}"),
+            HybridError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
+impl From<RewriteError> for HybridError {
+    fn from(e: RewriteError) -> Self {
+        HybridError::Rewrite(e)
+    }
+}
+
+impl From<EvalError> for HybridError {
+    fn from(e: EvalError) -> Self {
+        HybridError::Eval(e)
+    }
+}
+
+/// One declarative relational stage. These mirror the executable operators
+/// in `hadad_relational::ops`, restricted to the CQ-expressible fragment so
+/// the prefix can be reformulated by PACB.
+#[derive(Debug, Clone)]
+pub enum RelOp {
+    /// Equality selection on an integer column (the column position becomes
+    /// a constant in the compiled CQ).
+    SelectEq { column: String, value: i64 },
+    /// Equality selection on a string column.
+    SelectStrEq { column: String, value: String },
+    /// Hash equi-join with another catalog table; right-side columns that
+    /// collide are prefixed `right.` (repeatedly, until unique), exactly as
+    /// `ops::hash_join` does.
+    HashJoin { table: String, left_key: String, right_key: String },
+    /// Projection to the named columns, in order.
+    Project { columns: Vec<String> },
+}
+
+/// A relational query: a scan of a catalog table followed by stages.
+#[derive(Debug, Clone)]
+pub struct RelQuery {
+    pub table: String,
+    pub ops: Vec<RelOp>,
+}
+
+impl RelQuery {
+    pub fn scan(table: impl Into<String>) -> Self {
+        RelQuery { table: table.into(), ops: Vec::new() }
+    }
+
+    pub fn select_eq(mut self, column: impl Into<String>, value: i64) -> Self {
+        self.ops.push(RelOp::SelectEq { column: column.into(), value });
+        self
+    }
+
+    pub fn select_str_eq(
+        mut self,
+        column: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Self {
+        self.ops.push(RelOp::SelectStrEq { column: column.into(), value: value.into() });
+        self
+    }
+
+    pub fn join(
+        mut self,
+        table: impl Into<String>,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Self {
+        self.ops.push(RelOp::HashJoin {
+            table: table.into(),
+            left_key: left_key.into(),
+            right_key: right_key.into(),
+        });
+        self
+    }
+
+    pub fn project(mut self, columns: &[&str]) -> Self {
+        self.ops
+            .push(RelOp::Project { columns: columns.iter().map(|c| c.to_string()).collect() });
+        self
+    }
+
+    /// Runs the query with the executable operators from
+    /// `hadad_relational::ops`, stage by stage.
+    pub fn execute(&self, catalog: &Catalog) -> Result<Table, HybridError> {
+        let mut t = catalog
+            .get(&self.table)
+            .ok_or_else(|| HybridError::MissingTable(self.table.clone()))?
+            .clone();
+        for op in &self.ops {
+            t = match op {
+                RelOp::SelectEq { column, value } => {
+                    require_column(&t, column)?;
+                    ops::select(&t, |tab, r| tab.value(r, column).as_i64() == Some(*value))
+                }
+                RelOp::SelectStrEq { column, value } => {
+                    require_column(&t, column)?;
+                    ops::select(&t, |tab, r| match tab.value(r, column) {
+                        Value::Str(s) => s == *value,
+                        _ => false,
+                    })
+                }
+                RelOp::HashJoin { table, left_key, right_key } => {
+                    let right = catalog
+                        .get(table)
+                        .ok_or_else(|| HybridError::MissingTable(table.clone()))?;
+                    require_column(&t, left_key)?;
+                    require_column(right, right_key)?;
+                    ops::hash_join(&t, left_key, right, right_key)
+                }
+                RelOp::Project { columns } => {
+                    for c in columns {
+                        require_column(&t, c)?;
+                    }
+                    let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                    ops::project(&t, &refs)
+                }
+            };
+        }
+        Ok(t)
+    }
+
+    /// Compiles the query to a CQ over the table vocabulary. Selections
+    /// become constants (possibly in the head — rewritings preserve them),
+    /// joins share variables across atoms, and the projection picks the
+    /// head terms. The returned column names mirror the executable
+    /// pipeline's output schema exactly, including `right.` prefixing.
+    pub fn compile(
+        &self,
+        catalog: &Catalog,
+        tv: &mut TableVocab,
+    ) -> Result<CompiledQuery, HybridError> {
+        let mut next_var = 0u32;
+        let fresh = |n: &mut u32| {
+            let v = *n;
+            *n += 1;
+            Term::Var(v)
+        };
+
+        let base = catalog
+            .get(&self.table)
+            .ok_or_else(|| HybridError::MissingTable(self.table.clone()))?;
+        let mut cols: Vec<(String, Term)> =
+            base.column_names().iter().map(|n| (n.clone(), fresh(&mut next_var))).collect();
+        let mut atoms =
+            vec![Atom::new(tv.pred(&self.table)?, cols.iter().map(|(_, t)| *t).collect())];
+
+        let select_const = |column: &str,
+                            sym: Term,
+                            cols: &mut Vec<(String, Term)>,
+                            atoms: &mut Vec<Atom>|
+         -> Result<(), HybridError> {
+            let cur = cols
+                .iter()
+                .find(|(n, _)| n == column)
+                .map(|(_, t)| *t)
+                .ok_or_else(|| HybridError::MissingColumn(column.to_owned()))?;
+            match cur {
+                Term::Var(v) => {
+                    let subst = |t: &mut Term| {
+                        if *t == Term::Var(v) {
+                            *t = sym;
+                        }
+                    };
+                    for a in atoms.iter_mut() {
+                        a.args.iter_mut().for_each(&subst);
+                    }
+                    for (_, t) in cols.iter_mut() {
+                        subst(t);
+                    }
+                    Ok(())
+                }
+                c if c == sym => Ok(()),
+                _ => Err(HybridError::Unsatisfiable(column.to_owned())),
+            }
+        };
+
+        for op in &self.ops {
+            match op {
+                RelOp::SelectEq { column, value } => {
+                    let sym = Term::Const(tv.vocab.int(*value));
+                    select_const(column, sym, &mut cols, &mut atoms)?;
+                }
+                RelOp::SelectStrEq { column, value } => {
+                    let sym = Term::Const(tv.vocab.constant(intern_str_const(value)));
+                    select_const(column, sym, &mut cols, &mut atoms)?;
+                }
+                RelOp::HashJoin { table, left_key, right_key } => {
+                    let right = catalog
+                        .get(table)
+                        .ok_or_else(|| HybridError::MissingTable(table.clone()))?;
+                    let key_term = cols
+                        .iter()
+                        .find(|(n, _)| n == left_key)
+                        .map(|(_, t)| *t)
+                        .ok_or_else(|| HybridError::MissingColumn(left_key.clone()))?;
+                    if right.column_index(right_key).is_none() {
+                        return Err(HybridError::MissingColumn(right_key.clone()));
+                    }
+                    let mut args = Vec::with_capacity(right.num_cols());
+                    let mut new_cols: Vec<(String, Term)> = Vec::new();
+                    for n in right.column_names() {
+                        if n == right_key {
+                            args.push(key_term);
+                        } else {
+                            let t = fresh(&mut next_var);
+                            args.push(t);
+                            // Mirror ops::hash_join's collision prefixing.
+                            let mut out_name = n.clone();
+                            while cols.iter().chain(&new_cols).any(|(c, _)| *c == out_name) {
+                                out_name = format!("right.{out_name}");
+                            }
+                            new_cols.push((out_name, t));
+                        }
+                    }
+                    atoms.push(Atom::new(tv.pred(table)?, args));
+                    cols.extend(new_cols);
+                }
+                RelOp::Project { columns } => {
+                    let mut picked = Vec::with_capacity(columns.len());
+                    for c in columns {
+                        let t = cols
+                            .iter()
+                            .find(|(n, _)| n == c)
+                            .cloned()
+                            .ok_or_else(|| HybridError::MissingColumn(c.clone()))?;
+                        picked.push(t);
+                    }
+                    cols = picked;
+                }
+            }
+        }
+
+        let head: Vec<Term> = cols.iter().map(|(_, t)| *t).collect();
+        let columns: Vec<String> = cols.into_iter().map(|(n, _)| n).collect();
+        Ok(CompiledQuery { cq: Cq::new(head, atoms), columns })
+    }
+}
+
+fn require_column(t: &Table, name: &str) -> Result<(), HybridError> {
+    if t.column_index(name).is_none() {
+        return Err(HybridError::MissingColumn(name.to_owned()));
+    }
+    Ok(())
+}
+
+/// A compiled relational prefix: the CQ plus its output column names (head
+/// order).
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pub cq: Cq,
+    pub columns: Vec<String>,
+}
+
+/// Vocabulary derived from the table catalog: one predicate per table
+/// (arity = column count), with both directions of the mapping.
+#[derive(Debug, Clone)]
+pub struct TableVocab {
+    pub vocab: Vocabulary,
+    by_name: HashMap<String, PredId>,
+    by_pred: HashMap<PredId, String>,
+}
+
+impl TableVocab {
+    pub fn from_catalog(catalog: &Catalog) -> Self {
+        let mut tv = TableVocab {
+            vocab: Vocabulary::new(),
+            by_name: HashMap::new(),
+            by_pred: HashMap::new(),
+        };
+        for name in catalog.names() {
+            let arity = catalog.get(name).map(|t| t.num_cols()).unwrap_or(0);
+            let pred = tv.vocab.predicate(name, arity);
+            tv.by_name.insert(name.to_owned(), pred);
+            tv.by_pred.insert(pred, name.to_owned());
+        }
+        tv
+    }
+
+    pub fn pred(&self, table: &str) -> Result<PredId, HybridError> {
+        self.by_name.get(table).copied().ok_or_else(|| HybridError::MissingTable(table.into()))
+    }
+
+    pub fn table_of(&self, pred: PredId) -> Option<&str> {
+        self.by_pred.get(&pred).map(|s| s.as_str())
+    }
+}
+
+/// Interned rendering of a *string* constant: wrapped in quotes so the
+/// integer 7 and the string "7" intern to different symbols — otherwise a
+/// rewriting's selection semantics could diverge from the executable
+/// operators (which never equate `Int(7)` with `Str("7")`).
+fn intern_str_const(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+/// Inner value of a quote-wrapped string constant.
+fn unquote(s: &str) -> Option<&str> {
+    s.strip_prefix('"').and_then(|rest| rest.strip_suffix('"'))
+}
+
+/// `true` when a cell matches an interned CQ constant, mirroring the
+/// executable operators exactly: quoted constants match `Str` cells only,
+/// numeric constants match numerically (`Int 7` and `Float 7.0`, never
+/// `Str("7")`), and bare symbolic constants match `Str` cells verbatim.
+fn const_matches(cell: &Value, s: &str) -> bool {
+    if let Some(inner) = unquote(s) {
+        return matches!(cell, Value::Str(v) if v == inner);
+    }
+    if let Ok(p) = s.parse::<f64>() {
+        return cell.as_f64() == Some(p);
+    }
+    matches!(cell, Value::Str(v) if v == s)
+}
+
+/// Numeric-tolerant value equality (Int 7 joins Float 7.0).
+fn value_matches(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x == y,
+        _ => a == b,
+    }
+}
+
+/// Canonical hash key for [`value_matches`]-equality: numerically equal
+/// values share a key.
+fn value_key(v: &Value) -> String {
+    match v.as_f64() {
+        Some(f) => {
+            let f = if f == 0.0 { 0.0 } else { f }; // -0.0 == 0.0
+            format!("n{}", f.to_bits())
+        }
+        None => format!("s{v}"),
+    }
+}
+
+/// Evaluates a CQ against the catalog's tables under *bag* semantics,
+/// mirroring the executable operator pipeline (`ops::project` does not
+/// deduplicate, so neither may the rewriting's evaluation — otherwise a
+/// rewritten prefix would silently drop duplicate tuples from the cast).
+/// Joins probe a hash index on the first already-bound variable position;
+/// constant positions filter each table once per atom. Used to execute
+/// PACB rewritings, whose bodies range over materialized view tables.
+pub fn eval_cq(
+    q: &Cq,
+    columns: &[String],
+    catalog: &Catalog,
+    tv: &TableVocab,
+) -> Result<Table, HybridError> {
+    let mut bindings: Vec<HashMap<u32, Value>> = vec![HashMap::new()];
+    for atom in &q.body {
+        let name = tv
+            .table_of(atom.pred)
+            .ok_or_else(|| HybridError::MissingTable(format!("pred#{}", atom.pred.0)))?;
+        let t = catalog.get(name).ok_or_else(|| HybridError::MissingTable(name.into()))?;
+
+        // Rows surviving the constant positions, computed once per atom.
+        let consts: Vec<(usize, &str)> = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, term)| term.as_const().map(|c| (i, tv.vocab.const_name(c))))
+            .collect();
+        let rows_ok: Vec<usize> = (0..t.num_rows())
+            .filter(|&r| {
+                consts.iter().all(|(i, s)| const_matches(&t.column_at(*i).value(r), s))
+            })
+            .collect();
+
+        // Pivot: the first argument whose variable is already bound (every
+        // binding at this stage binds the same variable set), probed
+        // through a hash index instead of scanning all rows per binding.
+        let pivot = bindings.first().and_then(|b| {
+            atom.args.iter().enumerate().find_map(|(i, term)| match term {
+                Term::Var(v) if b.contains_key(v) => Some((i, *v)),
+                _ => None,
+            })
+        });
+        let index: Option<HashMap<String, Vec<usize>>> = pivot.map(|(i, _)| {
+            let mut idx: HashMap<String, Vec<usize>> = HashMap::new();
+            for &r in &rows_ok {
+                idx.entry(value_key(&t.column_at(i).value(r))).or_default().push(r);
+            }
+            idx
+        });
+
+        let empty: Vec<usize> = Vec::new();
+        let mut next: Vec<HashMap<u32, Value>> = Vec::new();
+        for b in &bindings {
+            let candidates: &[usize] = match (&pivot, &index) {
+                (Some((_, v)), Some(idx)) => {
+                    idx.get(&value_key(&b[v])).map_or(&empty[..], |r| r.as_slice())
+                }
+                _ => &rows_ok,
+            };
+            'row: for &r in candidates {
+                let mut ext = b.clone();
+                for (i, term) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = term {
+                        let cell = t.column_at(i).value(r);
+                        match ext.get(v) {
+                            Some(bound) => {
+                                if !value_matches(bound, &cell) {
+                                    continue 'row;
+                                }
+                            }
+                            None => {
+                                ext.insert(*v, cell);
+                            }
+                        }
+                    }
+                }
+                next.push(ext);
+            }
+        }
+        bindings = next;
+    }
+
+    // Head projection (bag semantics).
+    let rows: Vec<Vec<Value>> = bindings
+        .iter()
+        .map(|b| {
+            q.head
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => b.get(v).cloned().expect("safe head variable is bound"),
+                    Term::Const(c) => decode_const(tv.vocab.const_name(*c)),
+                })
+                .collect()
+        })
+        .collect();
+
+    // Column-major assembly: integer columns stay Int, numeric mixes widen
+    // to Float, anything with strings renders as Str.
+    let mut table = Vec::with_capacity(columns.len());
+    for (i, name) in columns.iter().enumerate() {
+        let cells: Vec<&Value> = rows.iter().map(|r| &r[i]).collect();
+        let col = if cells.iter().all(|v| matches!(v, Value::Int(_))) {
+            Column::Int(cells.iter().map(|v| v.as_i64().unwrap()).collect())
+        } else if cells.iter().all(|v| v.as_f64().is_some()) {
+            Column::Float(cells.iter().map(|v| v.as_f64().unwrap()).collect())
+        } else {
+            Column::Str(cells.iter().map(|v| v.to_string()).collect())
+        };
+        table.push((name.as_str(), col));
+    }
+    Ok(Table::new(table))
+}
+
+fn decode_const(s: &str) -> Value {
+    if let Some(inner) = unquote(s) {
+        Value::Str(inner.to_owned())
+    } else if let Ok(v) = s.parse::<i64>() {
+        Value::Int(v)
+    } else if let Ok(v) = s.parse::<f64>() {
+        Value::Float(v)
+    } else {
+        Value::Str(s.to_owned())
+    }
+}
+
+/// How the relational prefix's output becomes a matrix (paper §3).
+#[derive(Debug, Clone)]
+pub enum CastKind {
+    /// One row per tuple, one column per named numeric column.
+    Dense { columns: Vec<String> },
+    /// Ultra-sparse `rows x cols` matrix from (row-id, col-id, value)
+    /// columns — the tweet/MIMIC filter-level matrix construction.
+    Sparse { row: String, col: String, val: String, rows: usize, cols: usize },
+}
+
+/// A full hybrid pipeline: relational prefix → cast → LA suffix.
+#[derive(Debug, Clone)]
+pub struct HybridPipeline {
+    pub prefix: RelQuery,
+    /// Sorted ascending by this integer key before a dense cast (relation →
+    /// matrix casts need a defined order; sparse casts carry their own row
+    /// ids). Applied identically to original and rewritten prefixes, so
+    /// verification compares like with like.
+    pub sort_key: Option<String>,
+    pub cast: CastKind,
+    /// Name the cast matrix is bound under for the LA suffix.
+    pub cast_name: String,
+    pub suffix: Expr,
+}
+
+/// A materialized relational view: registered both as a catalog table (its
+/// materialization) and as a PACB view (its definition).
+#[derive(Debug, Clone)]
+pub struct TableView {
+    pub name: String,
+    pub def: RelQuery,
+}
+
+/// Timings and outcomes of the relational (PACB) phase.
+#[derive(Debug)]
+pub struct RelPhase {
+    pub compiled: CompiledQuery,
+    pub pacb: PacbResult,
+    /// Row-count cost of the original prefix (base-table scans).
+    pub cost_original: f64,
+    /// Cost of the chosen rewriting, when one beat the original.
+    pub cost_best: Option<f64>,
+    /// The chosen rewriting over view predicates, when used.
+    pub rewriting: Option<Cq>,
+    pub pacb_us: u128,
+    pub exec_us: u128,
+    pub rows_out: usize,
+}
+
+/// Result of a hybrid rewrite: the relational phase, the cast, and the LA
+/// phase, with the machine-checked verification verdict when requested.
+#[derive(Debug)]
+pub struct HybridResult {
+    pub rel: RelPhase,
+    /// Output of the (possibly rewritten) relational prefix.
+    pub table: Table,
+    pub cast_us: u128,
+    pub ranked: RankedPlans,
+    /// The winning LA plan (execution-verified in the verified path).
+    pub best: Plan,
+    /// `Some(true)` when both halves verified by execution: the rewritten
+    /// prefix cast to the same matrix, and the best-ranked LA plan agreed
+    /// with the original suffix. `None` when verification was not run.
+    pub verified: Option<bool>,
+    pub elapsed_us: u128,
+}
+
+/// The hybrid facade: a table catalog + table views on the relational side,
+/// an [`Optimizer`] (with its LA views) on the LA side.
+pub struct HybridOptimizer {
+    pub catalog: Catalog,
+    pub optimizer: Optimizer,
+    pub budget: ChaseBudget,
+    table_views: Vec<TableView>,
+}
+
+impl HybridOptimizer {
+    pub fn new(catalog: Catalog, optimizer: Optimizer) -> Self {
+        HybridOptimizer {
+            catalog,
+            optimizer,
+            budget: ChaseBudget::default(),
+            table_views: Vec::new(),
+        }
+    }
+
+    /// Materializes `def` over the current catalog and registers the result
+    /// as both a table (under `name`) and a PACB view.
+    pub fn register_table_view(
+        &mut self,
+        name: impl Into<String>,
+        def: RelQuery,
+    ) -> Result<(), HybridError> {
+        let name = name.into();
+        let table = def.execute(&self.catalog)?;
+        self.catalog.register(&name, table);
+        self.table_views.push(TableView { name, def });
+        Ok(())
+    }
+
+    /// Registers a materialized LA view on the suffix optimizer.
+    pub fn register_la_view(&mut self, name: impl Into<String>, def: Expr) {
+        self.optimizer.register_la_view(name, def);
+    }
+
+    pub fn table_views(&self) -> &[TableView] {
+        &self.table_views
+    }
+
+    /// Rewrites the pipeline without executing the LA verification step
+    /// (the relational prefix still executes — its output feeds the cast).
+    pub fn rewrite_hybrid(&self, p: &HybridPipeline) -> Result<HybridResult, HybridError> {
+        self.run(p, None)
+    }
+
+    /// Rewrites the pipeline and verifies both halves by execution: the
+    /// LA suffix through [`Optimizer::rewrite_verified`] (cheapest plan
+    /// that agrees with the original wins), the relational prefix by
+    /// comparing the cast matrices of the original and rewritten queries.
+    pub fn rewrite_hybrid_verified(
+        &self,
+        p: &HybridPipeline,
+        env: &Env,
+        rtol: f64,
+    ) -> Result<HybridResult, HybridError> {
+        self.run(p, Some((env, rtol)))
+    }
+
+    fn run(
+        &self,
+        p: &HybridPipeline,
+        verify: Option<(&Env, f64)>,
+    ) -> Result<HybridResult, HybridError> {
+        let start = Instant::now();
+
+        // Phase 1: compile the prefix and the view definitions to CQs over
+        // the catalog vocabulary.
+        let mut tv = TableVocab::from_catalog(&self.catalog);
+        let compiled = p.prefix.compile(&self.catalog, &mut tv)?;
+        let mut views = Vec::with_capacity(self.table_views.len());
+        for v in &self.table_views {
+            let def = v.def.compile(&self.catalog, &mut tv)?;
+            let mat_cols =
+                self.catalog.get(&v.name).map(|t| t.num_cols()).unwrap_or(def.columns.len());
+            if mat_cols != def.columns.len() {
+                return Err(HybridError::ViewArity {
+                    view: v.name.clone(),
+                    expected: def.columns.len(),
+                    got: mat_cols,
+                });
+            }
+            views.push(hadad_chase::View::new(&v.name, tv.pred(&v.name)?, def.cq));
+        }
+
+        // Phase 2: PACB with the catalog's row-count cost as `Prune_prov`
+        // threshold — rewritings that cannot beat re-running the original
+        // prefix are pruned during the backchase.
+        let cost_original =
+            self.catalog.scan_cost(compiled.cq.body.iter().filter_map(|a| tv.table_of(a.pred)));
+        let cost_fn = |inst: &Instance, atoms: &[usize]| -> f64 {
+            self.catalog.scan_cost(
+                atoms
+                    .iter()
+                    .map(|&i| tv.table_of(inst.fact(i).pred).unwrap_or("?unknown-pred")),
+            )
+        };
+        let pacb_start = Instant::now();
+        let pacb = Pacb::new(&[], &views)
+            .with_options(PacbOptions {
+                budget: self.budget,
+                prune_threshold: Some(cost_original),
+            })
+            .with_cost_fn(&cost_fn)
+            .rewrite(&compiled.cq);
+        let pacb_us = pacb_start.elapsed().as_micros();
+
+        let best_rw =
+            pacb.rewritings.iter().find(|r| r.cost.map(|c| c < cost_original).unwrap_or(false));
+
+        // Phase 3: execute the chosen prefix (and, under verification, the
+        // original too).
+        let exec_start = Instant::now();
+        let table = match best_rw {
+            Some(rw) => eval_cq(&rw.query, &compiled.columns, &self.catalog, &tv)?,
+            None => p.prefix.execute(&self.catalog)?,
+        };
+        let table = maybe_sort(table, &p.sort_key)?;
+        let exec_us = exec_start.elapsed().as_micros();
+
+        // Phase 4: cast into the LA world.
+        let cast_start = Instant::now();
+        let mat = apply_cast(&table, &p.cast)?;
+        let cast_us = cast_start.elapsed().as_micros();
+
+        // Phase 5: LA suffix rewriting with the cast matrix catalogued from
+        // its actual materialization (shape, nnz, MNC histograms).
+        let mut la_opt = self.optimizer.clone();
+        la_opt.cat.register(&p.cast_name, MatrixMeta::from_matrix(&mat));
+
+        let rel = RelPhase {
+            compiled,
+            cost_original,
+            cost_best: best_rw.and_then(|r| r.cost),
+            rewriting: best_rw.map(|r| r.query.clone()),
+            pacb,
+            pacb_us,
+            exec_us,
+            rows_out: table.num_rows(),
+        };
+
+        let (ranked, best, verified) = match verify {
+            None => {
+                let ranked = la_opt.rewrite(&p.suffix)?;
+                let best = ranked.best().clone();
+                (ranked, best, None)
+            }
+            Some((env, rtol)) => {
+                // Relational half: the rewriting must cast to the same
+                // matrix as the operator pipeline over base tables.
+                let rel_ok = match &rel.rewriting {
+                    None => true,
+                    Some(_) => {
+                        let orig = maybe_sort(p.prefix.execute(&self.catalog)?, &p.sort_key)?;
+                        let orig_mat = apply_cast(&orig, &p.cast)?;
+                        approx_eq(&orig_mat, &mat, rtol)
+                    }
+                };
+                let mut env = env.clone();
+                env.bind(&p.cast_name, mat.clone());
+                let (ranked, plan, _) = la_opt.rewrite_verified(&p.suffix, &env, rtol)?;
+                // Verified only if the *best-ranked* plan is the one that
+                // passed execution (a fallback to a later plan or to the
+                // original means the top plan failed the check).
+                let la_ok = plan.expr == ranked.best().expr;
+                (ranked, plan, Some(rel_ok && la_ok))
+            }
+        };
+
+        Ok(HybridResult {
+            rel,
+            table,
+            cast_us,
+            ranked,
+            best,
+            verified,
+            elapsed_us: start.elapsed().as_micros(),
+        })
+    }
+}
+
+fn maybe_sort(t: Table, key: &Option<String>) -> Result<Table, HybridError> {
+    match key {
+        Some(k) => {
+            require_column(&t, k)?;
+            Ok(ops::sort_by_int(&t, k))
+        }
+        None => Ok(t),
+    }
+}
+
+fn apply_cast(t: &Table, kind: &CastKind) -> Result<Matrix, HybridError> {
+    match kind {
+        CastKind::Dense { columns } => {
+            for c in columns {
+                require_column(t, c)?;
+            }
+            let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+            Ok(cast::table_to_matrix(t, &refs))
+        }
+        CastKind::Sparse { row, col, val, rows, cols } => {
+            require_column(t, row)?;
+            require_column(t, col)?;
+            require_column(t, val)?;
+            Ok(cast::table_to_sparse(t, row, col, val, *rows, *cols))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hadad_core::expr::dsl::*;
+    use hadad_core::MetaCatalog;
+
+    fn tweets() -> Table {
+        // 60 tweets over 6 topics; level cycles 1..=4.
+        let n = 60i64;
+        Table::new(vec![
+            ("tid", Column::Int((0..n).collect())),
+            ("topic", Column::Int((0..n).map(|i| i % 6).collect())),
+            ("level", Column::Int((0..n).map(|i| i % 4 + 1).collect())),
+        ])
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("tweets", tweets());
+        c
+    }
+
+    #[test]
+    fn execute_matches_compiled_semantics() {
+        let cat = catalog();
+        let q = RelQuery::scan("tweets").select_eq("topic", 3).project(&["tid", "level"]);
+        let direct = q.execute(&cat).unwrap();
+        assert_eq!(direct.num_rows(), 10);
+
+        let mut tv = TableVocab::from_catalog(&cat);
+        let compiled = q.compile(&cat, &mut tv).unwrap();
+        assert_eq!(compiled.columns, vec!["tid".to_string(), "level".to_string()]);
+        assert_eq!(compiled.cq.body.len(), 1);
+        let via_cq = eval_cq(&compiled.cq, &compiled.columns, &cat, &tv).unwrap();
+        let sorted_direct = ops::sort_by_int(&direct, "tid");
+        let sorted_cq = ops::sort_by_int(&via_cq, "tid");
+        assert_eq!(sorted_direct, sorted_cq);
+    }
+
+    #[test]
+    fn compile_places_selection_constants_in_head() {
+        let cat = catalog();
+        let mut tv = TableVocab::from_catalog(&cat);
+        let q = RelQuery::scan("tweets").select_eq("topic", 3);
+        let compiled = q.compile(&cat, &mut tv).unwrap();
+        // Head: (tid, 3, level) — the selected column is a constant.
+        assert!(matches!(compiled.cq.head[1], Term::Const(_)));
+        assert!(compiled.cq.is_safe());
+    }
+
+    #[test]
+    fn compile_join_shares_variables_and_prefixes_collisions() {
+        let mut cat = catalog();
+        cat.register(
+            "topics",
+            Table::new(vec![
+                ("id", Column::Int((0..6).collect())),
+                ("level", Column::Int(vec![9; 6])), // collides with tweets.level
+            ]),
+        );
+        let q = RelQuery::scan("tweets").join("topics", "topic", "id");
+        let mut tv = TableVocab::from_catalog(&cat);
+        let compiled = q.compile(&cat, &mut tv).unwrap();
+        assert_eq!(
+            compiled.columns,
+            vec![
+                "tid".to_string(),
+                "topic".to_string(),
+                "level".to_string(),
+                "right.level".to_string()
+            ]
+        );
+        // The join key variable is shared between the two atoms.
+        assert_eq!(compiled.cq.body[0].args[1], compiled.cq.body[1].args[0]);
+        // Execution produces the same schema.
+        let t = q.execute(&cat).unwrap();
+        assert_eq!(
+            t.column_names(),
+            &["tid", "topic", "level", "right.level"].map(String::from)
+        );
+        let via_cq = eval_cq(&compiled.cq, &compiled.columns, &cat, &tv).unwrap();
+        assert_eq!(ops::sort_by_int(&t, "tid"), ops::sort_by_int(&via_cq, "tid"));
+    }
+
+    #[test]
+    fn contradictory_selections_are_rejected() {
+        let cat = catalog();
+        let mut tv = TableVocab::from_catalog(&cat);
+        let q = RelQuery::scan("tweets").select_eq("topic", 3).select_eq("topic", 4);
+        assert!(matches!(q.compile(&cat, &mut tv), Err(HybridError::Unsatisfiable(_))));
+        // Repeating the same selection is fine.
+        let q = RelQuery::scan("tweets").select_eq("topic", 3).select_eq("topic", 3);
+        assert!(q.compile(&cat, &mut tv).is_ok());
+    }
+
+    /// Regression: rewritten prefixes run under bag semantics. Projecting
+    /// away the key leaves duplicate tuples, and the view-backed rewriting
+    /// must keep every one of them (a set-semantics evaluation would
+    /// collapse the 10 rows to the 4 distinct levels and cast the wrong
+    /// matrix).
+    #[test]
+    fn rewriting_preserves_duplicate_rows() {
+        let mut hy = HybridOptimizer::new(catalog(), Optimizer::new(MetaCatalog::new()));
+        hy.register_table_view("topic3", RelQuery::scan("tweets").select_eq("topic", 3))
+            .unwrap();
+        let prefix = RelQuery::scan("tweets").select_eq("topic", 3).project(&["level"]);
+        let p = HybridPipeline {
+            prefix: prefix.clone(),
+            sort_key: Some("level".into()),
+            cast: CastKind::Dense { columns: vec!["level".into()] },
+            cast_name: "M".into(),
+            suffix: m("M"),
+        };
+        let r = hy.rewrite_hybrid(&p).unwrap();
+        assert!(r.rel.rewriting.is_some());
+        assert_eq!(r.rel.rows_out, 10);
+        let direct = ops::sort_by_int(&prefix.execute(&hy.catalog).unwrap(), "level");
+        assert_eq!(r.table, direct);
+    }
+
+    /// Regression: integer and string constants never cross-match, in
+    /// either execution path — `Str("7")` is not the number 7.
+    #[test]
+    fn string_and_int_constants_do_not_cross_match() {
+        let mut cat = Catalog::new();
+        cat.register(
+            "t",
+            Table::new(vec![
+                ("k", Column::Str(vec!["7".into(), "en".into()])),
+                ("v", Column::Int(vec![1, 2])),
+            ]),
+        );
+        let mut tv = TableVocab::from_catalog(&cat);
+
+        // Numeric selection on a string column: empty both ways.
+        let q_int = RelQuery::scan("t").select_eq("k", 7);
+        assert_eq!(q_int.execute(&cat).unwrap().num_rows(), 0);
+        let c = q_int.compile(&cat, &mut tv).unwrap();
+        assert_eq!(eval_cq(&c.cq, &c.columns, &cat, &tv).unwrap().num_rows(), 0);
+
+        // String selection for "7": exactly the Str("7") row, both ways.
+        let q_str = RelQuery::scan("t").select_str_eq("k", "7");
+        assert_eq!(q_str.execute(&cat).unwrap().num_rows(), 1);
+        let c = q_str.compile(&cat, &mut tv).unwrap();
+        let via_cq = eval_cq(&c.cq, &c.columns, &cat, &tv).unwrap();
+        assert_eq!(via_cq.num_rows(), 1);
+        assert_eq!(via_cq.value(0, "v"), Value::Int(1));
+        // The head constant decodes back to the string, not the number.
+        assert_eq!(via_cq.value(0, "k"), Value::Str("7".into()));
+    }
+
+    #[test]
+    fn pacb_rewrites_prefix_onto_materialized_view() {
+        let mut hy = HybridOptimizer::new(catalog(), Optimizer::new(MetaCatalog::new()));
+        hy.register_table_view("topic3", RelQuery::scan("tweets").select_eq("topic", 3))
+            .unwrap();
+        let p = HybridPipeline {
+            prefix: RelQuery::scan("tweets").select_eq("topic", 3),
+            sort_key: Some("tid".into()),
+            cast: CastKind::Dense { columns: vec!["tid".into(), "level".into()] },
+            cast_name: "M".into(),
+            suffix: m("M"),
+        };
+        let r = hy.rewrite_hybrid(&p).unwrap();
+        // The rewriting reads the 10-row view instead of 60-row tweets.
+        assert!(r.rel.rewriting.is_some());
+        assert_eq!(r.rel.cost_original, 60.0);
+        assert_eq!(r.rel.cost_best, Some(10.0));
+        assert_eq!(r.rel.rows_out, 10);
+        assert_eq!(r.table.num_rows(), 10);
+    }
+}

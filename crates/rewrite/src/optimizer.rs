@@ -11,7 +11,9 @@
 use std::time::Instant;
 
 use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, EvalMode};
-use hadad_core::{Catalogue, Encoder, Expr, Extractor, MetaCatalog, ShapeError, Vrem};
+use hadad_core::{
+    Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, ShapeError, Vrem,
+};
 use hadad_linalg::{approx_eq, Matrix};
 
 use crate::cost::{CostModel, FlopsCost};
@@ -110,13 +112,29 @@ impl From<ShapeError> for RewriteError {
 /// worker threads.
 const PARALLEL_RANK_THRESHOLD: usize = 16;
 
+/// A registered, materialized LA view: a name the evaluation environment
+/// binds to a precomputed matrix, plus the defining expression over base
+/// matrices (paper §6.2.4). Metadata is taken from `meta` when given,
+/// otherwise estimated from the definition at rewrite time.
+#[derive(Debug, Clone)]
+pub struct LaView {
+    pub name: String,
+    pub def: Expr,
+    pub meta: Option<MatrixMeta>,
+}
+
 /// The optimizer facade.
+#[derive(Clone)]
 pub struct Optimizer {
     pub cat: MetaCatalog,
     pub budget: ChaseBudget,
     /// Premise-matching strategy for the chase; semi-naïve by default,
     /// naive kept for differential testing and baselining.
     pub mode: EvalMode,
+    /// Materialized LA views registered for view-based reformulation:
+    /// each contributes `V_IO`/`V_OI` constraints to the chase, so plans
+    /// can land on (and expand through) `Mat(view)` leaves.
+    pub views: Vec<LaView>,
 }
 
 impl Optimizer {
@@ -127,6 +145,7 @@ impl Optimizer {
             // expression, so instances are small and saturate quickly.
             budget: ChaseBudget { max_rounds: 12, max_facts: 30_000, max_nulls: 15_000 },
             mode: EvalMode::default(),
+            views: Vec::new(),
         }
     }
 
@@ -140,17 +159,82 @@ impl Optimizer {
         self
     }
 
+    /// Registers a materialized LA view. Shape/density metadata is
+    /// estimated from the definition when the view is used (so definitions
+    /// may reference matrices registered later, e.g. a hybrid cast).
+    pub fn register_la_view(&mut self, name: impl Into<String>, def: Expr) {
+        self.views.push(LaView { name: name.into(), def, meta: None });
+    }
+
+    /// Registers a materialized LA view with explicit metadata (e.g. from
+    /// the actual materialized matrix).
+    pub fn register_la_view_with_meta(
+        &mut self,
+        name: impl Into<String>,
+        def: Expr,
+        meta: MatrixMeta,
+    ) {
+        self.views.push(LaView { name: name.into(), def, meta: Some(meta) });
+    }
+
+    /// The metadata catalog with every registered view priced in: explicit
+    /// metadata when given, otherwise shape and density estimated from the
+    /// definition (views may build on earlier views).
+    fn effective_cat(&self) -> Result<MetaCatalog, RewriteError> {
+        if self.views.is_empty() {
+            return Ok(self.cat.clone());
+        }
+        let mut cat = self.cat.clone();
+        for v in &self.views {
+            if cat.get(&v.name).is_some() {
+                continue;
+            }
+            let meta = match &v.meta {
+                Some(m) => m.clone(),
+                None => {
+                    let est = CostModel::new(&cat).estimate(&v.def)?;
+                    let nnz = (est.density * est.rows as f64 * est.cols as f64).round();
+                    MatrixMeta::sparse(est.rows, est.cols, nnz as usize)
+                }
+            };
+            cat.register(&v.name, meta);
+        }
+        Ok(cat)
+    }
+
+    /// Clone of `env` with every registered view materialized and bound
+    /// (views already bound by the caller are left untouched).
+    fn env_with_views(&self, env: &Env) -> Result<Env, EvalError> {
+        if self.views.is_empty() {
+            return Ok(env.clone());
+        }
+        let mut env = env.clone();
+        for v in &self.views {
+            if env.get(&v.name).is_none() {
+                let m = eval(&v.def, &env)?;
+                env.bind(&v.name, m);
+            }
+        }
+        Ok(env)
+    }
+
     /// Rewrites `e` into cost-ranked equivalent plans.
     pub fn rewrite(&self, e: &Expr) -> Result<RankedPlans, RewriteError> {
         let start = Instant::now();
-        let cm = CostModel::new(&self.cat);
+        let cat = self.effective_cat()?;
+        let cm = CostModel::new(&cat);
         let original = Plan { expr: e.clone(), est_cost: cm.cost(e)? };
 
         let mut vrem = Vrem::new();
         let encode_start = Instant::now();
-        let encoded = Encoder::new(&mut vrem, &self.cat).encode(e)?;
+        let encoded = Encoder::new(&mut vrem, &cat).encode(e)?;
         let encode_us = encode_start.elapsed().as_micros();
-        let catalogue = Catalogue::standard(&mut vrem);
+        let mut catalogue = Catalogue::standard(&mut vrem);
+        for v in &self.views {
+            catalogue
+                .constraints
+                .extend(Catalogue::la_view_constraints(&mut vrem, &cat, &v.name, &v.def)?);
+        }
 
         let engine = ChaseEngine::new(catalogue.constraints)
             .with_budget(self.budget)
@@ -195,7 +279,8 @@ impl Optimizer {
     }
 
     /// Execution hook: evaluates `original` and `candidate` on the linalg
-    /// backend and checks element-wise agreement within `rtol`.
+    /// backend and checks element-wise agreement within `rtol`. Registered
+    /// views not bound in `env` are materialized from their definitions.
     pub fn check_equivalent(
         &self,
         original: &Expr,
@@ -203,8 +288,9 @@ impl Optimizer {
         env: &Env,
         rtol: f64,
     ) -> Result<bool, EvalError> {
-        let a = eval(original, env)?;
-        let b = eval(candidate, env)?;
+        let env = self.env_with_views(env)?;
+        let a = eval(original, &env)?;
+        let b = eval(candidate, &env)?;
         Ok(approx_eq(&a, &b, rtol))
     }
 
@@ -220,9 +306,10 @@ impl Optimizer {
         rtol: f64,
     ) -> Result<(RankedPlans, Plan, Matrix), RewriteError> {
         let ranked = self.rewrite(e)?;
-        let reference = eval(e, env).map_err(RewriteError::Eval)?;
+        let env = self.env_with_views(env).map_err(RewriteError::Eval)?;
+        let reference = eval(e, &env).map_err(RewriteError::Eval)?;
         for plan in &ranked.plans {
-            if let Ok(value) = eval(&plan.expr, env) {
+            if let Ok(value) = eval(&plan.expr, &env) {
                 if approx_eq(&value, &reference, rtol) {
                     let plan = plan.clone();
                     return Ok((ranked, plan, reference));
@@ -281,6 +368,56 @@ mod tests {
         let e = trace(mul(m("A"), m("B")));
         let (_, plan, _) = opt.rewrite_verified(&e, &env, 1e-9).unwrap();
         assert_eq!(plan.expr.to_string(), "trace((B A))");
+    }
+
+    /// View-based reformulation: the gram matrix XᵀX is registered as a
+    /// materialized view, so the ridge-style pipeline rewrites onto the
+    /// zero-cost view leaf and is ranked strictly cheaper.
+    #[test]
+    fn registered_view_wins_and_verifies() {
+        let mut cat = MetaCatalog::new();
+        cat.register("X", MatrixMeta::dense(200, 8));
+        let mut opt = Optimizer::new(cat);
+        opt.register_la_view("G", mul(t(m("X")), m("X")));
+
+        let e = mul(t(m("X")), m("X"));
+        let ranked = opt.rewrite(&e).unwrap();
+        assert_eq!(ranked.best().expr, m("G"));
+        assert!(ranked.best().est_cost < ranked.original.est_cost);
+        assert_eq!(ranked.est_speedup(), f64::INFINITY);
+
+        // Execution-verified: the view is materialized from its definition
+        // and the winning plan agrees with the original.
+        let mut env = Env::new();
+        env.bind("X", Matrix::Dense(rand_gen::random_dense(200, 8, 7)));
+        let (_, plan, _) = opt.rewrite_verified(&e, &env, 1e-9).unwrap();
+        assert_eq!(plan.expr, m("G"));
+    }
+
+    /// A view embedded in a larger pipeline: (XᵀX)⁻¹ rewrites to G⁻¹.
+    #[test]
+    fn view_lands_inside_larger_pipeline() {
+        let mut cat = MetaCatalog::new();
+        cat.register("X", MatrixMeta::dense(100, 6));
+        let mut opt = Optimizer::new(cat);
+        opt.register_la_view("G", mul(t(m("X")), m("X")));
+        let e = inv(mul(t(m("X")), m("X")));
+        let ranked = opt.rewrite(&e).unwrap();
+        assert_eq!(ranked.best().expr, inv(m("G")));
+        assert!(ranked.best().est_cost < ranked.original.est_cost);
+    }
+
+    /// Explicit metadata wins over the estimate, and `effective_cat` does
+    /// not leak into the caller's catalog.
+    #[test]
+    fn view_metadata_is_estimated_or_explicit() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(10, 10));
+        let mut opt = Optimizer::new(cat);
+        opt.register_la_view_with_meta("V", mul(m("A"), m("A")), MatrixMeta::sparse(10, 10, 3));
+        let eff = opt.effective_cat().unwrap();
+        assert_eq!(eff.get("V").unwrap().nnz, 3);
+        assert!(opt.cat.get("V").is_none());
     }
 
     #[test]
