@@ -78,6 +78,13 @@ pub trait Pruner {
     /// Return `false` to skip this firing. `rule_idx` indexes the engine's
     /// constraint list; `m` is the premise match.
     fn allow_firing(&mut self, inst: &Instance, rule_idx: usize, tgd: &Tgd, m: &Match) -> bool;
+
+    /// Called by the engine at the end of every chase round (before the
+    /// next round's enumeration). Cost-threshold pruners use it to
+    /// re-estimate their incumbent against the grown instance — thresholds
+    /// may only *tighten* here, since a vetoed firing is not re-offered
+    /// under semi-naïve evaluation until a premise fact is re-stamped.
+    fn end_round(&mut self, _inst: &Instance) {}
 }
 
 /// Pruner that allows everything (the naive PACB behaviour).
@@ -89,6 +96,59 @@ impl Pruner for NoPrune {
     }
 }
 
+/// Oracle answering cost questions about prospective TGD firings — the
+/// shared abstraction behind `Prune_prov` (paper §7.3) for both rewriting
+/// paths: PACB's backchase prices a firing by the provenance of its premise
+/// image (relational scan costs), and the LA chase prices it by the
+/// operator facts its conclusion would create (flops from propagated
+/// `size`/`density` facts).
+pub trait CostOracle {
+    /// Estimated lower-bound cost of any rewriting that uses what this
+    /// firing derives. `0.0` means "nothing can be bounded" and the firing
+    /// is always allowed.
+    fn firing_cost(&self, inst: &Instance, tgd: &Tgd, m: &Match) -> f64;
+}
+
+/// `Prune_prov` as a [`Pruner`]: vetoes firings whose oracle cost exceeds
+/// the incumbent best-plan cost. The incumbent starts at the cost of the
+/// unrewritten input and may only tighten (see [`CostPruner::tighten`]), so
+/// the pruner is safe under semi-naïve evaluation.
+pub struct CostPruner<'a> {
+    oracle: &'a dyn CostOracle,
+    incumbent: f64,
+}
+
+impl<'a> CostPruner<'a> {
+    pub fn new(oracle: &'a dyn CostOracle, incumbent: f64) -> Self {
+        CostPruner { oracle, incumbent }
+    }
+
+    /// Lowers the incumbent (a cheaper plan was found); raising is refused
+    /// so earlier vetoes stay justified.
+    pub fn tighten(&mut self, cost: f64) {
+        if cost < self.incumbent {
+            self.incumbent = cost;
+        }
+    }
+
+    pub fn incumbent(&self) -> f64 {
+        self.incumbent
+    }
+
+    /// The pruning decision for an already-computed firing cost (wrappers
+    /// that compute the oracle cost themselves use this to avoid pricing a
+    /// firing twice).
+    pub fn allows_cost(&self, cost: f64) -> bool {
+        cost <= self.incumbent
+    }
+}
+
+impl Pruner for CostPruner<'_> {
+    fn allow_firing(&mut self, inst: &Instance, _: usize, tgd: &Tgd, m: &Match) -> bool {
+        self.allows_cost(self.oracle.firing_cost(inst, tgd, m))
+    }
+}
+
 /// Per-rule statistics from a chase run (exposed so the optimizer can report
 /// which LA properties fired, cf. the paper's per-pipeline discussions).
 #[derive(Debug, Clone, Default)]
@@ -97,6 +157,9 @@ pub struct ChaseStats {
     pub tgd_firings: Vec<(String, usize)>,
     pub egd_merges: usize,
     pub pruned_firings: usize,
+    /// Firings vetoed by the pruner, per rule (same order as the engine's
+    /// constraint list; EGDs are never offered to the pruner and stay 0).
+    pub rule_vetoes: Vec<(String, usize)>,
     /// Premise matches enumerated per rule (same order as the engine's
     /// constraint list). Semi-naïve evaluation should report dramatically
     /// fewer than naive on saturating workloads.
@@ -119,6 +182,63 @@ impl ChaseStats {
 struct PendingFiring {
     bindings: Vec<(u32, NodeId)>,
     fact_indices: Vec<usize>,
+}
+
+/// Positions a predicate is functional in, derived from the engine's own
+/// EGDs: `inputs` are the agreeing positions of the two-atom premise,
+/// `outputs` the equated ones. Existence of such an EGD proves that the
+/// outputs are semantically determined by the inputs, which is what makes
+/// conclusion-atom *reuse* sound (see [`ChaseEngine::apply_tgd`]).
+struct FunctionalSig {
+    inputs: Vec<usize>,
+    outputs: Vec<usize>,
+}
+
+/// Detects the generalized `Egd::functional` shape: two atoms over one
+/// predicate whose args agree on the `inputs` positions and carry distinct,
+/// premise-unique variables on the `outputs` positions, every such pair
+/// (and nothing else) being equated. Covers `I_multiM` (one output) and
+/// the QR/LU EGDs (two outputs) as well as inverse-functional constraints
+/// like `name-unique` (input = the name constant position).
+fn functional_sig(egd: &Egd) -> Option<(crate::symbols::PredId, FunctionalSig)> {
+    let [a, b] = egd.premise.as_slice() else {
+        return None;
+    };
+    if a.pred != b.pred || a.args.len() != b.args.len() {
+        return None;
+    }
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, (ta, tb)) in a.args.iter().zip(&b.args).enumerate() {
+        if ta == tb {
+            inputs.push(i);
+        } else {
+            let (Term::Var(x), Term::Var(y)) = (ta, tb) else {
+                return None;
+            };
+            // The equated variables must be tied to their slot alone.
+            let occurrences = |v: u32| {
+                egd.premise.iter().flat_map(|a| &a.args).filter(|t| **t == Term::Var(v)).count()
+            };
+            if occurrences(*x) != 1 || occurrences(*y) != 1 {
+                return None;
+            }
+            outputs.push(i);
+            pairs.push((*x, *y));
+        }
+    }
+    if outputs.is_empty() || egd.equalities.len() != pairs.len() {
+        return None;
+    }
+    for (x, y) in pairs {
+        let eq = (Term::Var(x), Term::Var(y));
+        let rev = (Term::Var(y), Term::Var(x));
+        if !egd.equalities.contains(&eq) && !egd.equalities.contains(&rev) {
+            return None;
+        }
+    }
+    Some((a.pred, FunctionalSig { inputs, outputs }))
 }
 
 /// The chase engine: an ordered list of constraints plus budgets.
@@ -158,8 +278,21 @@ impl ChaseEngine {
         let mut stats = ChaseStats {
             tgd_firings: self.constraints.iter().map(|c| (c.name().to_owned(), 0)).collect(),
             rule_matches: self.constraints.iter().map(|c| (c.name().to_owned(), 0)).collect(),
+            rule_vetoes: self.constraints.iter().map(|c| (c.name().to_owned(), 0)).collect(),
             ..Default::default()
         };
+        // Predicates the engine's own EGDs prove functional: conclusion
+        // atoms over them may bind existentials to existing witnesses
+        // (core-chase-style reuse) instead of churning fresh nulls the
+        // EGDs would merge a round later.
+        let functional: HashMap<crate::symbols::PredId, FunctionalSig> = self
+            .constraints
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::Egd(e) => functional_sig(e),
+                Constraint::Tgd(_) => None,
+            })
+            .collect();
         // Per-rule clock watermark: facts stamped after it are this rule's
         // delta. Zero means "everything is new" (the naive first round).
         let mut last_seen: Vec<u64> = vec![0; self.constraints.len()];
@@ -201,10 +334,12 @@ impl ChaseEngine {
                             tgd,
                             pruner,
                             watermark,
+                            &functional,
                             &mut stats.rule_matches[ci].1,
                         );
                         stats.tgd_firings[ci].1 += fired;
                         stats.pruned_firings += pruned;
+                        stats.rule_vetoes[ci].1 += pruned;
                         if fired > 0 {
                             changed = true;
                         }
@@ -223,6 +358,7 @@ impl ChaseEngine {
             if !changed {
                 return (ChaseOutcome::Saturated, stats);
             }
+            pruner.end_round(inst);
         }
         (ChaseOutcome::BudgetExhausted, stats)
     }
@@ -292,8 +428,10 @@ impl ChaseEngine {
         Ok(count)
     }
 
-    /// Applies one TGD (restricted semantics) over its delta. Returns
-    /// `(firings, pruned, over_budget)`.
+    /// Applies one TGD (restricted semantics, with core-chase-style
+    /// existential reuse through `functional` predicates) over its delta.
+    /// Returns `(firings, pruned, over_budget)`.
+    #[allow(clippy::too_many_arguments)]
     fn apply_tgd(
         &self,
         inst: &mut Instance,
@@ -301,6 +439,7 @@ impl ChaseEngine {
         tgd: &Tgd,
         pruner: &mut dyn Pruner,
         watermark: u64,
+        functional: &HashMap<crate::symbols::PredId, FunctionalSig>,
         matches_seen: &mut u64,
     ) -> (usize, usize, bool) {
         let existentials = tgd.existential_vars();
@@ -336,8 +475,54 @@ impl ChaseEngine {
                 m.fact_indices.iter().map(|&fi| &inst.fact(fi).prov).collect();
             let prov = Provenance::and_all(&premise_provs);
             let mut bindings = m.bindings;
+            // Existential reuse: a conclusion atom over a functional
+            // predicate whose input positions are fully bound determines
+            // its outputs semantically — if a witnessing fact exists, bind
+            // the existentials to it instead of minting fresh nulls the
+            // functional EGD would merge (and re-stamp) a round later.
+            // Iterated because one reuse can bind another atom's inputs
+            // (e.g. `mul(b,c,F) ∧ mul(a,F,W)` chains through `F`).
+            loop {
+                let mut progressed = false;
+                for atom in &tgd.conclusion {
+                    let Some(sig) = functional.get(&atom.pred) else {
+                        continue;
+                    };
+                    let unbound: Vec<(usize, u32)> = sig
+                        .outputs
+                        .iter()
+                        .filter_map(|&p| match atom.args[p] {
+                            Term::Var(v) if !bindings.contains_key(&v) => Some((p, v)),
+                            _ => None,
+                        })
+                        .collect();
+                    if unbound.is_empty() {
+                        continue;
+                    }
+                    let input_nodes: Option<Vec<(usize, NodeId)>> = sig
+                        .inputs
+                        .iter()
+                        .map(|&p| match atom.args[p] {
+                            Term::Var(v) => bindings.get(&v).map(|&n| (p, n)),
+                            Term::Const(c) => inst.node_of_const(c).map(|n| (p, n)),
+                        })
+                        .collect();
+                    let Some(input_nodes) = input_nodes else {
+                        continue;
+                    };
+                    if let Some(fact) = find_witness(inst, atom.pred, &input_nodes) {
+                        for &(p, v) in &unbound {
+                            bindings.insert(v, fact[p]);
+                        }
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
             for &ev in &existentials {
-                bindings.insert(ev, inst.fresh_null());
+                bindings.entry(ev).or_insert_with(|| inst.fresh_null());
             }
             for atom in &tgd.conclusion {
                 let args: Vec<NodeId> = atom
@@ -358,6 +543,34 @@ impl ChaseEngine {
             }
         }
         (fired, pruned, false)
+    }
+}
+
+/// Canonical args of a fact over `pred` agreeing with `input_nodes` at the
+/// given positions, if one exists — the witness an existential reuse binds
+/// to. Probes the positional index through the first input position (the
+/// instance is canonical during TGD application); a predicate functional
+/// in *all* positions has at most one semantically distinct fact, so the
+/// first is taken.
+fn find_witness(
+    inst: &Instance,
+    pred: crate::symbols::PredId,
+    input_nodes: &[(usize, NodeId)],
+) -> Option<Vec<NodeId>> {
+    let matches_inputs =
+        |args: &[NodeId]| input_nodes.iter().all(|&(p, n)| inst.find(args[p]) == inst.find(n));
+    let scan = |idxs: &[usize]| {
+        idxs.iter()
+            .map(|&i| inst.fact(i))
+            .find(|f| matches_inputs(&f.args))
+            .map(|f| f.args.iter().map(|&a| inst.find(a)).collect())
+    };
+    match input_nodes.first() {
+        Some(&(p, n)) => match inst.facts_with_pred_arg(pred, p as u32, inst.find(n)) {
+            Some(idxs) => scan(idxs),
+            None => scan(inst.facts_with_pred(pred)),
+        },
+        None => scan(inst.facts_with_pred(pred)),
     }
 }
 
@@ -516,6 +729,98 @@ mod tests {
         assert_eq!(outcome, ChaseOutcome::Saturated);
         assert_eq!(inst.facts_with_pred(q).len(), 0);
         assert!(stats.pruned_firings > 0);
+    }
+
+    #[test]
+    fn cost_pruner_vetoes_above_incumbent_and_tightens() {
+        /// Prices every firing at the number of premise facts, scaled.
+        struct FactCountOracle(f64);
+        impl CostOracle for FactCountOracle {
+            fn firing_cost(&self, _: &Instance, _: &Tgd, m: &Match) -> f64 {
+                self.0 * m.fact_indices.len() as f64
+            }
+        }
+        let mut vocab = Vocabulary::new();
+        let p = vocab.predicate("P", 1);
+        let q = vocab.predicate("Q", 1);
+        let tgd = Tgd::new(
+            "p-q",
+            vec![Atom::new(p, vec![Term::Var(0)])],
+            vec![Atom::new(q, vec![Term::Var(0)])],
+        );
+        let build = |vocab: &mut Vocabulary| {
+            let mut inst = Instance::new();
+            let a = inst.const_node(vocab.constant("a"));
+            inst.insert(p, vec![a], Provenance::empty(), None);
+            inst
+        };
+        let engine = ChaseEngine::new(vec![tgd.into()]);
+
+        // Incumbent below the firing cost: vetoed, counted per rule.
+        let oracle = FactCountOracle(10.0);
+        let mut inst = build(&mut vocab);
+        let mut pruner = CostPruner::new(&oracle, 5.0);
+        let (_, stats) = engine.chase_with(&mut inst, &mut pruner);
+        assert_eq!(inst.facts_with_pred(q).len(), 0);
+        assert_eq!(stats.pruned_firings, 1);
+        assert_eq!(stats.rule_vetoes, vec![("p-q".to_owned(), 1)]);
+
+        // Incumbent above: fires. Tightening never raises the threshold.
+        let mut inst = build(&mut vocab);
+        let mut pruner = CostPruner::new(&oracle, 50.0);
+        pruner.tighten(100.0);
+        assert_eq!(pruner.incumbent(), 50.0);
+        pruner.tighten(20.0);
+        assert_eq!(pruner.incumbent(), 20.0);
+        let (_, stats) = engine.chase_with(&mut inst, &mut pruner);
+        assert_eq!(inst.facts_with_pred(q).len(), 1);
+        assert_eq!(stats.pruned_firings, 0);
+    }
+
+    #[test]
+    fn end_round_fires_between_rounds() {
+        struct RoundCounter(usize);
+        impl Pruner for RoundCounter {
+            fn allow_firing(&mut self, _: &Instance, _: usize, _: &Tgd, _: &Match) -> bool {
+                true
+            }
+            fn end_round(&mut self, _: &Instance) {
+                self.0 += 1;
+            }
+        }
+        // Transitive step over a 4-node path saturates in 4 rounds; the
+        // hook runs after every round that changed the instance (not after
+        // the final quiet round).
+        let mut vocab = Vocabulary::new();
+        let e = vocab.predicate("E", 2);
+        let t = vocab.predicate("T", 2);
+        let rules: Vec<Constraint> = vec![
+            Tgd::new(
+                "base",
+                vec![Atom::new(e, vec![Term::Var(0), Term::Var(1)])],
+                vec![Atom::new(t, vec![Term::Var(0), Term::Var(1)])],
+            )
+            .into(),
+            Tgd::new(
+                "step",
+                vec![
+                    Atom::new(t, vec![Term::Var(0), Term::Var(1)]),
+                    Atom::new(e, vec![Term::Var(1), Term::Var(2)]),
+                ],
+                vec![Atom::new(t, vec![Term::Var(0), Term::Var(2)])],
+            )
+            .into(),
+        ];
+        let mut inst = Instance::new();
+        let ns: Vec<NodeId> =
+            (0..4).map(|i| inst.const_node(vocab.constant(format!("n{i}")))).collect();
+        for w in ns.windows(2) {
+            inst.insert(e, vec![w[0], w[1]], Provenance::empty(), None);
+        }
+        let mut counter = RoundCounter(0);
+        let (outcome, stats) = ChaseEngine::new(rules).chase_with(&mut inst, &mut counter);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        assert_eq!(counter.0, stats.rounds - 1, "hook runs after every changing round");
     }
 
     #[test]

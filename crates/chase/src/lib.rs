@@ -32,9 +32,13 @@ pub mod symbols;
 pub mod term;
 
 pub use atom::Atom;
-pub use chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, EvalMode};
+pub use chase::{
+    ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostOracle, CostPruner, EvalMode,
+    NoPrune, Pruner,
+};
 pub use constraint::{Constraint, Egd, Tgd};
 pub use cq::Cq;
+pub use homomorphism::Match;
 pub use instance::{ConstClash, Instance, NodeId};
 pub use pacb::{CostFn, Pacb, PacbOptions, PacbResult, Rewriting, View};
 pub use provenance::Provenance;

@@ -18,7 +18,9 @@
 use std::collections::HashMap;
 
 use crate::atom::Atom;
-use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, Pruner};
+use crate::chase::{
+    ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostOracle, CostPruner,
+};
 use crate::constraint::{Constraint, Tgd};
 use crate::cq::Cq;
 use crate::homomorphism::{self, Match};
@@ -95,28 +97,30 @@ pub struct Pacb<'a> {
     pub cost_fn: Option<CostFn<'a>>,
 }
 
-struct BackchasePruner<'b> {
-    threshold: f64,
+/// Prices a backchase firing by the provenance of its premise image
+/// (Example 7.2): the cheapest conjunct of the combined premise provenance,
+/// since any rewriting the step contributes to must read at least that much.
+/// Fed to the generic [`CostPruner`] — the same `Prune_prov` machinery the
+/// LA chase uses with its flops oracle — with the incumbent set to the
+/// original query's scan cost. Vetoed firings are counted by the engine
+/// (`ChaseStats::pruned_firings`), which PACB surfaces as `backchase_stats`.
+struct ProvCostOracle<'b> {
     cost_fn: CostFn<'b>,
 }
 
-impl Pruner for BackchasePruner<'_> {
-    fn allow_firing(&mut self, inst: &Instance, _idx: usize, _tgd: &Tgd, m: &Match) -> bool {
-        // Provenance conjunct of the premise image (Example 7.2): if every
-        // conjunct of the combined premise provenance costs above the
-        // threshold, the step cannot contribute to a minimum-cost rewriting.
+impl CostOracle for ProvCostOracle<'_> {
+    fn firing_cost(&self, inst: &Instance, _tgd: &Tgd, m: &Match) -> f64 {
         let provs: Vec<&Provenance> =
             m.fact_indices.iter().map(|&fi| &inst.fact(fi).prov).collect();
         let combined = Provenance::and_all(&provs);
         if combined.is_empty() {
-            return true; // no universal-plan justification — not prunable
+            return 0.0; // no universal-plan justification — not prunable
         }
-        // Vetoed firings are counted by the engine (`ChaseStats::
-        // pruned_firings`), which PACB surfaces as `backchase_stats`.
-        combined.conjuncts().iter().any(|&c| {
-            let atoms = Provenance::conjunct_terms(c);
-            (self.cost_fn)(inst, &atoms) <= self.threshold
-        })
+        combined
+            .conjuncts()
+            .iter()
+            .map(|&c| (self.cost_fn)(inst, &Provenance::conjunct_terms(c)))
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -224,7 +228,8 @@ impl<'a> Pacb<'a> {
         let (backchase_outcome, backchase_stats) =
             match (self.options.prune_threshold, self.cost_fn) {
                 (Some(t), Some(f)) => {
-                    let mut pruner = BackchasePruner { threshold: t, cost_fn: f };
+                    let oracle = ProvCostOracle { cost_fn: f };
+                    let mut pruner = CostPruner::new(&oracle, t);
                     back_engine.chase_with(&mut u, &mut pruner)
                 }
                 _ => back_engine.chase(&mut u),

@@ -39,11 +39,12 @@ pub struct Catalogue {
 
 impl Catalogue {
     /// The full standard catalogue: functional + structural +
-    /// decomposition constraints.
+    /// decomposition + statistics-propagation constraints.
     pub fn standard(vrem: &mut Vrem) -> Catalogue {
         let mut constraints = Self::functional_egds(vrem);
         constraints.extend(Self::structural_rules(vrem));
         constraints.extend(Self::decomposition_rules(vrem));
+        constraints.extend(Self::propagation_rules(vrem));
         Catalogue { constraints }
     }
 
@@ -503,35 +504,179 @@ impl Catalogue {
         view_name: &str,
         def: &Expr,
     ) -> Result<Vec<Constraint>, ShapeError> {
-        let (rows, cols) = crate::stats::shape(def, cat)?;
+        let stats = crate::stats::expr_stats(def, cat)?;
         let view_sym = vrem.vocab.constant(view_name);
-        let r_sym = vrem.vocab.int(rows as i64);
-        let c_sym = vrem.vocab.int(cols as i64);
+        let r_sym = vrem.vocab.int(stats.rows as i64);
+        let c_sym = vrem.vocab.int(stats.cols as i64);
+        let d_sym = crate::encode::density_sym(vrem, stats.density);
         let name_pred = vrem.name;
         let size_pred = vrem.size;
+        let density_pred = vrem.density;
 
         let mut enc = CqEncoder::new(vrem, cat).with_sizes();
         let root = enc.enc(def)?;
         let body_sized = enc.atoms;
-        // The IO premise must not demand `size` facts: classes the chase
-        // itself creates (re-associations etc.) carry none, and they are
-        // exactly the subexpressions worth landing on the view. `with_sizes`
-        // only appends atoms, so filtering keeps variable numbering intact.
-        let body_bare: Vec<Atom> =
-            body_sized.iter().filter(|a| a.pred != size_pred).cloned().collect();
+        // The IO premise must not demand `size`/`density` facts: classes
+        // the chase itself creates (re-associations etc.) may carry none,
+        // and they are exactly the subexpressions worth landing on the
+        // view. `with_sizes` only appends atoms, so filtering keeps
+        // variable numbering intact.
+        let body_bare: Vec<Atom> = body_sized
+            .iter()
+            .filter(|a| a.pred != size_pred && a.pred != density_pred)
+            .cloned()
+            .collect();
 
         let name_atom = Atom::new(name_pred, vec![Term::Var(root), Term::Const(view_sym)]);
         let size_atom =
             Atom::new(size_pred, vec![Term::Var(root), Term::Const(r_sym), Term::Const(c_sym)]);
+        let density_atom = Atom::new(density_pred, vec![Term::Var(root), Term::Const(d_sym)]);
         Ok(vec![
             Tgd::new(
                 format!("V_IO:{view_name}"),
                 body_bare,
-                vec![name_atom.clone(), size_atom],
+                vec![name_atom.clone(), size_atom, density_atom],
             )
             .into(),
             Tgd::new(format!("V_OI:{view_name}"), vec![name_atom], body_sized).into(),
         ])
+    }
+
+    /// Dimension- and density-propagating TGDs: classes the *chase*
+    /// creates (re-associations, transposed factors, view expansions)
+    /// inherit `size` facts from their operands — previously extraction
+    /// re-inferred shapes bottom-up and the chase itself was blind to what
+    /// an intermediate costs, which is what kept `Prune_prov` off the LA
+    /// path. Dimensions propagate wherever they follow from variable
+    /// sharing alone (Kron/DirectSum need arithmetic and are left to the
+    /// in-process estimator); densities propagate where the estimate is
+    /// exactly the operand's (transpose, reverse, scalar scaling) — the
+    /// cost oracle computes the multiplicative cases from operand facts.
+    pub fn propagation_rules(vrem: &mut Vrem) -> Vec<Constraint> {
+        use OpKind::*;
+        let size = vrem.size;
+        let density = vrem.density;
+        let one = vrem.vocab.int(1);
+        let mut out: Vec<Constraint> = Vec::new();
+        let mut rule = |name: String, premise: Vec<Atom>, conclusion: Vec<Atom>| {
+            out.push(Tgd::new(name, premise, conclusion).into());
+        };
+
+        for &kind in OpKind::all() {
+            let op = vrem.op(kind);
+            let name = format!("size-{}", kind.pred_name());
+            match kind {
+                // size(o) = size(a) for same-shape binary operators.
+                Add | Hadamard | Div => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1), v(2)]),
+                        Atom::new(size, vec![v(0), v(3), v(4)]),
+                    ],
+                    vec![Atom::new(size, vec![v(2), v(3), v(4)])],
+                ),
+                // multiM(a, b, o) with a: r×k, b: k×c gives o: r×c.
+                Mul => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1), v(2)]),
+                        Atom::new(size, vec![v(0), v(3), v(4)]),
+                        Atom::new(size, vec![v(1), v(4), v(5)]),
+                    ],
+                    vec![Atom::new(size, vec![v(2), v(3), v(5)])],
+                ),
+                ScalarMul => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1), v(2)]),
+                        Atom::new(size, vec![v(1), v(3), v(4)]),
+                    ],
+                    vec![Atom::new(size, vec![v(2), v(3), v(4)])],
+                ),
+                Transpose => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1)]),
+                        Atom::new(size, vec![v(0), v(2), v(3)]),
+                    ],
+                    vec![Atom::new(size, vec![v(1), v(3), v(2)])],
+                ),
+                Rev | Inv | Adj | Exp | Cho => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1)]),
+                        Atom::new(size, vec![v(0), v(2), v(3)]),
+                    ],
+                    vec![Atom::new(size, vec![v(1), v(2), v(3)])],
+                ),
+                // Both decomposition outputs share the (square) input shape.
+                Qr | Lu => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1), v(2)]),
+                        Atom::new(size, vec![v(0), v(3), v(4)]),
+                    ],
+                    vec![
+                        Atom::new(size, vec![v(1), v(3), v(4)]),
+                        Atom::new(size, vec![v(2), v(3), v(4)]),
+                    ],
+                ),
+                Diag => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1)]),
+                        Atom::new(size, vec![v(0), v(2), v(3)]),
+                    ],
+                    vec![Atom::new(size, vec![v(1), v(2), Term::Const(one)])],
+                ),
+                RowSums | RowMeans | RowMin | RowMax | RowVar => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1)]),
+                        Atom::new(size, vec![v(0), v(2), v(3)]),
+                    ],
+                    vec![Atom::new(size, vec![v(1), v(2), Term::Const(one)])],
+                ),
+                ColSums | ColMeans | ColMin | ColMax | ColVar => rule(
+                    name,
+                    vec![
+                        Atom::new(op, vec![v(0), v(1)]),
+                        Atom::new(size, vec![v(0), v(2), v(3)]),
+                    ],
+                    vec![Atom::new(size, vec![v(1), Term::Const(one), v(3)])],
+                ),
+                Det | Trace | Sum | Min | Max | Mean | Var => rule(
+                    name,
+                    vec![Atom::new(op, vec![v(0), v(1)])],
+                    vec![Atom::new(size, vec![v(1), Term::Const(one), Term::Const(one)])],
+                ),
+                // Output dims are products/sums of operand dims: arithmetic
+                // the chase cannot do; the extractor's op_stats covers them.
+                Kron | DirectSum => {}
+            }
+        }
+
+        // Exact density transfers.
+        let tr = vrem.op(Transpose);
+        let rev = vrem.op(Rev);
+        let smul = vrem.op(ScalarMul);
+        rule(
+            "dens-tr".into(),
+            vec![Atom::new(tr, vec![v(0), v(1)]), Atom::new(density, vec![v(0), v(2)])],
+            vec![Atom::new(density, vec![v(1), v(2)])],
+        );
+        rule(
+            "dens-rev".into(),
+            vec![Atom::new(rev, vec![v(0), v(1)]), Atom::new(density, vec![v(0), v(2)])],
+            vec![Atom::new(density, vec![v(1), v(2)])],
+        );
+        rule(
+            "dens-multiMS".into(),
+            vec![Atom::new(smul, vec![v(0), v(1), v(2)]), Atom::new(density, vec![v(1), v(3)])],
+            vec![Atom::new(density, vec![v(2), v(3)])],
+        );
+
+        out
     }
 
     /// Decomposition recomposition and implied structural flags (§6.2.5).
@@ -777,6 +922,76 @@ mod tests {
             ex.candidates(w_class).iter().map(|c| c.to_string()).collect();
         assert!(w_strs.contains(&"W".to_string()), "{w_strs:?}");
         assert!(w_strs.contains(&"(A B)".to_string()), "{w_strs:?}");
+    }
+
+    /// Size propagation: every operator fact the chase creates gets a
+    /// `size` fact for its output class — extraction and the cost oracle
+    /// no longer re-infer shapes bottom-up for chase-created classes.
+    #[test]
+    fn chase_created_classes_carry_size_facts() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(40, 10));
+        cat.register("B", MatrixMeta::dense(10, 40));
+        cat.register("x", MatrixMeta::dense(40, 1));
+        let e = mul(mul(m("A"), m("B")), m("x"));
+        let (vrem, inst, _, outcome) = chase_of(&e, &cat);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        let sized: std::collections::HashSet<_> = inst
+            .facts_with_pred(vrem.size)
+            .iter()
+            .map(|&i| inst.find(inst.facts()[i].args[0]))
+            .collect();
+        let mul_pred = vrem.op(OpKind::Mul);
+        assert!(inst.facts_with_pred(mul_pred).len() > 2, "re-association happened");
+        for &i in inst.facts_with_pred(mul_pred) {
+            let out = inst.find(inst.facts()[i].args[2]);
+            assert!(sized.contains(&out), "mul output class without size fact");
+        }
+        // The re-associated (B x) intermediate got the right shape.
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        let bx = inst
+            .facts_with_pred(mul_pred)
+            .iter()
+            .map(|&i| &inst.facts()[i])
+            .find(|f| {
+                ex.shape(f.args[0]) == Some((10, 40)) && ex.shape(f.args[1]) == Some((40, 1))
+            })
+            .map(|f| f.args[2])
+            .expect("chase derived mul(B, x, ·)");
+        assert_eq!(ex.shape(bx), Some((10, 1)));
+    }
+
+    /// Density propagation: a chase-created transpose class inherits the
+    /// operand's catalogued sparsity through the `dens-tr` TGD.
+    #[test]
+    fn density_propagates_through_transpose() {
+        let mut cat = MetaCatalog::new();
+        cat.register("S", MatrixMeta::sparse(100, 50, 250)); // density 0.05
+        cat.register("D", MatrixMeta::dense(100, 50));
+        // (S D ᵀ-style shapes don't matter; use (D ᵀ S)ᵀ so tr-mul creates
+        // transposes of both leaves.)
+        let e = t(mul(t(m("D")), m("S")));
+        let (mut vrem, inst, _, outcome) = chase_of(&e, &cat);
+        assert_eq!(outcome, ChaseOutcome::Saturated);
+        let s_sym = vrem.vocab.constant("S");
+        let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
+        // tr-mul derived Sᵀ (shape 50x100); its class must carry S's
+        // density even though the encoder never saw that subexpression.
+        let tr_pred = vrem.op(OpKind::Transpose);
+        let s_class = inst
+            .facts()
+            .iter()
+            .find(|f| f.pred == vrem.name && inst.const_of(inst.find(f.args[1])) == Some(s_sym))
+            .map(|f| inst.find(f.args[0]))
+            .unwrap();
+        let st_class = inst
+            .facts_with_pred(tr_pred)
+            .iter()
+            .map(|&i| &inst.facts()[i])
+            .find(|f| inst.find(f.args[0]) == s_class)
+            .map(|f| inst.find(f.args[1]))
+            .expect("chase derived Sᵀ");
+        assert_eq!(ex.density(st_class), Some(0.05));
     }
 
     #[test]

@@ -15,8 +15,15 @@ use std::collections::HashMap;
 use hadad_chase::{Atom, Instance, NodeId, Provenance, Term};
 
 use crate::expr::Expr;
-use crate::schema::{OpKind, Vrem};
-use crate::stats::{MetaCatalog, ShapeError, TypeFlags};
+use crate::schema::{OpKind, Vrem, DENSITY_SCALE};
+use crate::stats::{ClassStats, MetaCatalog, ShapeError, TypeFlags};
+
+/// Interns a density as the parts-per-million integer constant the
+/// `density` relation carries (shared with the view constraints in
+/// `catalogue` so every `density` fact uses one encoding).
+pub(crate) fn density_sym(vrem: &mut Vrem, density: f64) -> hadad_chase::SymId {
+    vrem.vocab.int((density.clamp(0.0, 1.0) * DENSITY_SCALE).round() as i64)
+}
 
 /// Result of encoding an expression.
 #[derive(Debug)]
@@ -64,12 +71,18 @@ impl<'a> Encoder<'a> {
         Ok((self.inst, roots))
     }
 
-    fn size_fact(&mut self, node: NodeId, rows: usize, cols: usize) {
-        let r = self.vrem.vocab.int(rows as i64);
-        let c = self.vrem.vocab.int(cols as i64);
+    /// `size` + `density` facts: the per-class statistics the cost oracle
+    /// reads. Emitted for every encoded subexpression so the chase starts
+    /// from the same estimates the ranking cost model would compute.
+    fn stats_facts(&mut self, node: NodeId, stats: ClassStats) {
+        let r = self.vrem.vocab.int(stats.rows as i64);
+        let c = self.vrem.vocab.int(stats.cols as i64);
         let rn = self.inst.const_node(r);
         let cn = self.inst.const_node(c);
         self.inst.insert(self.vrem.size, vec![node, rn, cn], Provenance::empty(), None);
+        let d = density_sym(self.vrem, stats.density);
+        let dn = self.inst.const_node(d);
+        self.inst.insert(self.vrem.density, vec![node, dn], Provenance::empty(), None);
     }
 
     fn type_facts(&mut self, node: NodeId, flags: TypeFlags) {
@@ -111,7 +124,7 @@ impl<'a> Encoder<'a> {
 
     fn enc_uncached(&mut self, e: &Expr) -> Result<NodeId, ShapeError> {
         use Expr::*;
-        let (rows, cols) = crate::stats::shape(e, self.cat)?;
+        let stats = crate::stats::expr_stats(e, self.cat)?;
         let node = match e {
             Mat(n) => {
                 let meta =
@@ -182,7 +195,7 @@ impl<'a> Encoder<'a> {
             LuL(a) => self.decomp(OpKind::Lu, a)?.0,
             LuU(a) => self.decomp(OpKind::Lu, a)?.1,
         };
-        self.size_fact(node, rows, cols);
+        self.stats_facts(node, stats);
         Ok(node)
     }
 
@@ -226,10 +239,11 @@ pub struct CqEncoder<'a> {
     pub atoms: Vec<Atom>,
     next_var: u32,
     memo: HashMap<String, u32>,
-    /// When set, a `size(v, r, c)` atom (constant dims) is emitted per
-    /// encoded subexpression, so TGD conclusions built from these atoms
-    /// carry shapes for classes the chase creates (view-leaf shape
-    /// inference in extraction relies on this).
+    /// When set, `size(v, r, c)` and `density(v, d)` atoms (constant
+    /// stats) are emitted per encoded subexpression, so TGD conclusions
+    /// built from these atoms carry shapes and sparsity for classes the
+    /// chase creates (view-leaf stats in extraction and the cost oracle
+    /// rely on this).
     emit_sizes: bool,
 }
 
@@ -245,7 +259,7 @@ impl<'a> CqEncoder<'a> {
         }
     }
 
-    /// Enables per-subexpression `size` atoms.
+    /// Enables per-subexpression `size` + `density` atoms.
     pub fn with_sizes(mut self) -> Self {
         self.emit_sizes = true;
         self
@@ -265,7 +279,7 @@ impl<'a> CqEncoder<'a> {
             return Ok(v);
         }
         // Validate shapes eagerly (errors surface at view-registration time).
-        let (rows, cols) = crate::stats::shape(e, self.cat)?;
+        let stats = crate::stats::expr_stats(e, self.cat)?;
         let var = match e {
             Mat(n) => {
                 let sym = self.vrem.vocab.constant(n);
@@ -335,12 +349,14 @@ impl<'a> CqEncoder<'a> {
             }
         };
         if self.emit_sizes {
-            let r = self.vrem.vocab.int(rows as i64);
-            let c = self.vrem.vocab.int(cols as i64);
+            let r = self.vrem.vocab.int(stats.rows as i64);
+            let c = self.vrem.vocab.int(stats.cols as i64);
             self.atoms.push(Atom::new(
                 self.vrem.size,
                 vec![Term::Var(var), Term::Const(r), Term::Const(c)],
             ));
+            let d = density_sym(self.vrem, stats.density);
+            self.atoms.push(Atom::new(self.vrem.density, vec![Term::Var(var), Term::Const(d)]));
         }
         self.memo.insert(key, var);
         Ok(var)
@@ -416,8 +432,9 @@ mod tests {
         // The transpose fact's output is the root.
         let tr_fact = &inst.facts()[inst.facts_with_pred(vrem.op(OpKind::Transpose))[0]];
         assert_eq!(inst.find(tr_fact.args[1]), inst.find(enc.root));
-        // size facts for M, N, MN, (MN)^T.
+        // size + density facts for M, N, MN, (MN)^T.
         assert_eq!(inst.facts_with_pred(vrem.size).len(), 4);
+        assert_eq!(inst.facts_with_pred(vrem.density).len(), 4);
     }
 
     #[test]
@@ -472,22 +489,41 @@ mod tests {
     }
 
     #[test]
-    fn cq_encoder_with_sizes_emits_size_atoms() {
+    fn cq_encoder_with_sizes_emits_stats_atoms() {
         let mut vrem = Vrem::new();
         let mut c = MetaCatalog::new();
         c.register("M", MatrixMeta::dense(6, 4));
-        let mut enc = CqEncoder::new(&mut vrem, &c).with_sizes();
-        let root = enc.enc(&t(m("M"))).unwrap();
-        // name(M) + size(M) + tr + size(root) = 4 atoms.
-        assert_eq!(enc.atoms.len(), 4);
-        let sizes: Vec<&Atom> = enc.atoms.iter().filter(|a| a.pred == vrem.size).collect();
-        assert_eq!(sizes.len(), 2);
-        // The root's size atom carries the transposed constant dims.
         let four = vrem.vocab.constant("4");
         let six = vrem.vocab.constant("6");
+        let full = vrem.vocab.int(1_000_000);
+        let (size_pred, density_pred) = (vrem.size, vrem.density);
+        let mut enc = CqEncoder::new(&mut vrem, &c).with_sizes();
+        let root = enc.enc(&t(m("M"))).unwrap();
+        // name(M) + size(M) + density(M) + tr + size(root) + density(root).
+        assert_eq!(enc.atoms.len(), 6);
+        let sizes: Vec<&Atom> = enc.atoms.iter().filter(|a| a.pred == size_pred).collect();
+        assert_eq!(sizes.len(), 2);
+        // The root's size atom carries the transposed constant dims.
         assert!(sizes
             .iter()
             .any(|a| a.args == vec![Term::Var(root), Term::Const(four), Term::Const(six)]));
+        // Dense metadata renders as the full-scale ppm density constant.
+        let dens: Vec<&Atom> = enc.atoms.iter().filter(|a| a.pred == density_pred).collect();
+        assert_eq!(dens.len(), 2);
+        assert!(dens.iter().all(|a| a.args[1] == Term::Const(full)));
+    }
+
+    #[test]
+    fn encoder_records_catalogued_sparsity() {
+        let mut vrem = Vrem::new();
+        let mut c = MetaCatalog::new();
+        c.register("S", MatrixMeta::sparse(100, 100, 500)); // density 0.05
+        let enc = Encoder::new(&mut vrem, &c).encode(&t(m("S"))).unwrap();
+        let inst = &enc.instance;
+        let ppm = vrem.vocab.int(50_000);
+        let dens = inst.facts_with_pred(vrem.density);
+        assert_eq!(dens.len(), 2, "one density fact per subexpression");
+        assert!(dens.iter().all(|&i| inst.const_of(inst.facts()[i].args[1]) == Some(ppm)));
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::collections::HashMap;
 use hadad_chase::{Instance, NodeId};
 
 use crate::expr::Expr;
-use crate::schema::{OpKind, Vrem};
+use crate::schema::{OpKind, Vrem, DENSITY_SCALE};
+use crate::stats::{op_stats, ClassStats};
 
 /// One way to produce a class: a leaf fact or an operator application.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,12 +35,17 @@ pub enum ENode {
     Op { kind: OpKind, inputs: Vec<NodeId>, out_idx: usize },
 }
 
-/// Pluggable cost for the extraction DP. Implementations see only operator
-/// kinds and shapes, so `hadad-core` stays decoupled from any particular
-/// estimator; `hadad-rewrite` supplies a flops-based one.
+/// Pluggable cost for the extraction DP. Implementations see operator
+/// kinds and per-class [`ClassStats`] (shape + estimated density), so
+/// `hadad-core` stays decoupled from any particular estimator;
+/// `hadad-rewrite` supplies one built on the shared `op_cost` table.
+/// Densities come from the chased instance's `density` facts (catalogued
+/// leaves, view roots, shape-preserving propagation) and default to dense
+/// for chase-created classes without facts — a deterministic,
+/// derivation-order-independent choice.
 pub trait ExtractionCost {
     /// Cost of reading a leaf (base matrix / literal / identity / zero).
-    fn leaf_cost(&self, shape: (usize, usize)) -> f64;
+    fn leaf_cost(&self, stats: ClassStats) -> f64;
 
     /// Cost of one operator application (children excluded). `out_idx`
     /// distinguishes the two outputs of QR/LU.
@@ -47,8 +53,8 @@ pub trait ExtractionCost {
         &self,
         kind: OpKind,
         out_idx: usize,
-        child_shapes: &[(usize, usize)],
-        out_shape: (usize, usize),
+        child: &[ClassStats],
+        out: ClassStats,
     ) -> f64;
 }
 
@@ -57,7 +63,7 @@ pub trait ExtractionCost {
 pub struct TreeSizeCost;
 
 impl ExtractionCost for TreeSizeCost {
-    fn leaf_cost(&self, _shape: (usize, usize)) -> f64 {
+    fn leaf_cost(&self, _stats: ClassStats) -> f64 {
         1.0
     }
 
@@ -65,8 +71,8 @@ impl ExtractionCost for TreeSizeCost {
         &self,
         _kind: OpKind,
         _out_idx: usize,
-        _child_shapes: &[(usize, usize)],
-        _out_shape: (usize, usize),
+        _child: &[ClassStats],
+        _out: ClassStats,
     ) -> f64 {
         1.0
     }
@@ -77,8 +83,13 @@ pub struct Extractor<'a> {
     inst: &'a Instance,
     /// Canonical class -> candidate e-nodes.
     classes: HashMap<NodeId, Vec<ENode>>,
-    /// Canonical class -> shape, from `size` facts or inferred bottom-up.
+    /// Canonical class -> shape, from `size` facts (the chase propagates
+    /// them to created classes) or inferred during the relaxation.
     shapes: HashMap<NodeId, (usize, usize)>,
+    /// Canonical class -> estimated density, the minimum over the class's
+    /// `density` facts (min is order-independent, keeping extraction
+    /// deterministic when merged derivations disagree on the estimate).
+    densities: HashMap<NodeId, f64>,
     /// Canonical class -> (best cost, index into `classes[class]`).
     best: HashMap<NodeId, (f64, usize)>,
 }
@@ -131,6 +142,7 @@ impl<'a> Extractor<'a> {
             inst,
             classes: HashMap::new(),
             shapes: HashMap::new(),
+            densities: HashMap::new(),
             best: HashMap::new(),
         };
         ex.collect(vrem);
@@ -172,6 +184,18 @@ impl<'a> Extractor<'a> {
                 if let (Some(r), Some(c)) = (dim(canon[1]), dim(canon[2])) {
                     self.shapes.insert(canon[0], (r, c));
                 }
+            } else if f.pred == vrem.density {
+                if let Some(ppm) = self
+                    .inst
+                    .const_of(canon[1])
+                    .and_then(|s| vrem.vocab.const_name(s).parse::<i64>().ok())
+                {
+                    let d = (ppm as f64 / DENSITY_SCALE).clamp(0.0, 1.0);
+                    self.densities
+                        .entry(canon[0])
+                        .and_modify(|cur| *cur = cur.min(d))
+                        .or_insert(d);
+                }
             } else if let Some(kind) = vrem.kind_of(f.pred) {
                 let n_in = kind.num_inputs();
                 let inputs = canon[..n_in].to_vec();
@@ -210,7 +234,14 @@ impl<'a> Extractor<'a> {
                     // whole e-node vector per round); `best`/`shapes` are
                     // only written after the borrow ends.
                     let node = &self.classes[&class][idx];
-                    let computed = node_candidate(node, class, &self.best, &self.shapes, cost);
+                    let computed = node_candidate(
+                        node,
+                        class,
+                        &self.best,
+                        &self.shapes,
+                        &self.densities,
+                        cost,
+                    );
                     if let Some((c, shape)) = computed {
                         self.shapes.entry(class).or_insert(shape);
                         let incumbent = self
@@ -242,12 +273,13 @@ impl<'a> Extractor<'a> {
                 let classes = &self.classes;
                 let best = &self.best;
                 let shapes = &self.shapes;
+                let densities = &self.densities;
                 par_map(class_ids, 2, |&class| {
                     let nodes = &classes[&class];
                     let mut winner: Option<(f64, usize, (usize, usize))> = None;
                     for (idx, node) in nodes.iter().enumerate() {
                         if let Some((c, shape)) =
-                            node_candidate(node, class, best, shapes, cost)
+                            node_candidate(node, class, best, shapes, densities, cost)
                         {
                             let cur = winner.map(|(w, wi, _)| (w, &nodes[wi]));
                             if improves((c, node), cur, best) {
@@ -286,6 +318,11 @@ impl<'a> Extractor<'a> {
     /// Shape of a class, from `size` facts or inference.
     pub fn shape(&self, class: NodeId) -> Option<(usize, usize)> {
         self.shapes.get(&self.inst.find(class)).copied()
+    }
+
+    /// Estimated density of a class from its `density` facts, if any.
+    pub fn density(&self, class: NodeId) -> Option<f64> {
+        self.densities.get(&self.inst.find(class)).copied()
     }
 
     /// Candidate e-nodes of a class.
@@ -364,27 +401,6 @@ impl<'a> Extractor<'a> {
     }
 }
 
-/// Shape of an operator output given child shapes (mirrors
-/// [`crate::stats::shape`], but over shapes so it also covers classes
-/// the chase created without `size` facts).
-fn op_shape(kind: OpKind, out_idx: usize, child: &[(usize, usize)]) -> (usize, usize) {
-    use OpKind::*;
-    let _ = out_idx; // both QR/LU outputs share the (square) input shape
-    match kind {
-        Add | Hadamard | Div => child[0],
-        Mul => (child[0].0, child[1].1),
-        Kron => (child[0].0 * child[1].0, child[0].1 * child[1].1),
-        DirectSum => (child[0].0 + child[1].0, child[0].1 + child[1].1),
-        ScalarMul => child[1],
-        Transpose => (child[0].1, child[0].0),
-        Inv | Adj | Exp | Rev | Cho | Qr | Lu => child[0],
-        Diag => (child[0].0, 1),
-        RowSums | RowMeans | RowMin | RowMax | RowVar => (child[0].0, 1),
-        ColSums | ColMeans | ColMin | ColMax | ColVar => (1, child[0].1),
-        Det | Trace | Sum | Min | Max | Mean | Var => (1, 1),
-    }
-}
-
 /// Deterministic tie-break key for e-nodes whose derivations cost exactly
 /// the same: variant, operator, output index, then the child best-cost
 /// bits. Depends only on isomorphism-invariant data (never on `NodeId`s or
@@ -429,36 +445,47 @@ fn improves(
 /// Cost and shape of one e-node derivation against a cost/shape snapshot,
 /// or `None` while some child is still unsolved. Shared by the sequential
 /// sweep and the parallel Jacobi passes, which only differ in when writes
-/// land.
+/// land. Densities come from the class's `density` facts; classes without
+/// facts assume dense children and [`op_stats`]-propagated outputs — both
+/// derivation-order-independent, so extraction stays deterministic.
 fn node_candidate(
     node: &ENode,
     class: NodeId,
     best: &HashMap<NodeId, (f64, usize)>,
     shapes: &HashMap<NodeId, (usize, usize)>,
+    densities: &HashMap<NodeId, f64>,
     cost: &dyn ExtractionCost,
 ) -> Option<(f64, (usize, usize))> {
+    let stats_of = |n: NodeId, shape: (usize, usize)| ClassStats {
+        rows: shape.0,
+        cols: shape.1,
+        density: densities.get(&n).copied().unwrap_or(1.0),
+    };
     match node {
         ENode::Mat(_) | ENode::Identity | ENode::Zero => {
-            shapes.get(&class).map(|&s| (cost.leaf_cost(s), s))
+            shapes.get(&class).map(|&s| (cost.leaf_cost(stats_of(class, s)), s))
         }
-        ENode::Const(_) => Some((cost.leaf_cost((1, 1)), (1, 1))),
+        ENode::Const(_) => Some((cost.leaf_cost(stats_of(class, (1, 1))), (1, 1))),
         ENode::Op { kind, inputs, out_idx } => {
             let mut child_costs = 0.0;
-            let mut child_shapes = Vec::with_capacity(inputs.len());
+            let mut child_stats = Vec::with_capacity(inputs.len());
             for &i in inputs {
                 match (best.get(&i), shapes.get(&i)) {
                     (Some(&(c, _)), Some(&s)) => {
                         child_costs += c;
-                        child_shapes.push(s);
+                        child_stats.push(stats_of(i, s));
                     }
                     _ => return None,
                 }
             }
-            let out_shape = shapes
-                .get(&class)
-                .copied()
-                .unwrap_or_else(|| op_shape(*kind, *out_idx, &child_shapes));
-            let op = cost.op_cost(*kind, *out_idx, &child_shapes, out_shape);
+            let propagated = op_stats(*kind, *out_idx, &child_stats);
+            let out_shape = shapes.get(&class).copied().unwrap_or_else(|| propagated.shape());
+            let out = ClassStats {
+                rows: out_shape.0,
+                cols: out_shape.1,
+                density: densities.get(&class).copied().unwrap_or(propagated.density),
+            };
+            let op = cost.op_cost(*kind, *out_idx, &child_stats, out);
             // Clamp so parents always cost strictly more than children;
             // cyclic classes then cannot be their own best derivation.
             Some((op.max(1e-9) + child_costs, out_shape))

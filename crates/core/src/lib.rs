@@ -19,5 +19,8 @@ pub use catalogue::Catalogue;
 pub use encode::{CqEncoder, Encoded, Encoder};
 pub use expr::Expr;
 pub use extract::{ExtractionCost, Extractor, TreeSizeCost};
-pub use schema::{OpKind, Vrem};
-pub use stats::{MatrixMeta, MetaCatalog, MncHistogram, ShapeError, TypeFlags};
+pub use schema::{OpKind, Vrem, DENSITY_SCALE};
+pub use stats::{
+    expr_stats, op_cost, op_flops, op_stats, ClassStats, MatrixMeta, MetaCatalog, MncHistogram,
+    ShapeError, TypeFlags, MEM_WEIGHT,
+};

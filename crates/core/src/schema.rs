@@ -139,8 +139,17 @@ pub struct Vrem {
     pub ty: PredId,
     /// `lit(S, v)`: class `S` is the 1x1 scalar literal `v`.
     pub lit: PredId,
+    /// `density(M, d)`: class `M` has an estimated non-zero fraction of
+    /// `d` parts-per-million (integer constant; see
+    /// [`crate::stats::ClassStats`]). Read by the cost oracle so the chase
+    /// and extraction agree with the ranking estimator on sparsity.
+    pub density: PredId,
     ops: HashMap<OpKind, PredId>,
 }
+
+/// Scale of the `density` relation's integer constants: densities are
+/// recorded in parts-per-million.
+pub const DENSITY_SCALE: f64 = 1_000_000.0;
 
 impl Vrem {
     pub fn new() -> Self {
@@ -151,11 +160,12 @@ impl Vrem {
         let identity = vocab.predicate("identity", 1);
         let ty = vocab.predicate("type", 2);
         let lit = vocab.predicate("lit", 2);
+        let density = vocab.predicate("density", 2);
         let mut ops = HashMap::new();
         for &k in OpKind::all() {
             ops.insert(k, vocab.predicate(k.pred_name(), k.arity()));
         }
-        Vrem { vocab, name, size, zero, identity, ty, lit, ops }
+        Vrem { vocab, name, size, zero, identity, ty, lit, density, ops }
     }
 
     /// Predicate of an operator relation.

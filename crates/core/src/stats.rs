@@ -1,13 +1,18 @@
-//! Matrix metadata: dimensions, non-zero counts, structural type flags, and
-//! optional MNC count-histograms. This is the "metadata file" the paper's
-//! naïve estimator reads (§7.2.1) and the offline histogram store of the
-//! MNC estimator (§7.2.2).
+//! Matrix metadata and the **unified cost oracle's** estimator: dimensions,
+//! non-zero counts, structural type flags, optional MNC count-histograms
+//! (the paper's §7.2 metadata files), and the single shape/density/flops
+//! propagation table every consumer shares — the naïve estimator of §7.2.1
+//! ([`op_stats`]/[`op_flops`]), the extraction DP's cost
+//! (`hadad_rewrite::FlopsCost`), and the chase's `Prune_prov` oracle.
+//! Before this unification, extraction re-inferred shapes bottom-up and the
+//! two cost models disagreed on chase-created intermediates.
 
 use std::collections::BTreeMap;
 
 use hadad_linalg::Matrix;
 
 use crate::expr::Expr;
+use crate::schema::OpKind;
 
 /// Structural type flags used by the decomposition constraints (§6.2.5):
 /// symmetric positive definite ("S"), lower/upper triangular ("L"/"U"),
@@ -87,6 +92,11 @@ impl MatrixMeta {
             self.nnz as f64 / (self.rows as f64 * self.cols as f64)
         }
     }
+
+    /// The shape/density summary the unified estimator propagates.
+    pub fn stats(&self) -> ClassStats {
+        ClassStats { rows: self.rows, cols: self.cols, density: self.density() }
+    }
 }
 
 /// Catalog of metadata for named base matrices and views.
@@ -111,6 +121,13 @@ impl MetaCatalog {
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.entries.keys().map(|s| s.as_str())
     }
+
+    /// Shape + density estimate of an expression over this catalog —
+    /// sparsity estimates for products, sums, decompositions, and every
+    /// other operator flow through the shared [`op_stats`] table.
+    pub fn expr_stats(&self, e: &Expr) -> Result<ClassStats, ShapeError> {
+        expr_stats(e, self)
+    }
 }
 
 /// Shape-inference error.
@@ -131,80 +148,242 @@ impl std::fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+/// Shape + density estimate of one equivalence class of expressions — the
+/// currency of the unified cost oracle. Carried as `size`/`density` facts
+/// in the chased instance, propagated per operator by [`op_stats`], and
+/// priced by [`op_flops`]/[`op_cost`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassStats {
+    pub rows: usize,
+    pub cols: usize,
+    /// Estimated fraction of non-zero cells in `[0, 1]`.
+    pub density: f64,
+}
+
+impl ClassStats {
+    /// Fully dense stats.
+    pub fn dense(rows: usize, cols: usize) -> Self {
+        ClassStats { rows, cols, density: 1.0 }
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn cells(&self) -> f64 {
+        self.rows as f64 * self.cols as f64
+    }
+
+    /// Estimated non-zero count.
+    pub fn nnz(&self) -> f64 {
+        self.cells() * self.density
+    }
+}
+
+/// Weight of one materialized output cell relative to one flop, shared by
+/// every estimator built on [`op_cost`] (paper §7.1: flops plus
+/// intermediate materialization).
+pub const MEM_WEIGHT: f64 = 0.5;
+
+/// Output shape and density of one operator application (the naïve
+/// metadata propagation of §7.2.1), assuming shape-valid inputs. `out_idx`
+/// distinguishes the two outputs of QR/LU. `child` follows the VREM
+/// argument order (`ScalarMul` is `[scalar, matrix]`).
+pub fn op_stats(kind: OpKind, out_idx: usize, child: &[ClassStats]) -> ClassStats {
+    use OpKind::*;
+    let st = |rows, cols, density: f64| ClassStats { rows, cols, density };
+    match kind {
+        // Union bound on non-zeros.
+        Add => st(child[0].rows, child[0].cols, (child[0].density + child[1].density).min(1.0)),
+        Hadamard => st(child[0].rows, child[0].cols, child[0].density * child[1].density),
+        Div => child[0],
+        Mul => {
+            // Naïve independence estimate: the chance a result cell stays
+            // zero is (1 - dA·dB)^k.
+            let k = child[0].cols as f64;
+            let density = 1.0 - (1.0 - child[0].density * child[1].density).powf(k);
+            st(child[0].rows, child[1].cols, density.clamp(0.0, 1.0))
+        }
+        ScalarMul => child[1],
+        Kron => st(
+            child[0].rows * child[1].rows,
+            child[0].cols * child[1].cols,
+            child[0].density * child[1].density,
+        ),
+        DirectSum => {
+            let out =
+                ClassStats::dense(child[0].rows + child[1].rows, child[0].cols + child[1].cols);
+            let density = if out.cells() == 0.0 {
+                0.0
+            } else {
+                (child[0].nnz() + child[1].nnz()) / out.cells()
+            };
+            st(out.rows, out.cols, density)
+        }
+        Transpose => st(child[0].cols, child[0].rows, child[0].density),
+        Rev => child[0],
+        // Inverses/exponentials of sparse matrices are dense.
+        Inv | Adj | Exp => st(child[0].rows, child[0].cols, 1.0),
+        // Triangular/orthogonal factors: Q is dense, the rest half-filled.
+        Cho => st(child[0].rows, child[0].cols, 0.5),
+        Qr => st(child[0].rows, child[0].cols, if out_idx == 0 { 1.0 } else { 0.5 }),
+        Lu => st(child[0].rows, child[0].cols, 0.5),
+        Diag => st(child[0].rows, 1, child[0].density.min(1.0)),
+        RowSums | RowMeans | RowMin | RowMax | RowVar => st(child[0].rows, 1, 1.0),
+        ColSums | ColMeans | ColMin | ColMax | ColVar => st(1, child[0].cols, 1.0),
+        Det | Trace | Sum | Min | Max | Mean | Var => st(1, 1, 1.0),
+    }
+}
+
+/// Sparsity-aware flop estimate of one operator application (children
+/// excluded) — §7.2.1's cost table, single-sourced for the ranking cost
+/// model, the extraction DP, and the chase pruner. Densities of 1.0
+/// reproduce the dense counts.
+pub fn op_flops(kind: OpKind, _out_idx: usize, child: &[ClassStats]) -> f64 {
+    use OpKind::*;
+    let n = child.first().map_or(1.0, |c| c.rows as f64);
+    match kind {
+        Mul => {
+            2.0 * child[0].rows as f64
+                * child[0].cols as f64
+                * child[1].cols as f64
+                * child[0].density
+                * child[1].density
+                + child[0].rows as f64 * child[1].cols as f64
+        }
+        Add | Div => child[0].cells(),
+        Hadamard => child[0].nnz().min(child[1].nnz()),
+        ScalarMul => child[1].nnz(),
+        Kron => child[0].nnz() * child[1].nnz(),
+        DirectSum => child[0].nnz() + child[1].nnz(),
+        Transpose | Rev => child[0].nnz(),
+        Inv => 2.0 * n * n * n,
+        Adj => 2.0 * n * n * n * n,
+        Exp => 30.0 * n * n * n,
+        Det => n * n * n,
+        Cho => n * n * n / 3.0,
+        Qr => 2.0 * n * n * n,
+        Lu => 2.0 * n * n * n / 3.0,
+        Diag | Trace => n,
+        RowSums | ColSums | RowMeans | ColMeans | RowMin | RowMax | ColMin | ColMax | Sum
+        | Min | Max | Mean => child[0].cells(),
+        RowVar | ColVar | Var => 2.0 * child[0].cells(),
+    }
+}
+
+/// Full per-operator charge: flops plus the materialization of the output's
+/// estimated non-zeros.
+pub fn op_cost(kind: OpKind, out_idx: usize, child: &[ClassStats], out: &ClassStats) -> f64 {
+    op_flops(kind, out_idx, child) + MEM_WEIGHT * out.nnz()
+}
+
 /// Infers the shape of an expression from base-matrix metadata.
 pub fn shape(e: &Expr, cat: &MetaCatalog) -> Result<(usize, usize), ShapeError> {
+    expr_stats(e, cat).map(|s| s.shape())
+}
+
+/// Infers shape *and* density of an expression from base-matrix metadata,
+/// validating operator shapes along the way. This is what the encoder
+/// attaches to every subexpression as `size`/`density` facts, so the chase
+/// and the extractor start from the same estimates the ranking cost model
+/// would compute.
+pub fn expr_stats(e: &Expr, cat: &MetaCatalog) -> Result<ClassStats, ShapeError> {
     use Expr::*;
-    Ok(match e {
-        Mat(n) => {
-            let m = cat.get(n).ok_or_else(|| ShapeError::UnknownMatrix(n.clone()))?;
-            (m.rows, m.cols)
+    let same = |e: &Expr, a: ClassStats, b: ClassStats| {
+        if a.shape() != b.shape() {
+            return Err(ShapeError::Mismatch(format!("{e}")));
         }
-        Const(_) => (1, 1),
-        Identity(n) => (*n, *n),
-        Zero(r, c) => (*r, *c),
+        Ok(())
+    };
+    let square = |e: &Expr, a: ClassStats| {
+        if a.rows != a.cols {
+            return Err(ShapeError::Mismatch(format!("{e} requires square input")));
+        }
+        Ok(())
+    };
+    Ok(match e {
+        Mat(n) => cat.get(n).ok_or_else(|| ShapeError::UnknownMatrix(n.clone()))?.stats(),
+        Const(_) => ClassStats::dense(1, 1),
+        Identity(n) => ClassStats { rows: *n, cols: *n, density: 1.0 / (*n).max(1) as f64 },
+        Zero(r, c) => ClassStats { rows: *r, cols: *c, density: 0.0 },
         Add(a, b) | Sub(a, b) | Hadamard(a, b) | Div(a, b) => {
-            let sa = shape(a, cat)?;
-            let sb = shape(b, cat)?;
-            if sa != sb {
-                return Err(ShapeError::Mismatch(format!("{e}")));
-            }
-            sa
+            let (sa, sb) = (expr_stats(a, cat)?, expr_stats(b, cat)?);
+            same(e, sa, sb)?;
+            let kind = match e {
+                Hadamard(..) => OpKind::Hadamard,
+                Div(..) => OpKind::Div,
+                _ => OpKind::Add,
+            };
+            op_stats(kind, 0, &[sa, sb])
         }
         Mul(a, b) => {
-            let sa = shape(a, cat)?;
-            let sb = shape(b, cat)?;
-            if sa.1 != sb.0 {
+            let (sa, sb) = (expr_stats(a, cat)?, expr_stats(b, cat)?);
+            if sa.cols != sb.rows {
                 return Err(ShapeError::Mismatch(format!("{e}")));
             }
-            (sa.0, sb.1)
+            op_stats(OpKind::Mul, 0, &[sa, sb])
         }
-        Kron(a, b) => {
-            let sa = shape(a, cat)?;
-            let sb = shape(b, cat)?;
-            (sa.0 * sb.0, sa.1 * sb.1)
-        }
+        Kron(a, b) => op_stats(OpKind::Kron, 0, &[expr_stats(a, cat)?, expr_stats(b, cat)?]),
         DirectSum(a, b) => {
-            let sa = shape(a, cat)?;
-            let sb = shape(b, cat)?;
-            (sa.0 + sb.0, sa.1 + sb.1)
+            op_stats(OpKind::DirectSum, 0, &[expr_stats(a, cat)?, expr_stats(b, cat)?])
         }
         ScalarMul(s, a) => {
-            let ss = shape(s, cat)?;
-            if ss != (1, 1) {
+            let ss = expr_stats(s, cat)?;
+            if ss.shape() != (1, 1) {
                 return Err(ShapeError::Mismatch(format!("non-scalar multiplier in {e}")));
             }
-            shape(a, cat)?
+            op_stats(OpKind::ScalarMul, 0, &[ss, expr_stats(a, cat)?])
         }
-        Transpose(a) => {
-            let (r, c) = shape(a, cat)?;
-            (c, r)
+        Transpose(a) => op_stats(OpKind::Transpose, 0, &[expr_stats(a, cat)?]),
+        Rev(a) => op_stats(OpKind::Rev, 0, &[expr_stats(a, cat)?]),
+        Inv(a) | Adj(a) | Exp(a) | Cho(a) | QrQ(a) | LuL(a) | Diag(a) | Det(a) | Trace(a) => {
+            let sa = expr_stats(a, cat)?;
+            square(e, sa)?;
+            let (kind, out_idx) = match e {
+                Inv(_) => (OpKind::Inv, 0),
+                Adj(_) => (OpKind::Adj, 0),
+                Exp(_) => (OpKind::Exp, 0),
+                Cho(_) => (OpKind::Cho, 0),
+                QrQ(_) => (OpKind::Qr, 0),
+                LuL(_) => (OpKind::Lu, 0),
+                Diag(_) => (OpKind::Diag, 0),
+                Det(_) => (OpKind::Det, 0),
+                _ => (OpKind::Trace, 0),
+            };
+            op_stats(kind, out_idx, &[sa])
         }
-        Inv(a) | Adj(a) | Exp(a) | Cho(a) | QrQ(a) | LuL(a) => {
-            let (r, c) = shape(a, cat)?;
-            if r != c {
-                return Err(ShapeError::Mismatch(format!("{e} requires square input")));
-            }
-            (r, c)
+        QrR(a) => op_stats(OpKind::Qr, 1, &[expr_stats(a, cat)?]),
+        LuU(a) => op_stats(OpKind::Lu, 1, &[expr_stats(a, cat)?]),
+        RowSums(a) | RowMeans(a) | RowMin(a) | RowMax(a) | RowVar(a) => {
+            let kind = match e {
+                RowSums(_) => OpKind::RowSums,
+                RowMeans(_) => OpKind::RowMeans,
+                RowMin(_) => OpKind::RowMin,
+                RowMax(_) => OpKind::RowMax,
+                _ => OpKind::RowVar,
+            };
+            op_stats(kind, 0, &[expr_stats(a, cat)?])
         }
-        QrR(a) | LuU(a) => shape(a, cat)?,
-        Diag(a) => {
-            let (r, c) = shape(a, cat)?;
-            if r != c {
-                return Err(ShapeError::Mismatch(format!("{e} requires square input")));
-            }
-            (r, 1)
+        ColSums(a) | ColMeans(a) | ColMin(a) | ColMax(a) | ColVar(a) => {
+            let kind = match e {
+                ColSums(_) => OpKind::ColSums,
+                ColMeans(_) => OpKind::ColMeans,
+                ColMin(_) => OpKind::ColMin,
+                ColMax(_) => OpKind::ColMax,
+                _ => OpKind::ColVar,
+            };
+            op_stats(kind, 0, &[expr_stats(a, cat)?])
         }
-        Rev(a) => shape(a, cat)?,
-        RowSums(a) | RowMeans(a) | RowMin(a) | RowMax(a) | RowVar(a) => (shape(a, cat)?.0, 1),
-        ColSums(a) | ColMeans(a) | ColMin(a) | ColMax(a) | ColVar(a) => (1, shape(a, cat)?.1),
-        Det(a) | Trace(a) => {
-            let (r, c) = shape(a, cat)?;
-            if r != c {
-                return Err(ShapeError::Mismatch(format!("{e} requires square input")));
-            }
-            (1, 1)
+        Sum(a) | Min(a) | Max(a) | Mean(a) | Var(a) => {
+            let kind = match e {
+                Sum(_) => OpKind::Sum,
+                Min(_) => OpKind::Min,
+                Max(_) => OpKind::Max,
+                Mean(_) => OpKind::Mean,
+                _ => OpKind::Var,
+            };
+            op_stats(kind, 0, &[expr_stats(a, cat)?])
         }
-        Sum(_) | Min(_) | Max(_) | Mean(_) | Var(_) => (1, 1),
     })
 }
 
@@ -254,5 +433,47 @@ mod tests {
     fn density() {
         let meta = MatrixMeta::sparse(10, 10, 5);
         assert!((meta.density() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expr_stats_propagates_density() {
+        let mut c = MetaCatalog::new();
+        c.register("S", MatrixMeta::sparse(100, 100, 100)); // density 0.01
+        c.register("D", MatrixMeta::dense(100, 100));
+        // Transpose preserves density; Hadamard multiplies; Add unions;
+        // inverses densify.
+        let s = c.expr_stats(&t(m("S"))).unwrap();
+        assert!((s.density - 0.01).abs() < 1e-12);
+        let h = c.expr_stats(&had(m("S"), m("S"))).unwrap();
+        assert!((h.density - 0.0001).abs() < 1e-12);
+        let a = c.expr_stats(&add(m("S"), m("S"))).unwrap();
+        assert!((a.density - 0.02).abs() < 1e-12);
+        assert_eq!(c.expr_stats(&inv(m("S"))).unwrap().density, 1.0);
+        // Product of sparse factors stays sparse under the independence
+        // estimate; dense × dense stays dense.
+        let ss = c.expr_stats(&mul(m("S"), m("S"))).unwrap();
+        assert!(ss.density < 0.02, "density {}", ss.density);
+        assert_eq!(c.expr_stats(&mul(m("D"), m("D"))).unwrap().density, 1.0);
+    }
+
+    #[test]
+    fn op_cost_reduces_to_dense_flops_at_density_one() {
+        let a = ClassStats::dense(30, 4);
+        let b = ClassStats::dense(4, 30);
+        let out = op_stats(OpKind::Mul, 0, &[a, b]);
+        assert_eq!(out.shape(), (30, 30));
+        assert_eq!(out.density, 1.0);
+        let cost = op_cost(OpKind::Mul, 0, &[a, b], &out);
+        // 2·30·4·30 flops + 30·30 output term + mem weight on 900 cells.
+        assert!((cost - (7200.0 + 900.0 + MEM_WEIGHT * 900.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparsity_lowers_op_flops() {
+        let s = ClassStats { rows: 1000, cols: 1000, density: 0.005 };
+        let d = ClassStats::dense(1000, 1000);
+        let sparse = op_flops(OpKind::Mul, 0, &[s, s]);
+        let dense = op_flops(OpKind::Mul, 0, &[d, d]);
+        assert!(sparse < dense / 10.0, "sparse={sparse} dense={dense}");
     }
 }

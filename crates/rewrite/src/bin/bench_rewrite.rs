@@ -1,14 +1,15 @@
-//! Micro-benchmark for `Optimizer::rewrite` across six pipeline families
-//! (five pure-LA, one hybrid relational→LA), emitting `BENCH_rewrite.json`
-//! (a tracked point of the perf trajectory). CI asserts the JSON parses and
-//! carries every family, so a silently dropped family fails the build.
+//! Micro-benchmark for `Optimizer::rewrite` across eight pipeline families
+//! (seven pure-LA, one hybrid relational→LA), emitting `BENCH_rewrite.json`
+//! (a tracked point of the perf trajectory). CI asserts the JSON parses,
+//! carries every family, and that the pruned chase never fires *more*
+//! rules than the unpruned one.
 //!
-//! Each pipeline is rewritten with the default semi-naïve chase *and* with
-//! the naive baseline engine, so the JSON carries both chase-phase timings
-//! and both match-enumeration counts — semi-naïve wins are observable in
-//! the artifact, not just asserted in tests. The original and the winning
-//! plan are then executed on the dense backend to report measured — not
-//! only estimated — speedups.
+//! Each pipeline is rewritten three ways: the default engine (semi-naïve,
+//! `Prune_prov` cost pruning), the `PruneMode::Off` baseline, and the
+//! naive-evaluation baseline — so the JSON carries pruned-vs-unpruned
+//! chase timings and firing counts alongside the semi-naïve-vs-naive match
+//! counts. The original and the winning plan are then executed on the
+//! linalg backend to report measured — not only estimated — speedups.
 
 use std::time::Instant;
 
@@ -18,16 +19,19 @@ use hadad_core::{Expr, MatrixMeta, MetaCatalog};
 use hadad_linalg::{rand_gen, Matrix};
 use hadad_relational::{Catalog, Column, Table};
 use hadad_rewrite::{
-    eval, CastKind, Env, HybridOptimizer, HybridPipeline, Optimizer, RankedPlans, RelQuery,
+    eval, CastKind, Env, HybridOptimizer, HybridPipeline, Optimizer, PruneMode, RankedPlans,
+    RelQuery,
 };
 
 /// Every family the JSON must carry; CI cross-checks the emitted artifact
 /// against this list.
-const FAMILIES: [&str; 6] = [
+const FAMILIES: [&str; 8] = [
     "trace_cyclic",
     "matvec_chain",
     "qr_reuse",
     "matmul_chain8",
+    "matmul_chain12",
+    "sparse_chain",
     "ridge_normal_eq",
     "hybrid_tweets",
 ];
@@ -37,6 +41,7 @@ struct Pipeline {
     expr: Expr,
     cat: MetaCatalog,
     env: Env,
+    budget: ChaseBudget,
 }
 
 fn trace_pipeline(n: usize, k: usize) -> Pipeline {
@@ -46,7 +51,13 @@ fn trace_pipeline(n: usize, k: usize) -> Pipeline {
     let mut env = Env::new();
     env.bind("A", Matrix::Dense(rand_gen::random_dense(n, k, 11)));
     env.bind("B", Matrix::Dense(rand_gen::random_dense(k, n, 12)));
-    Pipeline { name: "trace_cyclic", expr: trace(mul(m("A"), m("B"))), cat, env }
+    Pipeline {
+        name: "trace_cyclic",
+        expr: trace(mul(m("A"), m("B"))),
+        cat,
+        env,
+        budget: ChaseBudget::default(),
+    }
 }
 
 fn chain_pipeline(n: usize, k: usize) -> Pipeline {
@@ -58,7 +69,13 @@ fn chain_pipeline(n: usize, k: usize) -> Pipeline {
     env.bind("A", Matrix::Dense(rand_gen::random_dense(n, k, 21)));
     env.bind("B", Matrix::Dense(rand_gen::random_dense(k, n, 22)));
     env.bind("x", Matrix::Dense(rand_gen::random_dense(n, 1, 23)));
-    Pipeline { name: "matvec_chain", expr: mul(mul(m("A"), m("B")), m("x")), cat, env }
+    Pipeline {
+        name: "matvec_chain",
+        expr: mul(mul(m("A"), m("B")), m("x")),
+        cat,
+        env,
+        budget: ChaseBudget::default(),
+    }
 }
 
 fn decomposition_pipeline(n: usize) -> Pipeline {
@@ -71,32 +88,58 @@ fn decomposition_pipeline(n: usize) -> Pipeline {
         expr: trace(mul(Expr::QrQ(Box::new(m("D"))), Expr::QrR(Box::new(m("D"))))),
         cat,
         env,
+        budget: ChaseBudget::default(),
     }
 }
 
-/// Left-deep product of eight matrices with shrinking inner dimensions
-/// ending in a vector: re-association to a right-deep chain collapses the
-/// flops by orders of magnitude, and saturating the 8-chain is the scaling
-/// stress for the chase (dozens of subchain classes, hundreds of facts).
-fn chain8_pipeline() -> Pipeline {
-    let dims = [96usize, 80, 64, 48, 36, 24, 12, 6, 1];
+/// Left-deep product chain with shrinking inner dimensions ending in a
+/// vector: re-association to a right-deep chain collapses the flops by
+/// orders of magnitude, and saturating the chain is the scaling stress for
+/// the chase. The 12-chain only became tractable with conclusion-atom
+/// reuse (core-chase style) — the fresh-null churn of the plain restricted
+/// chase blew the fact budget by round five.
+fn matmul_chain_pipeline(name: &'static str, dims: &[usize], budget: ChaseBudget) -> Pipeline {
     let mut cat = MetaCatalog::new();
     let mut env = Env::new();
     let mut expr: Option<Expr> = None;
-    for i in 0..8 {
-        let name = format!("M{}", i + 1);
-        cat.register(&name, MatrixMeta::dense(dims[i], dims[i + 1]));
+    for i in 0..dims.len() - 1 {
+        let mat_name = format!("M{}", i + 1);
+        cat.register(&mat_name, MatrixMeta::dense(dims[i], dims[i + 1]));
         env.bind(
-            &name,
+            &mat_name,
             Matrix::Dense(rand_gen::random_dense(dims[i], dims[i + 1], 41 + i as u64)),
         );
-        let leaf = m(&name);
+        let leaf = m(&mat_name);
         expr = Some(match expr {
             Some(e) => mul(e, leaf),
             None => leaf,
         });
     }
-    Pipeline { name: "matmul_chain8", expr: expr.unwrap(), cat, env }
+    Pipeline { name, expr: expr.unwrap(), cat, env, budget }
+}
+
+/// Sparse-input family (density ≤ 0.05, the paper's ultra-sparse regime):
+/// the oracle's propagated `density` facts price the sparse products far
+/// below their dense-shape flops, and the cast-aware estimates rank the
+/// right-deep chain the winner just as in the dense families.
+fn sparse_chain_pipeline(n: usize, density: f64) -> Pipeline {
+    let s1 = Matrix::Sparse(rand_gen::random_sparse(n, n, density, 71));
+    let s2 = Matrix::Sparse(rand_gen::random_sparse(n, n, density, 72));
+    let mut cat = MetaCatalog::new();
+    cat.register("S1", MatrixMeta::from_matrix(&s1));
+    cat.register("S2", MatrixMeta::from_matrix(&s2));
+    cat.register("x", MatrixMeta::dense(n, 1));
+    let mut env = Env::new();
+    env.bind("S1", s1);
+    env.bind("S2", s2);
+    env.bind("x", Matrix::Dense(rand_gen::random_dense(n, 1, 73)));
+    Pipeline {
+        name: "sparse_chain",
+        expr: mul(mul(m("S1"), m("S2")), m("x")),
+        cat,
+        env,
+        budget: ChaseBudget::default(),
+    }
 }
 
 /// Ridge-regression normal equations: (XᵀX + λI)⁻¹ (Xᵀ y). The three-term
@@ -111,7 +154,7 @@ fn ridge_pipeline(n: usize, d: usize) -> Pipeline {
     env.bind("y", Matrix::Dense(rand_gen::random_dense(n, 1, 52)));
     let gram = add(mul(t(m("X")), m("X")), smul(lit(0.5), Expr::Identity(d)));
     let expr = mul(inv(gram), mul(t(m("X")), m("y")));
-    Pipeline { name: "ridge_normal_eq", expr, cat, env }
+    Pipeline { name: "ridge_normal_eq", expr, cat, env, budget: ChaseBudget::default() }
 }
 
 fn time_exec(e: &Expr, env: &Env, reps: u32) -> f64 {
@@ -177,10 +220,17 @@ fn hybrid_family(reps: u32) -> String {
 
     let mut la_cat = MetaCatalog::new();
     la_cat.register("w", MatrixMeta::dense(n_tweets, 1));
-    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(la_cat));
+    let mut hy = HybridOptimizer::new(catalog.clone(), Optimizer::new(la_cat.clone()));
     hy.register_table_view("covid_tweets", RelQuery::scan("tweets").select_eq("topic", covid))
         .expect("view materializes");
     hy.register_la_view("NT", t(m("N")));
+    // Prune_prov-off baseline for the LA suffix (same catalog + views).
+    let mut hy_off =
+        HybridOptimizer::new(catalog, Optimizer::new(la_cat).with_prune(PruneMode::Off));
+    hy_off
+        .register_table_view("covid_tweets", RelQuery::scan("tweets").select_eq("topic", covid))
+        .expect("view materializes");
+    hy_off.register_la_view("NT", t(m("N")));
 
     let pipeline = HybridPipeline {
         prefix: RelQuery::scan("tweets").select_eq("topic", covid),
@@ -198,10 +248,17 @@ fn hybrid_family(reps: u32) -> String {
     let mut env = Env::new();
     env.bind("w", Matrix::Dense(rand_gen::random_dense(n_tweets, 1, 61)));
 
-    // One verified warm-up carries the result fields; unverified reps carry
-    // the per-phase timings.
+    // One verified warm-up carries the result fields (a pruning-off
+    // warm-up baselines the firing counts); unverified reps carry the
+    // per-phase timings, with the off engine timed over the same warm
+    // reps so pruned and unpruned chase numbers are comparable.
     let verified =
         hy.rewrite_hybrid_verified(&pipeline, &env, 1e-9).expect("hybrid pipeline rewrites");
+    let off = hy_off.rewrite_hybrid(&pipeline).expect("hybrid pipeline rewrites");
+    let firings: usize =
+        verified.ranked.report.chase_stats.tgd_firings.iter().map(|(_, n)| n).sum();
+    let nopruning_firings: usize =
+        off.ranked.report.chase_stats.tgd_firings.iter().map(|(_, n)| n).sum();
     let start = Instant::now();
     let (mut pacb, mut rel_exec, mut cast_t, mut encode, mut chase, mut extract, mut rank) =
         (0f64, 0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
@@ -217,6 +274,11 @@ fn hybrid_family(reps: u32) -> String {
     }
     let total = start.elapsed().as_micros() as f64 / reps as f64;
     let rf = reps as f64;
+    let mut nopruning_chase = 0f64;
+    for _ in 0..reps {
+        let r = hy_off.rewrite_hybrid(&pipeline).expect("hybrid pipeline rewrites");
+        nopruning_chase += r.ranked.report.chase_us as f64;
+    }
 
     println!(
         "{:<16} {:>8.0}us rewrite (pacb {:.0} rel-exec {:.0} cast {:.0} enc {:.0} chase {:.0} ext {:.0} rank {:.0}) | {} -> {} | rel rows {} -> {} | verified: {:?}",
@@ -241,7 +303,9 @@ fn hybrid_family(reps: u32) -> String {
             "    {{\"pipeline\": \"hybrid_tweets\", \"nodes\": {}, \"rewrite_us\": {:.1}, ",
             "\"pacb_us\": {:.1}, \"rel_exec_us\": {:.1}, \"cast_us\": {:.1}, ",
             "\"encode_us\": {:.1}, \"chase_us\": {:.1}, \"extract_us\": {:.1}, ",
-            "\"rank_us\": {:.1}, \"rel_cost_original\": {:.1}, \"rel_cost_best\": {}, ",
+            "\"rank_us\": {:.1}, \"nopruning_chase_us\": {:.1}, \"tgd_firings\": {}, ",
+            "\"nopruning_tgd_firings\": {}, \"pruned_firings\": {}, ",
+            "\"rel_cost_original\": {:.1}, \"rel_cost_best\": {}, ",
             "\"rel_rewritten\": {}, \"rel_rows_out\": {}, \"original\": \"{}\", ",
             "\"best\": \"{}\", \"est_cost_original\": {:.1}, \"est_cost_best\": {:.1}, ",
             "\"equivalent\": {}}}"
@@ -255,6 +319,10 @@ fn hybrid_family(reps: u32) -> String {
         chase / rf,
         extract / rf,
         rank / rf,
+        nopruning_chase / rf,
+        firings,
+        nopruning_firings,
+        verified.ranked.report.pruned_firings,
         verified.rel.cost_original,
         // `null`, not NaN: NaN is not valid JSON and breaks strict parsers.
         verified.rel.cost_best.map_or("null".to_owned(), |c| format!("{c:.1}")),
@@ -268,30 +336,58 @@ fn hybrid_family(reps: u32) -> String {
     )
 }
 
+/// Total TGD firings across every rule of a rewrite's chase.
+fn total_firings(ranked: &RankedPlans) -> usize {
+    ranked.report.chase_stats.tgd_firings.iter().map(|(_, n)| n).sum()
+}
+
 fn main() {
     let pipelines = vec![
         trace_pipeline(400, 8),
         chain_pipeline(300, 40),
         decomposition_pipeline(60),
-        chain8_pipeline(),
+        matmul_chain_pipeline(
+            "matmul_chain8",
+            &[96, 80, 64, 48, 36, 24, 12, 6, 1],
+            ChaseBudget::default(),
+        ),
+        matmul_chain_pipeline(
+            "matmul_chain12",
+            &[96, 88, 80, 64, 48, 40, 36, 24, 16, 12, 6, 4, 1],
+            ChaseBudget { max_rounds: 20, max_facts: 60_000, max_nulls: 30_000 },
+        ),
+        sparse_chain_pipeline(2000, 0.01),
         ridge_pipeline(200, 30),
     ];
 
     let mut rows = Vec::new();
     for p in &pipelines {
-        // Default ChaseBudget: the acceptance bar is that even the 8-chain
-        // saturates within it on the semi-naïve engine.
-        let opt = Optimizer::new(p.cat.clone()).with_budget(ChaseBudget::default());
-        let naive_opt = Optimizer::new(p.cat.clone())
-            .with_budget(ChaseBudget::default())
-            .with_mode(EvalMode::Naive);
+        // Default engine: semi-naïve + Prune_prov. The acceptance bar is
+        // that even the 12-chain saturates (conclusion-atom reuse).
+        let opt = Optimizer::new(p.cat.clone()).with_budget(p.budget);
+        let nopruning_opt =
+            Optimizer::new(p.cat.clone()).with_budget(p.budget).with_prune(PruneMode::Off);
+        let naive_opt =
+            Optimizer::new(p.cat.clone()).with_budget(p.budget).with_mode(EvalMode::Naive);
         let reps = 5;
         let (ranked, tm) = time_rewrite(&opt, &p.expr, reps);
+        let (nopruning_ranked, nopruning_tm) = time_rewrite(&nopruning_opt, &p.expr, reps);
         let (naive_ranked, naive_tm) = time_rewrite(&naive_opt, &p.expr, reps);
 
         let stats = &ranked.report.chase_stats;
         let matches = stats.matches_enumerated();
         let naive_matches = naive_ranked.report.chase_stats.matches_enumerated();
+        let firings = total_firings(&ranked);
+        let nopruning_firings = total_firings(&nopruning_ranked);
+        // Same tolerance as the equivalence property test: pruning may
+        // break an extraction tie differently, so costs are compared up
+        // to float rounding, not bit-for-bit.
+        let (cp, co) = (ranked.best().est_cost, nopruning_ranked.best().est_cost);
+        assert!(
+            (cp - co).abs() <= 1e-6 * co.abs().max(1.0),
+            "{}: pruning changed the best plan cost ({cp} vs {co})",
+            p.name
+        );
 
         let best = ranked.best().clone();
         let equivalent = opt
@@ -326,6 +422,14 @@ fn main() {
             naive_tm.chase,
             naive_tm.chase / tm.chase.max(1.0),
         );
+        println!(
+            "  pruning: {} vetoes | firings {} (pruned) vs {} (off) | chase {:.0}us vs {:.0}us off",
+            ranked.report.pruned_firings,
+            firings,
+            nopruning_firings,
+            tm.chase,
+            nopruning_tm.chase,
+        );
         println!("  round deltas: {:?}", stats.round_deltas);
         let mut top_rules: Vec<&(String, u64)> =
             stats.rule_matches.iter().filter(|(_, n)| *n > 0).collect();
@@ -339,6 +443,8 @@ fn main() {
                 "    {{\"pipeline\": \"{}\", \"nodes\": {}, \"rewrite_us\": {:.1}, ",
                 "\"encode_us\": {:.1}, \"chase_us\": {:.1}, \"extract_us\": {:.1}, ",
                 "\"rank_us\": {:.1}, \"naive_chase_us\": {:.1}, ",
+                "\"nopruning_chase_us\": {:.1}, \"tgd_firings\": {}, ",
+                "\"nopruning_tgd_firings\": {}, \"pruned_firings\": {}, ",
                 "\"chase_matches\": {}, \"naive_chase_matches\": {}, ",
                 "\"chase_rounds\": {}, \"saturated\": {}, ",
                 "\"candidates\": {}, \"chase_facts\": {}, \"original\": \"{}\", ",
@@ -353,6 +459,10 @@ fn main() {
             tm.extract,
             tm.rank,
             naive_tm.chase,
+            nopruning_tm.chase,
+            firings,
+            nopruning_firings,
+            ranked.report.pruned_firings,
             matches,
             naive_matches,
             ranked.report.chase_rounds,

@@ -1,54 +1,38 @@
-//! Cost estimation for candidate plans (paper §7.1–§7.2).
+//! Cost estimation for candidate plans (paper §7.1–§7.3), built on the
+//! **unified estimator** in `hadad_core::stats`: one shape/density/flops
+//! propagation table (`op_stats`/`op_flops`/`op_cost`) feeds
 //!
-//! Two estimators cooperate:
-//!
-//! * [`FlopsCost`] — a shape-only dense-flops model implementing
-//!   [`ExtractionCost`]. It guides the e-graph extraction DP, where only
-//!   class shapes are known (chase-created intermediates carry no
-//!   sparsity facts).
+//! * [`FlopsCost`] — the extraction DP's [`ExtractionCost`], reading each
+//!   class's propagated `size`/`density` facts (chase-created classes
+//!   without density facts are assumed dense, deterministically);
 //! * [`CostModel`] — the naïve metadata estimator of §7.2.1 over full
-//!   expressions: propagates shapes *and* densities from
-//!   [`MetaCatalog`] entries (nnz counts come from the same metadata files
-//!   the MNC histograms of §7.2.2 are built from), charging flops plus
-//!   intermediate materialization. Used to rank the extracted candidates.
+//!   expressions, used to rank extracted candidates;
+//! * [`VremCostOracle`] — the chase-facing [`CostOracle`] behind
+//!   `Prune_prov` on the LA path (§7.3): it prices a prospective TGD
+//!   firing by the cheapest operator chain its conclusion would create,
+//!   reading operand stats straight from the instance's facts.
+//!
+//! Before this refactor the three disagreed: extraction assumed dense
+//! shapes it re-inferred bottom-up, the ranking model propagated densities
+//! privately, and the chase had no estimator at all.
 
-use hadad_core::{Expr, ExtractionCost, MetaCatalog, OpKind, ShapeError};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
-/// Weight of one materialized output cell relative to one flop.
-const MEM_WEIGHT: f64 = 0.5;
+use hadad_chase::{CostOracle, CostPruner, Instance, Match, NodeId, Pruner, SymId, Term, Tgd};
+use hadad_core::{
+    op_cost, op_stats, ClassStats, Expr, ExtractionCost, Extractor, MetaCatalog, OpKind,
+    ShapeError, Vrem, DENSITY_SCALE,
+};
 
-/// Dense flop estimate for one operator application (children excluded).
-fn dense_op_flops(kind: OpKind, child: &[(usize, usize)], out: (usize, usize)) -> f64 {
-    use OpKind::*;
-    let cells = |s: (usize, usize)| s.0 as f64 * s.1 as f64;
-    let n = child.first().map_or(1.0, |&(r, _)| r as f64);
-    match kind {
-        Mul => 2.0 * child[0].0 as f64 * child[0].1 as f64 * child[1].1 as f64,
-        Add | Hadamard | Div => cells(child[0]),
-        ScalarMul => cells(child[1]),
-        Kron => cells(out),
-        DirectSum => cells(out),
-        Transpose | Rev => cells(child[0]),
-        Inv => 2.0 * n * n * n,
-        Adj => 2.0 * n * n * n * n,
-        Exp => 30.0 * n * n * n,
-        Det => n * n * n,
-        Cho => n * n * n / 3.0,
-        Qr => 2.0 * n * n * n,
-        Lu => 2.0 * n * n * n / 3.0,
-        Diag | Trace => n,
-        RowSums | ColSums | RowMeans | ColMeans | RowMin | RowMax | ColMin | ColMax | Sum
-        | Min | Max | Mean => cells(child[0]),
-        RowVar | ColVar | Var => 2.0 * cells(child[0]),
-    }
-}
-
-/// Shape-only cost for the extraction DP: dense flops plus a memory charge
-/// for the materialized output.
+/// Stats-aware cost for the extraction DP: the shared per-operator charge
+/// (sparsity-discounted flops plus materialization of the output's
+/// estimated non-zeros). With all-dense stats this reproduces the old
+/// dense-flops model.
 pub struct FlopsCost;
 
 impl ExtractionCost for FlopsCost {
-    fn leaf_cost(&self, _shape: (usize, usize)) -> f64 {
+    fn leaf_cost(&self, _stats: ClassStats) -> f64 {
         // Base matrices and literals are already materialized.
         0.0
     }
@@ -56,12 +40,11 @@ impl ExtractionCost for FlopsCost {
     fn op_cost(
         &self,
         kind: OpKind,
-        _out_idx: usize,
-        child_shapes: &[(usize, usize)],
-        out_shape: (usize, usize),
+        out_idx: usize,
+        child: &[ClassStats],
+        out: ClassStats,
     ) -> f64 {
-        dense_op_flops(kind, child_shapes, out_shape)
-            + MEM_WEIGHT * out_shape.0 as f64 * out_shape.1 as f64
+        op_cost(kind, out_idx, child, &out)
     }
 }
 
@@ -77,16 +60,18 @@ pub struct Estimate {
 }
 
 impl Estimate {
-    fn cells(&self) -> f64 {
-        self.rows as f64 * self.cols as f64
+    fn stats(&self) -> ClassStats {
+        ClassStats { rows: self.rows, cols: self.cols, density: self.density }
     }
 
-    fn nnz(&self) -> f64 {
-        self.cells() * self.density
+    fn from_stats(stats: ClassStats, cost: f64) -> Self {
+        Estimate { rows: stats.rows, cols: stats.cols, density: stats.density, cost }
     }
 }
 
-/// The naïve sparsity-aware estimator over full expressions.
+/// The naïve sparsity-aware estimator over full expressions, ranking the
+/// candidates extraction produces. Shares every formula with the DP and
+/// the chase pruner through `hadad_core::stats`.
 pub struct CostModel<'a> {
     cat: &'a MetaCatalog,
 }
@@ -104,176 +89,349 @@ impl<'a> CostModel<'a> {
     /// Full shape/density/cost estimate of `e`.
     pub fn estimate(&self, e: &Expr) -> Result<Estimate, ShapeError> {
         use Expr::*;
+        // Leaves read the metadata catalog; everything else recurses, has
+        // its shape validated by `expr_stats`' rules, and is charged
+        // through the shared per-operator table.
         let est = match e {
-            Mat(n) => {
-                let m = self.cat.get(n).ok_or_else(|| ShapeError::UnknownMatrix(n.clone()))?;
-                Estimate { rows: m.rows, cols: m.cols, density: m.density(), cost: 0.0 }
+            Mat(_) | Const(_) | Identity(_) | Zero(..) => {
+                Estimate::from_stats(hadad_core::expr_stats(e, self.cat)?, 0.0)
             }
-            Const(_) => Estimate { rows: 1, cols: 1, density: 1.0, cost: 0.0 },
-            Identity(n) => {
-                Estimate { rows: *n, cols: *n, density: 1.0 / (*n).max(1) as f64, cost: 0.0 }
-            }
-            Zero(r, c) => Estimate { rows: *r, cols: *c, density: 0.0, cost: 0.0 },
-            Add(a, b) | Sub(a, b) => {
-                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
-                self.check_same(e, &ea, &eb)?;
-                // Union bound on non-zeros.
-                let density = (ea.density + eb.density).min(1.0);
-                self.combine(ea, eb, ea.rows, ea.cols, density, ea.cells())
-            }
-            Hadamard(a, b) => {
-                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
-                self.check_same(e, &ea, &eb)?;
-                let density = ea.density * eb.density;
-                self.combine(ea, eb, ea.rows, ea.cols, density, ea.nnz().min(eb.nnz()))
-            }
-            Div(a, b) => {
-                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
-                self.check_same(e, &ea, &eb)?;
-                self.combine(ea, eb, ea.rows, ea.cols, ea.density, ea.cells())
-            }
-            Mul(a, b) => {
-                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
-                if ea.cols != eb.rows {
-                    return Err(ShapeError::Mismatch(format!("{e}")));
+            _ => {
+                let children = e.children();
+                let mut child_est = Vec::with_capacity(children.len());
+                for c in &children {
+                    child_est.push(self.estimate(c)?);
                 }
-                let k = ea.cols as f64;
-                // Naïve independence estimate (§7.2.1): the chance a result
-                // cell stays zero is (1 - dA·dB)^k.
-                let density = 1.0 - (1.0 - ea.density * eb.density).powf(k);
-                let flops = 2.0 * ea.rows as f64 * k * eb.cols as f64 * ea.density * eb.density
-                    + ea.rows as f64 * eb.cols as f64;
-                self.combine(ea, eb, ea.rows, eb.cols, density.clamp(0.0, 1.0), flops)
-            }
-            Kron(a, b) => {
-                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
-                let rows = ea.rows * eb.rows;
-                let cols = ea.cols * eb.cols;
-                self.combine(ea, eb, rows, cols, ea.density * eb.density, ea.nnz() * eb.nnz())
-            }
-            DirectSum(a, b) => {
-                let (ea, eb) = (self.estimate(a)?, self.estimate(b)?);
-                let rows = ea.rows + eb.rows;
-                let cols = ea.cols + eb.cols;
-                let cells = rows as f64 * cols as f64;
-                let density = if cells == 0.0 { 0.0 } else { (ea.nnz() + eb.nnz()) / cells };
-                self.combine(ea, eb, rows, cols, density, ea.nnz() + eb.nnz())
-            }
-            ScalarMul(s, a) => {
-                let (es, ea) = (self.estimate(s)?, self.estimate(a)?);
-                if (es.rows, es.cols) != (1, 1) {
-                    return Err(ShapeError::Mismatch(format!("non-scalar multiplier in {e}")));
-                }
-                self.combine(es, ea, ea.rows, ea.cols, ea.density, ea.nnz())
-            }
-            Transpose(a) | Rev(a) => {
-                let ea = self.estimate(a)?;
-                let (rows, cols) = if matches!(e, Transpose(_)) {
-                    (ea.cols, ea.rows)
-                } else {
-                    (ea.rows, ea.cols)
-                };
-                self.unary(ea, rows, cols, ea.density, ea.nnz())
-            }
-            Inv(a) | Adj(a) | Exp(a) => {
-                let ea = self.square_input(e, a)?;
-                let n = ea.rows as f64;
-                let flops = match e {
-                    Inv(_) => 2.0 * n * n * n,
-                    Adj(_) => 2.0 * n * n * n * n,
-                    _ => 30.0 * n * n * n,
-                };
-                // Inverses/exponentials of sparse matrices are dense.
-                self.unary(ea, ea.rows, ea.cols, 1.0, flops)
-            }
-            Cho(a) => {
-                let ea = self.square_input(e, a)?;
-                let n = ea.rows as f64;
-                self.unary(ea, ea.rows, ea.cols, 0.5, n * n * n / 3.0)
-            }
-            QrQ(a) | QrR(a) => {
-                let ea = self.square_input(e, a)?;
-                let n = ea.rows as f64;
-                let density = if matches!(e, QrQ(_)) { 1.0 } else { 0.5 };
-                self.unary(ea, ea.rows, ea.cols, density, 2.0 * n * n * n)
-            }
-            LuL(a) | LuU(a) => {
-                let ea = self.square_input(e, a)?;
-                let n = ea.rows as f64;
-                self.unary(ea, ea.rows, ea.cols, 0.5, 2.0 * n * n * n / 3.0)
-            }
-            Diag(a) => {
-                let ea = self.square_input(e, a)?;
-                self.unary(ea, ea.rows, 1, ea.density.min(1.0), ea.rows as f64)
-            }
-            RowSums(a) | RowMeans(a) | RowMin(a) | RowMax(a) | RowVar(a) => {
-                let ea = self.estimate(a)?;
-                self.unary(ea, ea.rows, 1, 1.0, ea.cells())
-            }
-            ColSums(a) | ColMeans(a) | ColMin(a) | ColMax(a) | ColVar(a) => {
-                let ea = self.estimate(a)?;
-                self.unary(ea, 1, ea.cols, 1.0, ea.cells())
-            }
-            Det(a) | Trace(a) => {
-                let ea = self.square_input(e, a)?;
-                let n = ea.rows as f64;
-                let flops = if matches!(e, Det(_)) { n * n * n } else { n };
-                self.unary(ea, 1, 1, 1.0, flops)
-            }
-            Sum(a) | Min(a) | Max(a) | Mean(a) | Var(a) => {
-                let ea = self.estimate(a)?;
-                self.unary(ea, 1, 1, 1.0, ea.cells())
+                let child_stats: Vec<ClassStats> =
+                    child_est.iter().map(|c| c.stats()).collect();
+                let (kind, out_idx) = op_of(e);
+                validate(e, kind, &child_stats)?;
+                let out = op_stats(kind, out_idx, &child_stats);
+                let children_cost: f64 = child_est.iter().map(|c| c.cost).sum();
+                let op = op_cost(kind, out_idx, &child_stats, &out);
+                Estimate::from_stats(out, children_cost + op)
             }
         };
         Ok(est)
     }
+}
 
-    fn check_same(&self, e: &Expr, a: &Estimate, b: &Estimate) -> Result<(), ShapeError> {
-        if (a.rows, a.cols) != (b.rows, b.cols) {
-            return Err(ShapeError::Mismatch(format!("{e}")));
+/// Operator kind and output index of a non-leaf expression (`Sub` is
+/// costed like the `Add` it desugars to).
+fn op_of(e: &Expr) -> (OpKind, usize) {
+    use Expr::*;
+    match e {
+        QrQ(_) => (OpKind::Qr, 0),
+        QrR(_) => (OpKind::Qr, 1),
+        LuL(_) => (OpKind::Lu, 0),
+        LuU(_) => (OpKind::Lu, 1),
+        _ => (hadad_core::encode::op_kind_of(e).expect("non-leaf expression"), 0),
+    }
+}
+
+/// Shape validation for one operator application, mirroring
+/// `hadad_core::expr_stats` (kept here so ranking candidates that fall
+/// outside the catalog surface errors, not panics).
+fn validate(e: &Expr, kind: OpKind, child: &[ClassStats]) -> Result<(), ShapeError> {
+    use OpKind::*;
+    match kind {
+        Add | Hadamard | Div if child[0].shape() != child[1].shape() => {
+            Err(ShapeError::Mismatch(format!("{e}")))
         }
-        Ok(())
-    }
-
-    fn square_input(&self, e: &Expr, a: &Expr) -> Result<Estimate, ShapeError> {
-        let ea = self.estimate(a)?;
-        if ea.rows != ea.cols {
-            return Err(ShapeError::Mismatch(format!("{e} requires square input")));
+        Mul if child[0].cols != child[1].rows => Err(ShapeError::Mismatch(format!("{e}"))),
+        ScalarMul if child[0].shape() != (1, 1) => {
+            Err(ShapeError::Mismatch(format!("non-scalar multiplier in {e}")))
         }
-        Ok(ea)
+        Inv | Adj | Exp | Cho | Qr | Lu | Diag | Det | Trace
+            if child[0].rows != child[0].cols =>
+        {
+            Err(ShapeError::Mismatch(format!("{e} requires square input")))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// The LA path's `Prune_prov` oracle: prices a prospective TGD firing by a
+/// lower bound on any plan that uses the operator facts its conclusion
+/// would create. Operand statistics come from the instance's propagated
+/// `size`/`density` facts; an operand without a density fact is priced at
+/// density 0 (the optimistic bound — pruning must never overstate a
+/// candidate's cost), and an operand without a size fact makes the atom
+/// unpriceable (bound 0, never vetoed). Conclusion-internal dependencies
+/// chain: in `trace-cyclic`, the rotated `trace` can only be reached by
+/// paying for the rotated product, so its bound includes the `mul` atom's.
+/// The firing's cost is the *minimum* over its conclusion operator atoms —
+/// a firing survives if any part of it could still beat the incumbent.
+pub struct VremCostOracle<'a> {
+    vrem: &'a Vrem,
+    /// Parsed numeric constants, keyed by symbol (sizes and ppm densities).
+    nums: RefCell<HashMap<SymId, Option<f64>>>,
+}
+
+impl<'a> VremCostOracle<'a> {
+    pub fn new(vrem: &'a Vrem) -> Self {
+        VremCostOracle { vrem, nums: RefCell::new(HashMap::new()) }
     }
 
-    fn combine(
-        &self,
-        a: Estimate,
-        b: Estimate,
-        rows: usize,
-        cols: usize,
-        density: f64,
-        flops: f64,
-    ) -> Estimate {
-        let out = Estimate { rows, cols, density, cost: 0.0 };
-        Estimate { cost: a.cost + b.cost + flops + MEM_WEIGHT * out.nnz(), ..out }
+    fn num(&self, sym: SymId) -> Option<f64> {
+        *self
+            .nums
+            .borrow_mut()
+            .entry(sym)
+            .or_insert_with(|| self.vrem.vocab.const_name(sym).parse::<f64>().ok())
     }
 
-    fn unary(
-        &self,
-        a: Estimate,
-        rows: usize,
-        cols: usize,
-        density: f64,
-        flops: f64,
-    ) -> Estimate {
-        let out = Estimate { rows, cols, density, cost: 0.0 };
-        Estimate { cost: a.cost + flops + MEM_WEIGHT * out.nnz(), ..out }
+    fn arg_num(&self, inst: &Instance, node: NodeId) -> Option<f64> {
+        self.num(inst.const_of(node)?)
+    }
+
+    /// Shape of a class from its `size` facts, via the positional index
+    /// when canonical (the common case during TGD application).
+    fn class_shape(&self, inst: &Instance, class: NodeId) -> Option<(usize, usize)> {
+        let fact = match inst.facts_with_pred_arg(self.vrem.size, 0, class) {
+            Some(idxs) => idxs.first().map(|&i| inst.fact(i)),
+            None => inst
+                .facts_with_pred(self.vrem.size)
+                .iter()
+                .map(|&i| inst.fact(i))
+                .find(|f| inst.find(f.args[0]) == class),
+        }?;
+        let r = self.arg_num(inst, fact.args[1])?;
+        let c = self.arg_num(inst, fact.args[2])?;
+        Some((r as usize, c as usize))
+    }
+
+    /// Minimum density over a class's `density` facts, or 0 when none are
+    /// known (the optimistic lower bound).
+    fn class_density(&self, inst: &Instance, class: NodeId) -> f64 {
+        let min_over = |idxs: &[usize]| {
+            idxs.iter()
+                .filter_map(|&i| self.arg_num(inst, inst.fact(i).args[1]))
+                .map(|ppm| (ppm / DENSITY_SCALE).clamp(0.0, 1.0))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let d = match inst.facts_with_pred_arg(self.vrem.density, 0, class) {
+            Some(idxs) => min_over(idxs),
+            None => {
+                let idxs: Vec<usize> = inst
+                    .facts_with_pred(self.vrem.density)
+                    .iter()
+                    .copied()
+                    .filter(|&i| inst.find(inst.fact(i).args[0]) == class)
+                    .collect();
+                min_over(&idxs)
+            }
+        };
+        if d.is_finite() {
+            d
+        } else {
+            0.0
+        }
+    }
+}
+
+impl CostOracle for VremCostOracle<'_> {
+    fn firing_cost(&self, inst: &Instance, tgd: &Tgd, m: &Match) -> f64 {
+        // Conclusion operator atoms, with their kinds.
+        let ops: Vec<(usize, OpKind)> = tgd
+            .conclusion
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| self.vrem.kind_of(a.pred).map(|k| (i, k)))
+            .collect();
+        if ops.is_empty() {
+            return 0.0;
+        }
+        // Existential output variable -> producing conclusion atom.
+        let premise_bound = |v: u32| m.bindings.contains_key(&v);
+        let mut producer: HashMap<u32, usize> = HashMap::new();
+        for &(i, kind) in &ops {
+            for t in &tgd.conclusion[i].args[kind.num_inputs()..] {
+                if let Term::Var(v) = t {
+                    if !premise_bound(*v) {
+                        producer.entry(*v).or_insert(i);
+                    }
+                }
+            }
+        }
+        // Resolve atoms to (cumulative bound, output stats) to fixpoint;
+        // catalogue conclusions are written producer-first, so one or two
+        // passes suffice. Unresolvable atoms bound to 0 (never vetoed).
+        let mut bound: HashMap<usize, (f64, ClassStats)> = HashMap::new();
+        for _ in 0..ops.len() {
+            let mut progressed = false;
+            for &(i, kind) in &ops {
+                if bound.contains_key(&i) {
+                    continue;
+                }
+                let atom = &tgd.conclusion[i];
+                let mut child = Vec::with_capacity(kind.num_inputs());
+                let mut chained = 0.0f64;
+                let mut ok = true;
+                for t in &atom.args[..kind.num_inputs()] {
+                    let stats = match t {
+                        Term::Var(v) => match m.bindings.get(v) {
+                            Some(&n) => {
+                                let class = inst.find(n);
+                                match self.class_shape(inst, class) {
+                                    Some((rows, cols)) => ClassStats {
+                                        rows,
+                                        cols,
+                                        density: self.class_density(inst, class),
+                                    },
+                                    None => {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            None => match producer.get(v).and_then(|p| bound.get(p)) {
+                                Some(&(b, stats)) => {
+                                    // Count each producer once even when
+                                    // its output feeds several inputs.
+                                    chained = chained.max(b);
+                                    stats
+                                }
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            },
+                        },
+                        Term::Const(_) => {
+                            ok = false;
+                            break;
+                        }
+                    };
+                    child.push(stats);
+                }
+                if !ok {
+                    continue;
+                }
+                let out = op_stats(kind, 0, &child);
+                let own = op_cost(kind, 0, &child, &out);
+                bound.insert(i, (own + chained, out));
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        ops.iter()
+            .map(|(i, _)| bound.get(i).map_or(0.0, |&(b, _)| b))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Fraction of the incumbent above which an allowed firing's bound counts
+/// as a *close call* — only those are worth re-running the DP for before
+/// deciding, since flipping a bound far below the incumbent would need the
+/// DP to shrink it many-fold in one step. Vetoes must stay justified, so
+/// the re-check only ever tightens.
+const CLOSE_BAND: f64 = 0.3;
+
+/// Minimum consultations between mid-round re-extractions, bounding the DP
+/// overhead when close calls cluster.
+const TIGHTEN_INTERVAL: u64 = 4;
+
+/// [`CostPruner`] wrapper that re-runs the extraction DP at round ends and
+/// on close-call firings, tightening the incumbent to the cheapest plan
+/// found so far — seeded from the unrewritten expression, tightened as
+/// extraction finds cheaper plans. The DP is tens to hundreds of
+/// microseconds on the instances the LA chase produces, while each
+/// tightening step unlocks vetoes for the rest of the saturation.
+pub struct TighteningPruner<'a> {
+    oracle: &'a VremCostOracle<'a>,
+    inner: CostPruner<'a>,
+    vrem: &'a Vrem,
+    root: NodeId,
+    consultations: u64,
+    last_tighten: u64,
+    last_clock: u64,
+    last_facts: usize,
+}
+
+impl<'a> TighteningPruner<'a> {
+    pub fn new(
+        oracle: &'a VremCostOracle<'a>,
+        inner: CostPruner<'a>,
+        vrem: &'a Vrem,
+        root: NodeId,
+    ) -> Self {
+        TighteningPruner {
+            oracle,
+            inner,
+            vrem,
+            root,
+            consultations: 0,
+            last_tighten: 0,
+            last_clock: 0,
+            last_facts: 0,
+        }
+    }
+
+    pub fn incumbent(&self) -> f64 {
+        self.inner.incumbent()
+    }
+
+    /// Re-runs the extraction DP and lowers the incumbent to the cheapest
+    /// plan derivable from the instance so far. The DP best only ever
+    /// *over*-estimates the final best (more derivations can only lower
+    /// it), so every veto it justifies is also justified against the final
+    /// plan — pruning stays cost-preserving.
+    /// The DP only pays for itself while the instance is growing: a
+    /// re-extraction is worth running once a meaningful number of new
+    /// derivations landed since the last one.
+    fn grown(&self, inst: &Instance) -> bool {
+        inst.clock() != self.last_clock && inst.num_facts() * 4 >= self.last_facts * 5
+    }
+
+    fn retighten(&mut self, inst: &Instance) {
+        self.last_tighten = self.consultations;
+        self.last_clock = inst.clock();
+        self.last_facts = inst.num_facts();
+        let ex = Extractor::new(self.vrem, inst, &FlopsCost);
+        if let Some(best) = ex.class_cost(self.root) {
+            self.inner.tighten(best);
+        }
+    }
+}
+
+impl Pruner for TighteningPruner<'_> {
+    fn allow_firing(&mut self, inst: &Instance, _idx: usize, tgd: &Tgd, m: &Match) -> bool {
+        self.consultations += 1;
+        let cost = self.oracle.firing_cost(inst, tgd, m);
+        if !self.inner.allows_cost(cost) {
+            return false;
+        }
+        // Close call on a grown instance: cheaper plans may have landed
+        // since the incumbent was last computed — re-extract, re-decide.
+        if cost > self.inner.incumbent() * CLOSE_BAND
+            && inst.clock() != self.last_clock
+            && self.consultations - self.last_tighten >= TIGHTEN_INTERVAL
+        {
+            self.retighten(inst);
+            return self.inner.allows_cost(cost);
+        }
+        true
+    }
+
+    fn end_round(&mut self, inst: &Instance) {
+        // Rounds that grew the instance substantially refresh the
+        // incumbent eagerly; otherwise the close-call path refreshes it
+        // lazily, exactly when a veto is plausible.
+        if self.grown(inst) {
+            self.retighten(inst);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hadad_chase::Provenance;
     use hadad_core::expr::dsl::*;
-    use hadad_core::MatrixMeta;
+    use hadad_core::{Encoder, MatrixMeta};
 
     fn cat() -> MetaCatalog {
         let mut c = MetaCatalog::new();
@@ -314,19 +472,126 @@ mod tests {
     }
 
     #[test]
+    fn subtraction_costs_like_addition() {
+        let mut c = MetaCatalog::new();
+        c.register("P", MatrixMeta::dense(8, 8));
+        let cm = CostModel::new(&c);
+        // Sub desugars to a + (-1 · b); the direct estimate must at least
+        // cover the Add part and carry the union density.
+        let e = cm.estimate(&sub(m("P"), m("P"))).unwrap();
+        assert_eq!((e.rows, e.cols), (8, 8));
+        assert_eq!(e.density, 1.0);
+        assert!(e.cost > 0.0);
+    }
+
+    #[test]
     fn shape_errors_surface() {
         let c = cat();
         let cm = CostModel::new(&c);
         assert!(cm.cost(&add(m("A"), m("B"))).is_err());
         assert!(cm.cost(&m("missing")).is_err());
+        assert!(cm.cost(&trace(m("A"))).is_err());
     }
 
     #[test]
     fn flops_cost_orders_mul_shapes() {
-        use hadad_core::ExtractionCost;
         let f = FlopsCost;
-        let big = f.op_cost(OpKind::Mul, 0, &[(30, 4), (4, 30)], (30, 30));
-        let small = f.op_cost(OpKind::Mul, 0, &[(4, 30), (30, 4)], (4, 4));
+        let big = f.op_cost(
+            OpKind::Mul,
+            0,
+            &[ClassStats::dense(30, 4), ClassStats::dense(4, 30)],
+            ClassStats::dense(30, 30),
+        );
+        let small = f.op_cost(
+            OpKind::Mul,
+            0,
+            &[ClassStats::dense(4, 30), ClassStats::dense(30, 4)],
+            ClassStats::dense(4, 4),
+        );
         assert!(small < big);
+    }
+
+    /// The oracle prices a `trace-cyclic`-shaped firing by the rotated
+    /// product *plus* the trace that rides on it: the cheap trace alone
+    /// must not shield the expensive intermediate from the pruner.
+    #[test]
+    fn oracle_chains_conclusion_dependencies() {
+        let mut vrem = Vrem::new();
+        let mut c = MetaCatalog::new();
+        c.register("T", MatrixMeta::dense(4, 1000));
+        c.register("W", MatrixMeta::dense(1000, 4));
+        // Encode trace(T W) so the instance carries size/density facts.
+        let enc = Encoder::new(&mut vrem, &c).encode(&trace(mul(m("T"), m("W")))).unwrap();
+        let inst = enc.instance;
+        let mul_pred = vrem.op(OpKind::Mul);
+        let trace_pred = vrem.op(OpKind::Trace);
+        let mul_fact = inst.facts()[inst.facts_with_pred(mul_pred)[0]].clone();
+        let trace_fact = inst.facts()[inst.facts_with_pred(trace_pred)[0]].clone();
+
+        // trace-cyclic: mul(a,b,ab) ∧ trace(ab,s) → mul(b,a,ba) ∧ trace(ba,s).
+        let tgd = Tgd::new(
+            "trace-cyclic",
+            vec![
+                hadad_chase::Atom::new(
+                    mul_pred,
+                    vec![Term::Var(0), Term::Var(1), Term::Var(2)],
+                ),
+                hadad_chase::Atom::new(trace_pred, vec![Term::Var(2), Term::Var(3)]),
+            ],
+            vec![
+                hadad_chase::Atom::new(
+                    mul_pred,
+                    vec![Term::Var(1), Term::Var(0), Term::Var(4)],
+                ),
+                hadad_chase::Atom::new(trace_pred, vec![Term::Var(4), Term::Var(3)]),
+            ],
+        );
+        let mut bindings = HashMap::new();
+        bindings.insert(0u32, mul_fact.args[0]);
+        bindings.insert(1u32, mul_fact.args[1]);
+        bindings.insert(2u32, mul_fact.args[2]);
+        bindings.insert(3u32, trace_fact.args[1]);
+        let m = Match { bindings, fact_indices: vec![] };
+
+        let oracle = VremCostOracle::new(&vrem);
+        let cost = oracle.firing_cost(&inst, &tgd, &m);
+        // The rotated product is 1000×1000: ~9.5·10⁶ (flops + output +
+        // materialization) dominates both conclusion atoms; had the trace
+        // atom been priced independently the minimum would be ~10³.
+        assert!(cost > 9e6, "chained bound missing: {cost}");
+
+        // And as a pruner: an incumbent below the bound vetoes the firing.
+        let mut pruner = CostPruner::new(&oracle, 1e6);
+        assert!(!pruner.allow_firing(&inst, 0, &tgd, &m));
+        pruner.tighten(1e5); // tightening only lowers
+        assert!(!pruner.allow_firing(&inst, 0, &tgd, &m));
+        let mut generous = CostPruner::new(&oracle, 1e12);
+        assert!(generous.allow_firing(&inst, 0, &tgd, &m));
+    }
+
+    /// Firings whose conclusions carry no operator atoms (identity/zero
+    /// tagging, view tagging) are never vetoed.
+    #[test]
+    fn oracle_leaves_non_operator_conclusions_alone() {
+        let vrem = Vrem::new();
+        let zero = vrem.zero;
+        let mul_pred = vrem.op(OpKind::Mul);
+        let tgd = Tgd::new(
+            "mul-zero-l",
+            vec![
+                hadad_chase::Atom::new(zero, vec![Term::Var(0)]),
+                hadad_chase::Atom::new(
+                    mul_pred,
+                    vec![Term::Var(0), Term::Var(1), Term::Var(2)],
+                ),
+            ],
+            vec![hadad_chase::Atom::new(zero, vec![Term::Var(2)])],
+        );
+        let mut inst = Instance::new();
+        let a = inst.fresh_null();
+        inst.insert(zero, vec![a], Provenance::empty(), None);
+        let m = Match { bindings: HashMap::new(), fact_indices: vec![] };
+        let oracle = VremCostOracle::new(&vrem);
+        assert_eq!(oracle.firing_cost(&inst, &tgd, &m), 0.0);
     }
 }

@@ -578,6 +578,12 @@ pub struct HybridResult {
     pub rel: RelPhase,
     /// Output of the (possibly rewritten) relational prefix.
     pub table: Table,
+    /// Metadata the cast matrix was catalogued under for the LA suffix:
+    /// real shape, nnz, and MNC histograms from the materialization — a
+    /// sparse cast must surface its true density here (not a dense
+    /// default), or the suffix's cost oracle would misprice every plan
+    /// touching it.
+    pub cast_meta: MatrixMeta,
     pub cast_us: u128,
     pub ranked: RankedPlans,
     /// The winning LA plan (execution-verified in the verified path).
@@ -717,9 +723,12 @@ impl HybridOptimizer {
         let cast_us = cast_start.elapsed().as_micros();
 
         // Phase 5: LA suffix rewriting with the cast matrix catalogued from
-        // its actual materialization (shape, nnz, MNC histograms).
+        // its actual materialization (shape, nnz, MNC histograms) — for a
+        // sparse cast this records the true ultra-sparse density, which the
+        // encoder turns into the `density` facts the cost oracle reads.
+        let cast_meta = MatrixMeta::from_matrix(&mat);
         let mut la_opt = self.optimizer.clone();
-        la_opt.cat.register(&p.cast_name, MatrixMeta::from_matrix(&mat));
+        la_opt.cat.register(&p.cast_name, cast_meta.clone());
 
         let rel = RelPhase {
             compiled,
@@ -763,6 +772,7 @@ impl HybridOptimizer {
         Ok(HybridResult {
             rel,
             table,
+            cast_meta,
             cast_us,
             ranked,
             best,

@@ -22,11 +22,13 @@ pub mod eval;
 pub mod hybrid;
 pub mod optimizer;
 
-pub use cost::{CostModel, Estimate, FlopsCost};
+pub use cost::{CostModel, Estimate, FlopsCost, TighteningPruner, VremCostOracle};
 pub use eval::{eval, Env, EvalError};
 pub use hadad_chase::EvalMode;
 pub use hybrid::{
     eval_cq, CastKind, CompiledQuery, HybridError, HybridOptimizer, HybridPipeline,
     HybridResult, RelOp, RelPhase, RelQuery, TableView, TableVocab,
 };
-pub use optimizer::{LaView, Optimizer, Plan, RankedPlans, RewriteError, RewriteReport};
+pub use optimizer::{
+    LaView, Optimizer, Plan, PruneMode, RankedPlans, RewriteError, RewriteReport,
+};

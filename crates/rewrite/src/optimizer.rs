@@ -10,14 +10,26 @@
 
 use std::time::Instant;
 
-use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, EvalMode};
+use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostPruner, EvalMode};
 use hadad_core::{
     Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, ShapeError, Vrem,
 };
 use hadad_linalg::{approx_eq, Matrix};
 
-use crate::cost::{CostModel, FlopsCost};
+use crate::cost::{CostModel, FlopsCost, TighteningPruner, VremCostOracle};
 use crate::eval::{eval, Env, EvalError};
+
+/// Whether the chase runs under `Prune_prov` (paper §7.3). The default
+/// consults the cost oracle: a TGD firing whose conclusion cannot beat the
+/// incumbent plan (seeded from the unrewritten expression, tightened every
+/// round by the extraction DP) is vetoed. `Off` is kept for differential
+/// testing — both modes must produce best plans of identical cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    #[default]
+    CostThreshold,
+    Off,
+}
 
 /// One candidate plan: an expression equivalent to the input under the
 /// catalogue, with its estimated cost.
@@ -38,6 +50,9 @@ pub struct RewriteReport {
     pub chase_rounds: usize,
     pub num_facts: usize,
     pub num_candidates: usize,
+    /// TGD firings vetoed by `Prune_prov` (0 under [`PruneMode::Off`]);
+    /// per-rule veto counts are in `chase_stats.rule_vetoes`.
+    pub pruned_firings: usize,
     pub elapsed_us: u128,
     pub encode_us: u128,
     pub chase_us: u128,
@@ -131,6 +146,8 @@ pub struct Optimizer {
     /// Premise-matching strategy for the chase; semi-naïve by default,
     /// naive kept for differential testing and baselining.
     pub mode: EvalMode,
+    /// Cost-threshold pruning of chase firings; on by default.
+    pub prune: PruneMode,
     /// Materialized LA views registered for view-based reformulation:
     /// each contributes `V_IO`/`V_OI` constraints to the chase, so plans
     /// can land on (and expand through) `Mat(view)` leaves.
@@ -145,6 +162,7 @@ impl Optimizer {
             // expression, so instances are small and saturate quickly.
             budget: ChaseBudget { max_rounds: 12, max_facts: 30_000, max_nulls: 15_000 },
             mode: EvalMode::default(),
+            prune: PruneMode::default(),
             views: Vec::new(),
         }
     }
@@ -156,6 +174,11 @@ impl Optimizer {
 
     pub fn with_mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    pub fn with_prune(mut self, prune: PruneMode) -> Self {
+        self.prune = prune;
         self
     }
 
@@ -241,7 +264,23 @@ impl Optimizer {
             .with_mode(self.mode);
         let mut inst = encoded.instance;
         let chase_start = Instant::now();
-        let (chase_outcome, stats) = engine.chase(&mut inst);
+        let (chase_outcome, stats) = match self.prune {
+            PruneMode::Off => engine.chase(&mut inst),
+            PruneMode::CostThreshold => {
+                // `Prune_prov` for the LA path: the oracle reads propagated
+                // size/density facts, the incumbent starts at the original
+                // plan's cost and tightens each round as the DP finds
+                // cheaper plans in the partially saturated instance.
+                let oracle = VremCostOracle::new(&vrem);
+                let mut pruner = TighteningPruner::new(
+                    &oracle,
+                    CostPruner::new(&oracle, original.est_cost),
+                    &vrem,
+                    encoded.root,
+                );
+                engine.chase_with(&mut inst, &mut pruner)
+            }
+        };
         let chase_us = chase_start.elapsed().as_micros();
 
         let extract_start = Instant::now();
@@ -268,6 +307,7 @@ impl Optimizer {
             chase_rounds: stats.rounds,
             num_facts: inst.num_facts(),
             num_candidates: plans.len(),
+            pruned_firings: stats.pruned_firings,
             elapsed_us: start.elapsed().as_micros(),
             encode_us,
             chase_us,
@@ -418,6 +458,24 @@ mod tests {
         let eff = opt.effective_cat().unwrap();
         assert_eq!(eff.get("V").unwrap().nnz, 3);
         assert!(opt.cat.get("V").is_none());
+    }
+
+    /// `Prune_prov` is on by default and must not change the best plan:
+    /// the trace rotation survives pruning (its oracle bound beats the
+    /// incumbent), while `PruneMode::Off` remains available and agrees.
+    #[test]
+    fn default_pruning_matches_off_mode() {
+        let (opt, _) = trace_setup();
+        let e = trace(mul(m("A"), m("B")));
+        let pruned = opt.rewrite(&e).unwrap();
+        let unpruned = opt.clone().with_prune(PruneMode::Off).rewrite(&e).unwrap();
+        assert_eq!(unpruned.report.pruned_firings, 0);
+        assert_eq!(pruned.best().expr, unpruned.best().expr);
+        assert_eq!(pruned.best().est_cost, unpruned.best().est_cost);
+        // Per-rule veto counts line up with the total.
+        let per_rule: usize =
+            pruned.report.chase_stats.rule_vetoes.iter().map(|(_, n)| n).sum();
+        assert_eq!(per_rule, pruned.report.pruned_firings);
     }
 
     #[test]

@@ -106,6 +106,57 @@ fn tweet_pipeline_rewrites_both_halves_and_verifies() {
     assert!(approx_eq(&reference, &best_val, 1e-9));
 }
 
+/// The sparse-cast path must catalogue the cast matrix under its *real*
+/// ultra-sparse density — dense-default metadata would mislead the cost
+/// oracle (the suffix encoder turns this metadata into the `density` facts
+/// the chase pruner and extraction DP read).
+#[test]
+fn sparse_cast_records_real_density_for_the_oracle() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut la_cat = MetaCatalog::new();
+    la_cat.register("w", MatrixMeta::dense(NUM_TWEETS, 1));
+    let hy = HybridOptimizer::new(catalog, Optimizer::new(la_cat));
+
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+        sort_key: None,
+        cast: CastKind::Sparse {
+            row: "tid".into(),
+            col: "topic".into(),
+            val: "level".into(),
+            rows: NUM_TWEETS,
+            cols: NUM_TOPICS,
+        },
+        cast_name: "N".into(),
+        suffix: mul(t(m("N")), m("w")),
+    };
+    let r = hy.rewrite_hybrid(&pipeline).unwrap();
+
+    // 25 surviving tuples in a 500x20 matrix: density 0.25%.
+    let expected_nnz = NUM_TWEETS / NUM_TOPICS;
+    assert_eq!(r.cast_meta.nnz, expected_nnz);
+    assert_eq!((r.cast_meta.rows, r.cast_meta.cols), (NUM_TWEETS, NUM_TOPICS));
+    let true_density = expected_nnz as f64 / (NUM_TWEETS * NUM_TOPICS) as f64;
+    assert!((r.cast_meta.density() - true_density).abs() < 1e-12);
+    assert!(r.cast_meta.density() <= 0.05, "cast metadata defaulted to dense");
+    // MNC histograms come from the materialization, not a dense default.
+    assert_eq!(r.cast_meta.mnc.as_ref().unwrap().nnz(), expected_nnz as u64);
+
+    // The suffix's cost estimate is sparsity-aware: pricing the same plan
+    // against dense-default metadata is orders of magnitude higher.
+    let mut dense_cat = MetaCatalog::new();
+    dense_cat.register("N", MatrixMeta::dense(NUM_TWEETS, NUM_TOPICS));
+    dense_cat.register("w", MatrixMeta::dense(NUM_TWEETS, 1));
+    let dense_cost = hadad_rewrite::CostModel::new(&dense_cat).cost(&pipeline.suffix).unwrap();
+    assert!(
+        r.ranked.original.est_cost < dense_cost / 10.0,
+        "oracle priced the sparse cast as dense: {} vs {}",
+        r.ranked.original.est_cost,
+        dense_cost
+    );
+}
+
 /// A join-shaped prefix (MIMIC flavour): patients ⋈ admissions, filtered to
 /// one service, rewritten onto a pre-joined materialized view; the dense
 /// cast feeds a gram-matrix suffix rewritten onto a registered LA view.
