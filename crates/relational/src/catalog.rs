@@ -1,14 +1,23 @@
 //! Named-table catalog with basic statistics — the "source schema" side of
-//! a hybrid HADAD deployment.
+//! a hybrid HADAD deployment — plus the logged mutation API that feeds
+//! incremental view maintenance.
 
 use std::collections::BTreeMap;
 
-use crate::table::Table;
+use crate::ivm::{apply_delta, Delta, IvmError, TableUpdate, UpdateLog};
+use crate::table::{Table, Value};
 
 /// A registry of named tables (and materialized relational views).
+///
+/// Base tables mutate through [`Catalog::insert_rows`] /
+/// [`Catalog::delete_rows`], which validate rows against the schema and
+/// append a [`Delta`] to the catalog's update log; a view maintainer
+/// drains the log ([`Catalog::take_updates`]) and delta-maintains every
+/// materialized view instead of re-executing its definition.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
+    log: UpdateLog,
 }
 
 impl Catalog {
@@ -16,8 +25,12 @@ impl Catalog {
         Self::default()
     }
 
-    pub fn register(&mut self, name: impl Into<String>, table: Table) {
-        self.tables.insert(name.into(), table);
+    /// Registers a table under `name`, returning the table it displaced,
+    /// if any. A `Some` return on a name you expected to be fresh means a
+    /// view registration collision — callers that materialize views check
+    /// it instead of silently shadowing a base table.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Option<Table> {
+        self.tables.insert(name.into(), table)
     }
 
     pub fn get(&self, name: &str) -> Option<&Table> {
@@ -33,6 +46,61 @@ impl Catalog {
         self.tables.get(name).map(|t| t.num_rows())
     }
 
+    /// Appends `rows` to a base table (arity- and type-checked, atomic)
+    /// and logs the insertion for view maintenance. Returns the number of
+    /// inserted rows.
+    pub fn insert_rows(
+        &mut self,
+        name: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<usize, IvmError> {
+        let table =
+            self.tables.get_mut(name).ok_or_else(|| IvmError::MissingTable(name.to_owned()))?;
+        let delta = Delta::inserts(table, rows);
+        let (inserted, _) = apply_delta(table, &delta, name)?;
+        self.log.push(name, delta);
+        Ok(inserted)
+    }
+
+    /// Retracts `rows` from a base table under counting semantics (each
+    /// listed row removes one matching copy; retracting a row the table
+    /// does not hold is an error, applied atomically) and logs the
+    /// deletion. Returns the number of deleted rows.
+    pub fn delete_rows(
+        &mut self,
+        name: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<usize, IvmError> {
+        let table =
+            self.tables.get_mut(name).ok_or_else(|| IvmError::MissingTable(name.to_owned()))?;
+        let delta = Delta::deletes(table, rows);
+        let (_, deleted) = apply_delta(table, &delta, name)?;
+        self.log.push(name, delta);
+        Ok(deleted)
+    }
+
+    /// Applies a maintenance delta to a table *without* logging it — the
+    /// view-maintenance path, which must not re-enqueue its own writes.
+    pub fn apply_unlogged(
+        &mut self,
+        name: &str,
+        delta: &Delta,
+    ) -> Result<(usize, usize), IvmError> {
+        let table =
+            self.tables.get_mut(name).ok_or_else(|| IvmError::MissingTable(name.to_owned()))?;
+        apply_delta(table, delta, name)
+    }
+
+    /// Mutations logged since the last drain, in arrival order.
+    pub fn pending_updates(&self) -> &[TableUpdate] {
+        self.log.entries()
+    }
+
+    /// Drains the update log for the maintainer.
+    pub fn take_updates(&mut self) -> Vec<TableUpdate> {
+        self.log.drain()
+    }
+
     /// Row-count cost of a plan that scans the named tables once each: the
     /// sum of their cardinalities, with unknown tables costed at
     /// `f64::INFINITY` so they can never beat a known plan. This is the
@@ -40,6 +108,21 @@ impl Catalog {
     /// rewriting is only as expensive as the relations it reads.
     pub fn scan_cost<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> f64 {
         names.into_iter().map(|n| self.cardinality(n).map_or(f64::INFINITY, |c| c as f64)).sum()
+    }
+
+    /// [`Catalog::scan_cost`] that names the offending table instead of
+    /// returning an unattributable infinity — for callers that treat a
+    /// vanished view as a hard error rather than an unpriceable plan.
+    pub fn scan_cost_checked<'a>(
+        &self,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<f64, IvmError> {
+        let mut total = 0.0;
+        for n in names {
+            total +=
+                self.cardinality(n).ok_or_else(|| IvmError::MissingTable(n.to_owned()))? as f64;
+        }
+        Ok(total)
     }
 }
 
@@ -58,6 +141,19 @@ mod tests {
     }
 
     #[test]
+    fn register_returns_displaced_table() {
+        let mut cat = Catalog::new();
+        assert!(cat
+            .register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]))
+            .is_none());
+        let displaced = cat
+            .register("users", Table::new(vec![("id", Column::Int(vec![7]))]))
+            .expect("second registration displaces the first");
+        assert_eq!(displaced.num_rows(), 2);
+        assert_eq!(cat.cardinality("users"), Some(1));
+    }
+
+    #[test]
     fn scan_cost_sums_cardinalities() {
         let mut cat = Catalog::new();
         cat.register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]));
@@ -66,5 +162,57 @@ mod tests {
         assert_eq!(cat.scan_cost(["users", "users"]), 4.0);
         assert_eq!(cat.scan_cost(["users", "missing"]), f64::INFINITY);
         assert_eq!(cat.scan_cost([]), 0.0);
+    }
+
+    #[test]
+    fn scan_cost_checked_names_the_missing_table() {
+        let mut cat = Catalog::new();
+        cat.register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]));
+        assert_eq!(cat.scan_cost_checked(["users", "users"]), Ok(4.0));
+        assert_eq!(
+            cat.scan_cost_checked(["users", "gone"]),
+            Err(IvmError::MissingTable("gone".into()))
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_rows_mutate_and_log() {
+        let mut cat = Catalog::new();
+        cat.register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]));
+        assert_eq!(
+            cat.insert_rows("users", vec![vec![Value::Int(3)], vec![Value::Int(4)]]),
+            Ok(2)
+        );
+        assert_eq!(cat.cardinality("users"), Some(4));
+        assert_eq!(cat.delete_rows("users", vec![vec![Value::Int(1)]]), Ok(1));
+        assert_eq!(cat.cardinality("users"), Some(3));
+        let updates = cat.take_updates();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].table, "users");
+        assert_eq!(updates[0].delta.counts(), (2, 0));
+        assert_eq!(updates[1].delta.counts(), (0, 1));
+        assert!(cat.pending_updates().is_empty());
+    }
+
+    #[test]
+    fn mutations_validate_schema_and_existence() {
+        let mut cat = Catalog::new();
+        cat.register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]));
+        assert!(matches!(
+            cat.insert_rows("ghosts", vec![vec![Value::Int(1)]]),
+            Err(IvmError::MissingTable(_))
+        ));
+        // Type mismatch is rejected without mutating or logging.
+        assert!(matches!(
+            cat.insert_rows("users", vec![vec![Value::Str("x".into())]]),
+            Err(IvmError::SchemaMismatch { .. })
+        ));
+        // Deleting a row that is not there is a hard error, not a no-op.
+        assert!(matches!(
+            cat.delete_rows("users", vec![vec![Value::Int(99)]]),
+            Err(IvmError::MissingRow { .. })
+        ));
+        assert_eq!(cat.cardinality("users"), Some(2));
+        assert!(cat.pending_updates().is_empty());
     }
 }

@@ -8,10 +8,19 @@
 //! model (matrix → relation forgets row order; relation → matrix fixes an
 //! arbitrary one unless sorted first).
 
+//!
+//! Base tables mutate through the catalog's logged `insert_rows` /
+//! `delete_rows` API; the [`ivm`] module supplies the signed-multiset
+//! deltas and per-operator delta rules (counting semantics) that let a
+//! view maintainer keep materialized views consistent without
+//! re-executing their definitions.
+
 pub mod cast;
 pub mod catalog;
+pub mod ivm;
 pub mod ops;
 pub mod table;
 
 pub use catalog::Catalog;
+pub use ivm::{apply_delta, Delta, IvmError, TableUpdate, UpdateLog};
 pub use table::{Column, Table, Value};

@@ -77,6 +77,41 @@ impl Column {
         }
     }
 
+    /// Appends a value of the column's own type; `false` (and no change) on
+    /// a type mismatch — the mutation API refuses heterogeneous columns
+    /// rather than silently coercing.
+    pub fn push(&mut self, v: &Value) -> bool {
+        match (self, v) {
+            (Column::Int(c), Value::Int(x)) => c.push(*x),
+            (Column::Float(c), Value::Float(x)) => c.push(*x),
+            (Column::Str(c), Value::Str(x)) => c.push(x.clone()),
+            _ => return false,
+        }
+        true
+    }
+
+    /// `true` when a value has this column's type.
+    pub fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (Column::Int(_), Value::Int(_))
+                | (Column::Float(_), Value::Float(_))
+                | (Column::Str(_), Value::Str(_))
+        )
+    }
+
+    /// Cell comparison without materializing a [`Value`] (no string
+    /// clones). Floats compare bitwise — the same equality the IVM row
+    /// keys use, so `-0.0` and `0.0` are distinct and `NaN` equals itself.
+    pub fn cell_eq(&self, row: usize, v: &Value) -> bool {
+        match (self, v) {
+            (Column::Int(c), Value::Int(x)) => c[row] == *x,
+            (Column::Float(c), Value::Float(x)) => c[row].to_bits() == x.to_bits(),
+            (Column::Str(c), Value::Str(x)) => c[row] == *x,
+            _ => false,
+        }
+    }
+
     /// Gathers the rows at `indices` into a new column.
     pub fn gather(&self, indices: &[usize]) -> Column {
         match self {
@@ -171,6 +206,50 @@ impl Table {
         }
     }
 
+    /// The row's cells, in column order.
+    pub fn row(&self, r: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(r)).collect()
+    }
+
+    /// Row-vs-cells comparison without cloning (see [`Column::cell_eq`]).
+    pub fn row_eq(&self, r: usize, row: &[Value]) -> bool {
+        row.len() == self.columns.len()
+            && self.columns.iter().zip(row).all(|(c, v)| c.cell_eq(r, v))
+    }
+
+    /// Checks a row against the table's schema (arity and per-column
+    /// types) without mutating anything.
+    pub fn row_matches_schema(&self, row: &[Value]) -> Result<(), String> {
+        if row.len() != self.columns.len() {
+            return Err(format!(
+                "row has {} cells, table has {} columns",
+                row.len(),
+                self.columns.len()
+            ));
+        }
+        for (i, (c, v)) in self.columns.iter().zip(row).enumerate() {
+            if !c.accepts(v) {
+                return Err(format!(
+                    "cell {v} does not match the type of column {}",
+                    self.names[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a row; errors (leaving the table unchanged) on an arity or
+    /// type mismatch.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<(), String> {
+        self.row_matches_schema(row)?;
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            let ok = c.push(v);
+            debug_assert!(ok, "schema pre-check admitted a mismatched cell");
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
     /// Appends a column; panics on length mismatch.
     pub fn with_column(mut self, name: &str, col: Column) -> Table {
         assert_eq!(col.len(), self.rows);
@@ -209,6 +288,24 @@ mod tests {
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.value(0, "id"), Value::Int(3));
         assert_eq!(t.value(1, "id"), Value::Int(1));
+    }
+
+    #[test]
+    fn push_row_is_typed_and_atomic() {
+        let mut t = sample();
+        t.push_row(&[Value::Int(4), Value::Float(3.5), Value::Str("d".into())]).unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.row(3), vec![Value::Int(4), Value::Float(3.5), Value::Str("d".into())]);
+        // Arity mismatch.
+        assert!(t.push_row(&[Value::Int(5)]).is_err());
+        // Type mismatch (Float into an Int column) leaves the table intact.
+        assert!(t
+            .push_row(&[Value::Float(5.0), Value::Float(0.0), Value::Str("e".into())])
+            .is_err());
+        assert_eq!(t.num_rows(), 4);
+        for c in 0..t.num_cols() {
+            assert_eq!(t.column_at(c).len(), 4);
+        }
     }
 
     #[test]

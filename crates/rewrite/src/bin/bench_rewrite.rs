@@ -17,15 +17,15 @@ use hadad_chase::{ChaseBudget, ChaseOutcome, EvalMode};
 use hadad_core::expr::dsl::*;
 use hadad_core::{Expr, MatrixMeta, MetaCatalog};
 use hadad_linalg::{rand_gen, Matrix};
-use hadad_relational::{Catalog, Column, Table};
+use hadad_relational::{Catalog, Column, Table, Value};
 use hadad_rewrite::{
-    eval, CastKind, Env, HybridOptimizer, HybridPipeline, Optimizer, PruneMode, RankedPlans,
-    RelQuery,
+    eval, CastKind, Env, HybridOptimizer, HybridPipeline, MaintainedCast, Optimizer, PruneMode,
+    RankedPlans, RelQuery,
 };
 
 /// Every family the JSON must carry; CI cross-checks the emitted artifact
 /// against this list.
-const FAMILIES: [&str; 8] = [
+const FAMILIES: [&str; 9] = [
     "trace_cyclic",
     "matvec_chain",
     "qr_reuse",
@@ -34,6 +34,7 @@ const FAMILIES: [&str; 8] = [
     "sparse_chain",
     "ridge_normal_eq",
     "hybrid_tweets",
+    "ivm_updates",
 ];
 
 struct Pipeline {
@@ -341,6 +342,191 @@ fn total_firings(ranked: &RankedPlans) -> usize {
     ranked.report.chase_stats.tgd_firings.iter().map(|(_, n)| n).sum()
 }
 
+use hadad_relational::ivm::table_fingerprint;
+
+/// The update-heavy family: a covid-filter view plus maintained sparse
+/// cast over a 200k-row tweets table, hit with 1% insert/delete batches.
+/// Delta maintenance must beat full re-materialization (re-execute the
+/// definition + re-cast + re-stamp metadata) by >= 10x, and the maintained
+/// `scan_cost` cardinality and cast metadata must match a from-scratch
+/// materialization exactly. Returns the JSON row plus the two timings for
+/// the tracked series.
+fn ivm_family(reps: u32) -> (String, f64, f64) {
+    let n_tweets = 200_000usize;
+    let n_topics = 200usize; // hashtag-like cardinality: the view is 0.5%
+    let covid = 7i64;
+    let cast_rows = 210_000usize; // headroom so inserted tids stay in range
+    let batch = n_tweets / 200; // 1000 inserts + 1000 deletes = 1% of rows
+
+    let n = n_tweets as i64;
+    let tweets = Table::new(vec![
+        ("tid", Column::Int((0..n).collect())),
+        ("topic", Column::Int((0..n).map(|i| i % n_topics as i64).collect())),
+        ("level", Column::Int((0..n).map(|i| i % 5 + 1).collect())),
+    ]);
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets);
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(MetaCatalog::new()));
+    let def = RelQuery::scan("tweets").select_eq("topic", covid);
+    hy.register_table_view("covid_tweets", def.clone()).expect("view materializes");
+    let cast = CastKind::Sparse {
+        row: "tid".into(),
+        col: "topic".into(),
+        val: "level".into(),
+        rows: cast_rows,
+        cols: n_topics,
+    };
+    hy.register_maintained_cast(MaintainedCast {
+        cast_name: "N".into(),
+        view: "covid_tweets".into(),
+        sort_key: None,
+        cast: cast.clone(),
+    })
+    .expect("cast stamps");
+
+    // 1% batch: fresh tweets (a covid share among them) + deletes spread
+    // across existing rows (tid*97 stays < 200k and distinct).
+    let inserts: Vec<Vec<Value>> = (0..batch as i64)
+        .map(|i| {
+            let tid = n + i;
+            vec![Value::Int(tid), Value::Int(tid % n_topics as i64), Value::Int(tid % 5 + 1)]
+        })
+        .collect();
+    let deletes: Vec<Vec<Value>> = (0..batch as i64)
+        .map(|i| {
+            let tid = i * 97;
+            vec![Value::Int(tid), Value::Int(tid % n_topics as i64), Value::Int(tid % 5 + 1)]
+        })
+        .collect();
+
+    let (mut maintain, mut restamp, mut reexec, mut remat) = (0f64, 0f64, 0f64, 0f64);
+    let mut meta_ok = true;
+    for rep in 0..reps {
+        // Apply the batch through the raw (logged) catalog API, then run
+        // the maintenance pass: delta propagation + cast re-stamp, timed
+        // separately in the report.
+        hy.catalog.insert_rows("tweets", inserts.clone()).expect("inserts apply");
+        hy.catalog.delete_rows("tweets", deletes.clone()).expect("deletes apply");
+        let report = hy.maintain_views().expect("maintenance succeeds");
+        maintain += report.maintain_us as f64;
+        restamp += report.restamp_us as f64;
+        assert!(report.rows_touched() > 0, "the batch must touch the view");
+
+        // Full re-materialization of the same post-update state: re-run
+        // the definition (the cost IVM replaces), then re-cast and
+        // re-stamp the metadata (the cost the maintained cast replaces).
+        let t1 = Instant::now();
+        let scratch = def.execute(&hy.catalog).expect("definition re-executes");
+        reexec += t1.elapsed().as_micros() as f64;
+        let scratch_mat = match &cast {
+            CastKind::Sparse { row, col, val, rows, cols } => {
+                hadad_relational::cast::table_to_sparse(&scratch, row, col, val, *rows, *cols)
+            }
+            _ => unreachable!(),
+        };
+        let scratch_meta = MatrixMeta::from_matrix(&scratch_mat);
+        remat += t1.elapsed().as_micros() as f64;
+
+        if rep == 0 {
+            // Exactness: maintained view == from-scratch as a multiset,
+            // and scan_cost / cast metadata agree exactly.
+            let maintained = hy.catalog.get("covid_tweets").expect("view registered");
+            meta_ok &= table_fingerprint(maintained) == table_fingerprint(&scratch);
+            meta_ok &= hy.catalog.scan_cost(["covid_tweets"]) == scratch.num_rows() as f64;
+            let stamped = hy.optimizer.cat.get("N").expect("cast stamped").clone();
+            meta_ok &= stamped.nnz == scratch_meta.nnz
+                && (stamped.rows, stamped.cols) == (scratch_meta.rows, scratch_meta.cols)
+                && stamped.density() == scratch_meta.density()
+                && stamped.mnc.as_ref().map(|h| h.nnz())
+                    == scratch_meta.mnc.as_ref().map(|h| h.nnz());
+            assert!(meta_ok, "maintained state diverged from from-scratch materialization");
+        }
+
+        // Undo the batch (maintained, untimed) so every rep sees the same
+        // baseline state.
+        hy.delete_rows("tweets", inserts.clone()).expect("undo inserts");
+        hy.insert_rows("tweets", deletes.clone()).expect("undo deletes");
+    }
+    let rf = reps as f64;
+    let (maintain_us, restamp_us) = (maintain / rf, restamp / rf);
+    let (reexec_us, remat_us) = (reexec / rf, remat / rf);
+    let speedup = reexec_us / maintain_us.max(1.0);
+    println!(
+        "{:<16} maintain {:>6.0}us vs re-exec {:>6.0}us ({:.1}x) | +restamp {:.0}us vs full remat {:.0}us | {} rows, 2x{} batch, view {} rows | meta exact: {}",
+        "ivm_updates",
+        maintain_us,
+        reexec_us,
+        speedup,
+        restamp_us,
+        remat_us,
+        n_tweets,
+        batch,
+        hy.catalog.cardinality("covid_tweets").unwrap(),
+        meta_ok,
+    );
+    // Acceptance bar: delta-maintaining the view is >= 10x faster than
+    // re-executing its RelQuery, and the whole maintenance pass (including
+    // the cast re-stamp) still beats full re-materialization.
+    assert!(
+        maintain_us * 10.0 <= reexec_us,
+        "delta maintenance ({maintain_us:.0}us) is not >= 10x cheaper than re-execution ({reexec_us:.0}us)"
+    );
+    assert!(
+        maintain_us + restamp_us < remat_us,
+        "maintenance + restamp ({:.0}us) is not cheaper than full re-materialization ({remat_us:.0}us)",
+        maintain_us + restamp_us,
+    );
+
+    let row = format!(
+        concat!(
+            "    {{\"pipeline\": \"ivm_updates\", \"rows_base\": {}, \"batch_rows\": {}, ",
+            "\"view_rows\": {}, \"maintain_us\": {:.1}, \"restamp_us\": {:.1}, ",
+            "\"reexec_us\": {:.1}, \"remat_us\": {:.1}, ",
+            "\"speedup\": {:.1}, \"meta_exact\": {}, ",
+            "\"tgd_firings\": 0, \"nopruning_tgd_firings\": 0}}"
+        ),
+        n_tweets,
+        2 * batch,
+        hy.catalog.cardinality("covid_tweets").unwrap(),
+        maintain_us,
+        restamp_us,
+        reexec_us,
+        remat_us,
+        speedup,
+        meta_ok,
+    );
+    (row, maintain_us, reexec_us)
+}
+
+/// Appends one commit-stamped row to the tracked per-PR series
+/// `BENCH_series.jsonl` — the cross-commit perf trajectory CI uploads.
+fn append_series_row(maintain_us: f64, reexec_us: f64) {
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let families: Vec<String> = FAMILIES.iter().map(|f| format!("\"{f}\"")).collect();
+    let line = format!(
+        "{{\"commit\": \"{commit}\", \"ts_unix\": {ts}, \"families\": [{}], \"ivm_maintain_us\": {maintain_us:.1}, \"ivm_reexec_us\": {reexec_us:.1}, \"ivm_speedup\": {:.1}}}\n",
+        families.join(", "),
+        reexec_us / maintain_us.max(1.0),
+    );
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_series.jsonl")
+        .expect("open BENCH_series.jsonl");
+    f.write_all(line.as_bytes()).expect("append BENCH_series.jsonl");
+}
+
 fn main() {
     let pipelines = vec![
         trace_pipeline(400, 8),
@@ -480,6 +666,8 @@ fn main() {
     }
 
     rows.push(hybrid_family(5));
+    let (ivm_row, maintain_us, reexec_us) = ivm_family(5);
+    rows.push(ivm_row);
 
     let json = format!(
         "{{\n  \"bench\": \"Optimizer::rewrite\",\n  \"pipelines\": [\n{}\n  ]\n}}\n",
@@ -492,5 +680,6 @@ fn main() {
         );
     }
     std::fs::write("BENCH_rewrite.json", &json).expect("write BENCH_rewrite.json");
-    println!("wrote BENCH_rewrite.json ({} families)", FAMILIES.len());
+    append_series_row(maintain_us, reexec_us);
+    println!("wrote BENCH_rewrite.json ({} families) + BENCH_series.jsonl row", FAMILIES.len());
 }

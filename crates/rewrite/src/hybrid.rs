@@ -18,7 +18,7 @@
 //! the operator pipeline, and the winning LA plan must agree with the
 //! original suffix on the backend.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use hadad_chase::{
@@ -31,6 +31,8 @@ use hadad_relational::{cast, ops, Catalog, Column, Table, Value};
 use crate::eval::{Env, EvalError};
 use crate::optimizer::{Optimizer, Plan, RankedPlans, RewriteError};
 use hadad_core::Expr;
+
+pub use crate::maintain::{MaintenanceReport, ViewChange, ViewMaintainer};
 
 /// Hybrid-pipeline failure.
 #[derive(Debug)]
@@ -45,6 +47,23 @@ pub enum HybridError {
         expected: usize,
         got: usize,
     },
+    /// A view registration would shadow an existing table or view.
+    DuplicateName(String),
+    /// Registered views whose base tables carry unmaintained updates — run
+    /// maintenance before rewriting, or the rewriter would read stale
+    /// materializations.
+    StaleViews(Vec<String>),
+    /// A view reached the maintainer without being tracked first.
+    UntrackedView(String),
+    /// Tracking a view over a catalog with unmaintained updates (the
+    /// cached intermediates would double-count them); maintain first.
+    PendingUpdates(Vec<String>),
+    /// A previous maintenance pass failed partway, leaving view state
+    /// unknown — rebuild the views before maintaining or rewriting again.
+    MaintenancePoisoned,
+    /// A delta-maintenance step failed (schema drift, retraction of a
+    /// missing row, ...).
+    Ivm(hadad_relational::IvmError),
     Rewrite(RewriteError),
     Eval(EvalError),
 }
@@ -60,6 +79,23 @@ impl std::fmt::Display for HybridError {
             HybridError::ViewArity { view, expected, got } => {
                 write!(f, "view {view}: definition has {expected} columns, table has {got}")
             }
+            HybridError::DuplicateName(n) => {
+                write!(f, "name {n} is already registered in the catalog")
+            }
+            HybridError::StaleViews(vs) => {
+                write!(f, "views stale under pending updates: {}", vs.join(", "))
+            }
+            HybridError::UntrackedView(v) => write!(f, "view {v} is not tracked"),
+            HybridError::PendingUpdates(ts) => {
+                write!(f, "catalog holds unmaintained updates for: {}", ts.join(", "))
+            }
+            HybridError::MaintenancePoisoned => {
+                write!(
+                    f,
+                    "a failed maintenance pass left view state unknown; rebuild the views"
+                )
+            }
+            HybridError::Ivm(e) => write!(f, "{e}"),
             HybridError::Rewrite(e) => write!(f, "{e}"),
             HybridError::Eval(e) => write!(f, "{e}"),
         }
@@ -67,6 +103,12 @@ impl std::fmt::Display for HybridError {
 }
 
 impl std::error::Error for HybridError {}
+
+impl From<hadad_relational::IvmError> for HybridError {
+    fn from(e: hadad_relational::IvmError) -> Self {
+        HybridError::Ivm(e)
+    }
+}
 
 impl From<RewriteError> for HybridError {
     fn from(e: RewriteError) -> Self {
@@ -152,36 +194,47 @@ impl RelQuery {
             .ok_or_else(|| HybridError::MissingTable(self.table.clone()))?
             .clone();
         for op in &self.ops {
-            t = match op {
-                RelOp::SelectEq { column, value } => {
-                    require_column(&t, column)?;
-                    ops::select(&t, |tab, r| tab.value(r, column).as_i64() == Some(*value))
-                }
-                RelOp::SelectStrEq { column, value } => {
-                    require_column(&t, column)?;
-                    ops::select(&t, |tab, r| match tab.value(r, column) {
-                        Value::Str(s) => s == *value,
-                        _ => false,
-                    })
-                }
-                RelOp::HashJoin { table, left_key, right_key } => {
-                    let right = catalog
-                        .get(table)
-                        .ok_or_else(|| HybridError::MissingTable(table.clone()))?;
-                    require_column(&t, left_key)?;
-                    require_column(right, right_key)?;
-                    ops::hash_join(&t, left_key, right, right_key)
-                }
-                RelOp::Project { columns } => {
-                    for c in columns {
-                        require_column(&t, c)?;
-                    }
-                    let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
-                    ops::project(&t, &refs)
-                }
-            };
+            t = self.apply_op(t, op, catalog)?;
         }
         Ok(t)
+    }
+
+    /// One executable pipeline stage — shared by [`RelQuery::execute`] and
+    /// the view maintainer (which replays stages to cache join inputs).
+    pub(crate) fn apply_op(
+        &self,
+        t: Table,
+        op: &RelOp,
+        catalog: &Catalog,
+    ) -> Result<Table, HybridError> {
+        Ok(match op {
+            RelOp::SelectEq { column, value } => {
+                require_column(&t, column)?;
+                ops::select(&t, |tab, r| tab.value(r, column).as_i64() == Some(*value))
+            }
+            RelOp::SelectStrEq { column, value } => {
+                require_column(&t, column)?;
+                ops::select(&t, |tab, r| match tab.value(r, column) {
+                    Value::Str(s) => s == *value,
+                    _ => false,
+                })
+            }
+            RelOp::HashJoin { table, left_key, right_key } => {
+                let right = catalog
+                    .get(table)
+                    .ok_or_else(|| HybridError::MissingTable(table.clone()))?;
+                require_column(&t, left_key)?;
+                require_column(right, right_key)?;
+                ops::hash_join(&t, left_key, right, right_key)
+            }
+            RelOp::Project { columns } => {
+                for c in columns {
+                    require_column(&t, c)?;
+                }
+                let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                ops::project(&t, &refs)
+            }
+        })
     }
 
     /// Compiles the query to a CQ over the table vocabulary. Selections
@@ -555,6 +608,22 @@ pub struct TableView {
     pub def: RelQuery,
 }
 
+/// A cast whose matrix metadata is kept fresh across base-table updates:
+/// after each maintenance pass the source view (or base table) is re-cast
+/// and its [`MatrixMeta`] — shape, nnz, MNC histograms — re-stamped into
+/// the LA optimizer's catalog, so the suffix cost oracle prices
+/// post-update instances correctly.
+#[derive(Debug, Clone)]
+pub struct MaintainedCast {
+    /// Name the matrix metadata is stamped under in the LA catalog.
+    pub cast_name: String,
+    /// Catalog table (usually a maintained view) the cast reads.
+    pub view: String,
+    /// Sort applied before a dense cast, as in [`HybridPipeline`].
+    pub sort_key: Option<String>,
+    pub cast: CastKind,
+}
+
 /// Timings and outcomes of the relational (PACB) phase.
 #[derive(Debug)]
 pub struct RelPhase {
@@ -596,12 +665,16 @@ pub struct HybridResult {
 }
 
 /// The hybrid facade: a table catalog + table views on the relational side,
-/// an [`Optimizer`] (with its LA views) on the LA side.
+/// an [`Optimizer`] (with its LA views) on the LA side, and a
+/// [`ViewMaintainer`] keeping the materializations consistent under
+/// base-table updates.
 pub struct HybridOptimizer {
     pub catalog: Catalog,
     pub optimizer: Optimizer,
     pub budget: ChaseBudget,
     table_views: Vec<TableView>,
+    maintainer: ViewMaintainer,
+    maintained_casts: Vec<MaintainedCast>,
 }
 
 impl HybridOptimizer {
@@ -611,20 +684,33 @@ impl HybridOptimizer {
             optimizer,
             budget: ChaseBudget::default(),
             table_views: Vec::new(),
+            maintainer: ViewMaintainer::new(),
+            maintained_casts: Vec::new(),
         }
     }
 
     /// Materializes `def` over the current catalog and registers the result
-    /// as both a table (under `name`) and a PACB view.
+    /// as a table (under `name`), a PACB view, and a maintained view.
+    /// Registering over an existing table or view name is an error — a
+    /// silent overwrite would leave the displaced table's dependents
+    /// reading a different relation. Pending catalog updates are
+    /// maintained first, so the new materialization and the maintainer's
+    /// caches agree on the base-table state.
     pub fn register_table_view(
         &mut self,
         name: impl Into<String>,
         def: RelQuery,
     ) -> Result<(), HybridError> {
         let name = name.into();
+        if self.catalog.get(&name).is_some() {
+            return Err(HybridError::DuplicateName(name));
+        }
+        self.maintain_views()?;
         let table = def.execute(&self.catalog)?;
         self.catalog.register(&name, table);
-        self.table_views.push(TableView { name, def });
+        let view = TableView { name, def };
+        self.maintainer.track(&self.catalog, &view)?;
+        self.table_views.push(view);
         Ok(())
     }
 
@@ -635,6 +721,169 @@ impl HybridOptimizer {
 
     pub fn table_views(&self) -> &[TableView] {
         &self.table_views
+    }
+
+    /// Registers a cast whose matrix metadata tracks the underlying view
+    /// across updates, and stamps it now. The cast name must be fresh in
+    /// the LA catalog — re-stamping over an existing input matrix (or a
+    /// previously registered cast) would silently repoint every plan that
+    /// reads it at the cast's metadata.
+    pub fn register_maintained_cast(
+        &mut self,
+        cast: MaintainedCast,
+    ) -> Result<(), HybridError> {
+        if self.optimizer.cat.get(&cast.cast_name).is_some()
+            || self.maintained_casts.iter().any(|c| c.cast_name == cast.cast_name)
+        {
+            return Err(HybridError::DuplicateName(cast.cast_name));
+        }
+        self.restamp_cast(&cast)?;
+        self.maintained_casts.push(cast);
+        Ok(())
+    }
+
+    pub fn maintained_casts(&self) -> &[MaintainedCast] {
+        &self.maintained_casts
+    }
+
+    /// Inserts rows into a base table and immediately delta-maintains
+    /// every affected view and maintained cast.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<MaintenanceReport, HybridError> {
+        self.catalog.insert_rows(table, rows)?;
+        self.maintain_views()
+    }
+
+    /// Deletes rows from a base table (counting semantics — each listed
+    /// row retracts one copy) and immediately delta-maintains every
+    /// affected view and maintained cast.
+    pub fn delete_rows(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<MaintenanceReport, HybridError> {
+        self.catalog.delete_rows(table, rows)?;
+        self.maintain_views()
+    }
+
+    /// Drains the catalog's update log, delta-maintains every registered
+    /// table view, and re-stamps the matrix metadata of maintained casts
+    /// whose source changed. Called automatically by the mutation facade;
+    /// call it explicitly after batching raw `catalog.insert_rows` /
+    /// `catalog.delete_rows` mutations.
+    pub fn maintain_views(&mut self) -> Result<MaintenanceReport, HybridError> {
+        if self.maintainer.is_poisoned() {
+            return Err(HybridError::MaintenancePoisoned);
+        }
+        if self.catalog.pending_updates().is_empty() {
+            return Ok(MaintenanceReport::default());
+        }
+        let mut dirty: HashSet<String> =
+            self.catalog.pending_updates().iter().map(|e| e.table.clone()).collect();
+        let mut report = self.maintainer.maintain(&mut self.catalog, &self.table_views)?;
+        dirty.extend(report.changes.iter().map(|c| c.view.clone()));
+        let restamp_start = Instant::now();
+        for cast in &self.maintained_casts {
+            if dirty.contains(&cast.view) {
+                if let Err(e) = restamp_cast_into(&self.catalog, &mut self.optimizer, cast) {
+                    // The log is already drained, so a failed re-stamp must
+                    // not silently clear the staleness signal: poison the
+                    // maintainer and require a rebuild, exactly as for a
+                    // failed propagation pass.
+                    self.maintainer.poison();
+                    return Err(e);
+                }
+            }
+        }
+        report.restamp_us = restamp_start.elapsed().as_micros();
+        Ok(report)
+    }
+
+    fn restamp_cast(&mut self, cast: &MaintainedCast) -> Result<(), HybridError> {
+        restamp_cast_into(&self.catalog, &mut self.optimizer, cast)
+    }
+
+    /// Tables carrying unmaintained state: pending-update base tables plus
+    /// every view they reach (directly or through another dirty view). A
+    /// poisoned maintainer dirties every view — a failed pass leaves their
+    /// contents unknown.
+    fn dirty_names(&self) -> HashSet<&str> {
+        let mut dirty: HashSet<&str> =
+            self.catalog.pending_updates().iter().map(|e| e.table.as_str()).collect();
+        for v in &self.table_views {
+            let hit = self.maintainer.is_poisoned()
+                || dirty.contains(v.def.table.as_str())
+                || v.def.ops.iter().any(
+                    |op| matches!(op, RelOp::HashJoin { table, .. } if dirty.contains(table.as_str())),
+                );
+            if hit {
+                dirty.insert(v.name.as_str());
+            }
+        }
+        dirty
+    }
+
+    /// Views whose base tables (direct, or through another stale view)
+    /// carry unmaintained updates, or whose maintainer is poisoned.
+    pub fn stale_views(&self) -> Vec<&str> {
+        let dirty = self.dirty_names();
+        self.table_views
+            .iter()
+            .filter(|v| dirty.contains(v.name.as_str()))
+            .map(|v| v.name.as_str())
+            .collect()
+    }
+
+    /// Stale materializations a rewrite must not read: stale views plus
+    /// maintained casts whose source table (a view *or* a base table) is
+    /// dirty — the LA catalog's stamped metadata no longer matches it.
+    fn stale_materializations(&self) -> Vec<String> {
+        let dirty = self.dirty_names();
+        let mut stale: Vec<String> = self
+            .table_views
+            .iter()
+            .filter(|v| dirty.contains(v.name.as_str()))
+            .map(|v| v.name.clone())
+            .collect();
+        let poisoned = self.maintainer.is_poisoned();
+        stale.extend(
+            self.maintained_casts
+                .iter()
+                .filter(|c| poisoned || dirty.contains(c.view.as_str()))
+                .map(|c| format!("cast {}", c.cast_name)),
+        );
+        stale
+    }
+
+    /// Recovery from a failed maintenance pass (or any state drift): drops
+    /// the pending log, re-materializes every view from the current base
+    /// tables in registration order, re-tracks them on a fresh maintainer,
+    /// and re-stamps every maintained cast.
+    pub fn rebuild_views(&mut self) -> Result<(), HybridError> {
+        self.catalog.take_updates();
+        self.maintainer = ViewMaintainer::new();
+        let result = self.rebuild_inner();
+        if result.is_err() {
+            // A partial rebuild is as unknown as a partial maintenance
+            // pass — keep refusing until a rebuild fully succeeds.
+            self.maintainer.poison();
+        }
+        result
+    }
+
+    fn rebuild_inner(&mut self) -> Result<(), HybridError> {
+        for v in &self.table_views {
+            let table = v.def.execute(&self.catalog)?;
+            self.catalog.register(&v.name, table);
+            self.maintainer.track(&self.catalog, v)?;
+        }
+        for cast in &self.maintained_casts {
+            restamp_cast_into(&self.catalog, &mut self.optimizer, cast)?;
+        }
+        Ok(())
     }
 
     /// Rewrites the pipeline without executing the LA verification step
@@ -662,6 +911,16 @@ impl HybridOptimizer {
         verify: Option<(&Env, f64)>,
     ) -> Result<HybridResult, HybridError> {
         let start = Instant::now();
+
+        // Refuse to rewrite against stale materializations: pending updates
+        // touching a view's base tables mean PACB could land the prefix on
+        // a view whose contents no longer match its definition, and a dirty
+        // maintained-cast source means the LA catalog's stamped metadata
+        // would misprice the suffix.
+        let stale = self.stale_materializations();
+        if !stale.is_empty() {
+            return Err(HybridError::StaleViews(stale));
+        }
 
         // Phase 1: compile the prefix and the view definitions to CQs over
         // the catalog vocabulary.
@@ -780,6 +1039,30 @@ impl HybridOptimizer {
             elapsed_us: start.elapsed().as_micros(),
         })
     }
+}
+
+/// Re-casts a maintained cast's source table and stamps the resulting
+/// matrix metadata into the LA optimizer's catalog.
+fn restamp_cast_into(
+    catalog: &Catalog,
+    optimizer: &mut Optimizer,
+    cast: &MaintainedCast,
+) -> Result<(), HybridError> {
+    let t =
+        catalog.get(&cast.view).ok_or_else(|| HybridError::MissingTable(cast.view.clone()))?;
+    // Clone only when a sort actually reorders; the unsorted path casts
+    // straight from the catalog table (it can be a large base table).
+    let sorted;
+    let t = match &cast.sort_key {
+        Some(_) => {
+            sorted = maybe_sort(t.clone(), &cast.sort_key)?;
+            &sorted
+        }
+        None => t,
+    };
+    let mat = apply_cast(t, &cast.cast)?;
+    optimizer.cat.register(&cast.cast_name, MatrixMeta::from_matrix(&mat));
+    Ok(())
 }
 
 fn maybe_sort(t: Table, key: &Option<String>) -> Result<Table, HybridError> {

@@ -20,6 +20,7 @@
 pub mod cost;
 pub mod eval;
 pub mod hybrid;
+pub mod maintain;
 pub mod optimizer;
 
 pub use cost::{CostModel, Estimate, FlopsCost, TighteningPruner, VremCostOracle};
@@ -27,8 +28,9 @@ pub use eval::{eval, Env, EvalError};
 pub use hadad_chase::EvalMode;
 pub use hybrid::{
     eval_cq, CastKind, CompiledQuery, HybridError, HybridOptimizer, HybridPipeline,
-    HybridResult, RelOp, RelPhase, RelQuery, TableView, TableVocab,
+    HybridResult, MaintainedCast, RelOp, RelPhase, RelQuery, TableView, TableVocab,
 };
+pub use maintain::{MaintenanceReport, ViewChange, ViewMaintainer};
 pub use optimizer::{
     LaView, Optimizer, Plan, PruneMode, RankedPlans, RewriteError, RewriteReport,
 };

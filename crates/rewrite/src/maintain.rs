@@ -1,0 +1,294 @@
+//! Delta maintenance of materialized table views ([`TableView`]): instead
+//! of re-executing a view's `RelQuery` after base-table updates, the
+//! [`ViewMaintainer`] pushes the logged [`Delta`]s through the view's
+//! operator pipeline with the per-operator rules from
+//! [`hadad_relational::ivm`] and applies the resulting view delta to the
+//! materialization in the catalog.
+//!
+//! The join rule Δ(L ⋈ R) = ΔL ⋈ Rⁿᵉʷ + Lᵒˡᵈ ⋈ ΔR needs the *old* left
+//! input of every join stage, so the maintainer caches those intermediates
+//! per view (selections and projections are linear — they need no state).
+//! Update batches that touch several tables compose sequentially: entries
+//! are propagated in log order, and when a join's right table carries
+//! *later* pending entries, the maintainer reconstructs the table as of
+//! the current entry by unapplying them (deltas are invertible). View
+//! deltas re-enter the propagation queue, so views defined over other
+//! views maintain transitively, in registration order.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use hadad_relational::ivm::{apply_delta, Delta, TableUpdate};
+use hadad_relational::{Catalog, Table};
+
+use crate::hybrid::{HybridError, RelOp, TableView};
+
+/// Per-view cached state: the (pre-update) left input of every join stage,
+/// keyed by the op's position in the view definition.
+#[derive(Debug, Clone, Default)]
+struct ViewState {
+    join_inputs: HashMap<usize, Table>,
+}
+
+/// What one maintenance pass did to one view.
+#[derive(Debug, Clone)]
+pub struct ViewChange {
+    pub view: String,
+    pub rows_inserted: usize,
+    pub rows_deleted: usize,
+}
+
+/// Outcome of a maintenance pass: every non-trivial view change plus the
+/// number of log entries propagated (base-table entries and transitively
+/// generated view entries).
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    pub entries_processed: usize,
+    pub changes: Vec<ViewChange>,
+    /// Time spent delta-maintaining the view tables.
+    pub maintain_us: u128,
+    /// Time spent re-casting and re-stamping maintained cast metadata
+    /// (`HybridOptimizer` maintenance only; zero for a bare maintainer).
+    pub restamp_us: u128,
+}
+
+impl MaintenanceReport {
+    /// Total rows touched across all maintained views.
+    pub fn rows_touched(&self) -> usize {
+        self.changes.iter().map(|c| c.rows_inserted + c.rows_deleted).sum()
+    }
+}
+
+/// Incremental maintainer for the registered table views of a catalog.
+#[derive(Debug, Clone, Default)]
+pub struct ViewMaintainer {
+    states: HashMap<String, ViewState>,
+    /// Set when a maintenance pass fails partway: earlier views were
+    /// already mutated and the drained log entries are gone, so view
+    /// state is unknown until the views are rebuilt from scratch.
+    poisoned: bool,
+}
+
+impl ViewMaintainer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` after a failed maintenance pass — every further
+    /// [`ViewMaintainer::maintain`] refuses until the views are rebuilt
+    /// (e.g. `HybridOptimizer::rebuild_views`) on a fresh maintainer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Starts tracking a view whose materialization is already registered
+    /// in the catalog, caching the left input of every join stage. The
+    /// catalog must hold no pending updates newer than the
+    /// materialization — they must be drained (maintained) first, or the
+    /// cache would double-count them on the next maintenance pass.
+    pub fn track(&mut self, catalog: &Catalog, view: &TableView) -> Result<(), HybridError> {
+        if !catalog.pending_updates().is_empty() {
+            return Err(HybridError::PendingUpdates(
+                catalog.pending_updates().iter().map(|e| e.table.clone()).collect(),
+            ));
+        }
+        let mut state = ViewState::default();
+        let mut t = catalog
+            .get(&view.def.table)
+            .ok_or_else(|| HybridError::MissingTable(view.def.table.clone()))?
+            .clone();
+        for (k, op) in view.def.ops.iter().enumerate() {
+            if matches!(op, RelOp::HashJoin { .. }) {
+                state.join_inputs.insert(k, t.clone());
+            }
+            t = view.def.apply_op(t, op, catalog)?;
+        }
+        self.states.insert(view.name.clone(), state);
+        Ok(())
+    }
+
+    /// Marks the maintainer's state unknown (e.g. when a cast re-stamp
+    /// fails after the log was drained): every further maintenance pass
+    /// refuses until the views are rebuilt.
+    pub(crate) fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Drains the catalog's update log and delta-maintains every tracked
+    /// view, in registration order, applying each view's delta to its
+    /// materialization in the catalog. View deltas join the queue so views
+    /// over views maintain transitively.
+    ///
+    /// A mid-pass failure leaves earlier views mutated with the drained
+    /// log gone, so the maintainer *poisons* itself: every later call
+    /// fails with [`HybridError::MaintenancePoisoned`] until the views
+    /// are rebuilt from scratch — a loud stop instead of silently
+    /// clearing the staleness signal.
+    pub fn maintain(
+        &mut self,
+        catalog: &mut Catalog,
+        views: &[TableView],
+    ) -> Result<MaintenanceReport, HybridError> {
+        if self.poisoned {
+            return Err(HybridError::MaintenancePoisoned);
+        }
+        let result = self.maintain_inner(catalog, views);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn maintain_inner(
+        &mut self,
+        catalog: &mut Catalog,
+        views: &[TableView],
+    ) -> Result<MaintenanceReport, HybridError> {
+        let start = Instant::now();
+        // Coalesce adjacent entries on the same table: sequential deltas on
+        // one relation compose by concatenation, and one combined
+        // propagation halves the per-view apply cost of the common
+        // insert-batch + delete-batch update shape.
+        let mut queue: Vec<TableUpdate> = Vec::new();
+        for e in catalog.take_updates() {
+            match queue.last_mut() {
+                Some(prev) if prev.table == e.table => prev.delta.rows.extend(e.delta.rows),
+                _ => queue.push(e),
+            }
+        }
+        let mut report = MaintenanceReport::default();
+        let mut i = 0;
+        while i < queue.len() {
+            for view in views {
+                let entry = &queue[i];
+                if !references(view, &entry.table) {
+                    continue;
+                }
+                let delta = self.propagate(view, entry, catalog, &queue, i)?;
+                if delta.is_empty() {
+                    continue;
+                }
+                let (ins, del) =
+                    catalog.apply_unlogged(&view.name, &delta).map_err(HybridError::Ivm)?;
+                report.changes.push(ViewChange {
+                    view: view.name.clone(),
+                    rows_inserted: ins,
+                    rows_deleted: del,
+                });
+                queue.push(TableUpdate { table: view.name.clone(), delta });
+            }
+            i += 1;
+        }
+        report.entries_processed = queue.len();
+        report.maintain_us = start.elapsed().as_micros();
+        Ok(report)
+    }
+
+    /// Pushes one logged update through one view's pipeline, returning the
+    /// view-level delta. Updates the cached join inputs as it goes, so the
+    /// next entry sees them as of *after* this one.
+    fn propagate(
+        &mut self,
+        view: &TableView,
+        entry: &TableUpdate,
+        catalog: &Catalog,
+        queue: &[TableUpdate],
+        idx: usize,
+    ) -> Result<Delta, HybridError> {
+        // Borrow the entry's delta through the first stages — the common
+        // case (a selective view over a large update batch) never clones
+        // the batch.
+        let mut delta: Cow<'_, Delta> = if view.def.table == entry.table {
+            Cow::Borrowed(&entry.delta)
+        } else {
+            let scan = catalog
+                .get(&view.def.table)
+                .ok_or_else(|| HybridError::MissingTable(view.def.table.clone()))?;
+            Cow::Owned(Delta::empty(scan.column_names().to_vec()))
+        };
+        for (k, op) in view.def.ops.iter().enumerate() {
+            match op {
+                RelOp::SelectEq { column, value } => {
+                    delta =
+                        Cow::Owned(delta.select_eq(column, *value).map_err(HybridError::Ivm)?);
+                }
+                RelOp::SelectStrEq { column, value } => {
+                    delta = Cow::Owned(
+                        delta.select_str_eq(column, value).map_err(HybridError::Ivm)?,
+                    );
+                }
+                RelOp::Project { columns } => {
+                    delta = Cow::Owned(delta.project(columns).map_err(HybridError::Ivm)?);
+                }
+                RelOp::HashJoin { table, left_key, right_key } => {
+                    let left_old = self
+                        .states
+                        .get(&view.name)
+                        .and_then(|s| s.join_inputs.get(&k))
+                        .ok_or_else(|| HybridError::UntrackedView(view.name.clone()))?;
+                    // R as of this entry: the catalog already holds every
+                    // queued delta, so unapply the ones that come later.
+                    let right = right_as_of(catalog, queue, idx, table)?;
+                    let mut out = delta
+                        .join_right(&right, left_key, right_key)
+                        .map_err(HybridError::Ivm)?;
+                    if table == &entry.table {
+                        out.merge(
+                            Delta::join_left(left_old, &entry.delta, left_key, right_key)
+                                .map_err(HybridError::Ivm)?,
+                        )
+                        .map_err(HybridError::Ivm)?;
+                    }
+                    // Advance the cached left input by ΔL for later entries.
+                    if !delta.is_empty() {
+                        let left = self
+                            .states
+                            .get_mut(&view.name)
+                            .unwrap()
+                            .join_inputs
+                            .get_mut(&k)
+                            .unwrap();
+                        apply_delta(left, &delta, &view.name).map_err(HybridError::Ivm)?;
+                    }
+                    delta = Cow::Owned(out);
+                }
+            }
+        }
+        Ok(delta.into_owned())
+    }
+}
+
+/// `true` when a view's definition reads `table` directly (its scan or any
+/// join side). Transitive references flow through queued view deltas, not
+/// through this check.
+fn references(view: &TableView, table: &str) -> bool {
+    view.def.table == table
+        || view
+            .def
+            .ops
+            .iter()
+            .any(|op| matches!(op, RelOp::HashJoin { table: t, .. } if t == table))
+}
+
+/// The named table as of queue position `idx`: the catalog state with
+/// every *later* queued delta for it unapplied. Borrows when nothing later
+/// touches the table (the common, single-table-batch fast path).
+fn right_as_of<'a>(
+    catalog: &'a Catalog,
+    queue: &[TableUpdate],
+    idx: usize,
+    name: &str,
+) -> Result<Cow<'a, Table>, HybridError> {
+    let t = catalog.get(name).ok_or_else(|| HybridError::MissingTable(name.to_owned()))?;
+    let later: Vec<&Delta> =
+        queue[idx + 1..].iter().filter(|e| e.table == name).map(|e| &e.delta).collect();
+    if later.is_empty() {
+        return Ok(Cow::Borrowed(t));
+    }
+    let mut t = t.clone();
+    for d in later.iter().rev() {
+        apply_delta(&mut t, &d.negated(), name).map_err(HybridError::Ivm)?;
+    }
+    Ok(Cow::Owned(t))
+}

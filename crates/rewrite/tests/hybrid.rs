@@ -6,9 +6,10 @@
 use hadad_core::expr::dsl::*;
 use hadad_core::{MatrixMeta, MetaCatalog};
 use hadad_linalg::{approx_eq, rand_gen, Matrix};
-use hadad_relational::{Catalog, Column, Table};
+use hadad_relational::{Catalog, Column, Table, Value};
 use hadad_rewrite::{
-    eval, CastKind, Env, HybridOptimizer, HybridPipeline, Optimizer, RelQuery,
+    eval, CastKind, Env, HybridError, HybridOptimizer, HybridPipeline, MaintainedCast,
+    Optimizer, RelQuery,
 };
 
 const NUM_TWEETS: usize = 500;
@@ -211,6 +212,379 @@ fn join_pipeline_lands_on_prejoined_view_and_gram_view() {
     assert_eq!(r.best.expr.to_string(), "G");
     assert!(r.best.est_cost < r.ranked.original.est_cost);
     assert_eq!(r.verified, Some(true));
+}
+
+/// End-to-end maintenance: update `tweets` under the covid-view pipeline,
+/// delta-maintain, and re-verify the whole hybrid rewrite. The rewritten
+/// prefix must read the *maintained* view and cast the post-update matrix;
+/// costs and cardinalities must track the new state.
+#[test]
+fn updates_delta_maintain_the_view_and_reverify_the_pipeline() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut la_cat = MetaCatalog::new();
+    la_cat.register("w", MatrixMeta::dense(NUM_TWEETS, 1));
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(la_cat));
+    hy.register_table_view(
+        "covid_tweets",
+        RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+    )
+    .unwrap();
+    hy.register_la_view("NT", t(m("N")));
+
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+        sort_key: None,
+        cast: CastKind::Sparse {
+            row: "tid".into(),
+            col: "topic".into(),
+            val: "level".into(),
+            rows: NUM_TWEETS,
+            cols: NUM_TOPICS,
+        },
+        cast_name: "N".into(),
+        suffix: mul(t(m("N")), m("w")),
+    };
+    let mut env = Env::new();
+    env.bind("w", Matrix::Dense(rand_gen::random_dense(NUM_TWEETS, 1, 99)));
+
+    let before = hy.rewrite_hybrid_verified(&pipeline, &env, 1e-9).unwrap();
+    let base_rows = NUM_TWEETS / NUM_TOPICS;
+    assert_eq!(before.rel.rows_out, base_rows);
+
+    // Three new covid tweets, one non-covid, and one covid tweet deleted.
+    // (tid 7 is the first covid row: 7 % 20 == 7.)
+    let report = hy
+        .insert_rows(
+            "tweets",
+            vec![
+                vec![Value::Int(600), Value::Int(COVID_TOPIC), Value::Int(2)],
+                vec![Value::Int(601), Value::Int(COVID_TOPIC), Value::Int(4)],
+                vec![Value::Int(602), Value::Int(COVID_TOPIC), Value::Int(1)],
+                vec![Value::Int(603), Value::Int(9), Value::Int(5)],
+            ],
+        )
+        .unwrap();
+    assert_eq!(report.changes.len(), 1, "only the covid view changes");
+    assert_eq!(report.changes[0].rows_inserted, 3);
+    hy.delete_rows("tweets", vec![vec![Value::Int(7), Value::Int(COVID_TOPIC), Value::Int(3)]])
+        .unwrap();
+
+    // The maintained view matches a from-scratch materialization...
+    let expected_rows = base_rows + 3 - 1;
+    assert_eq!(hy.catalog.cardinality("covid_tweets"), Some(expected_rows));
+    // ...and Prune_prov prices the post-update instance from it.
+    let after = hy.rewrite_hybrid_verified(&pipeline, &env, 1e-9).unwrap();
+    assert!(after.rel.rewriting.is_some());
+    assert_eq!(after.rel.cost_original, (NUM_TWEETS + 3) as f64);
+    assert_eq!(after.rel.cost_best, Some(expected_rows as f64));
+    assert_eq!(after.rel.rows_out, expected_rows);
+    assert_eq!(after.verified, Some(true));
+    // The cast matrix reflects the update (tid 600..=602 are in range only
+    // if rows covers them — they are not, so nnz tracks surviving tids).
+    let from_scratch = pipeline.prefix.execute(&hy.catalog).unwrap();
+    assert_eq!(from_scratch.num_rows(), expected_rows);
+    let scratch_cast = hadad_relational::cast::table_to_sparse(
+        &from_scratch,
+        "tid",
+        "topic",
+        "level",
+        NUM_TWEETS,
+        NUM_TOPICS,
+    );
+    assert_eq!(after.cast_meta.nnz, scratch_cast.nnz());
+}
+
+/// Rewriting against a catalog with unmaintained updates is refused — a
+/// stale materialization must never silently back a rewriting.
+#[test]
+fn pending_updates_make_rewrites_fail_until_maintained() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut la_cat = MetaCatalog::new();
+    la_cat.register("w", MatrixMeta::dense(NUM_TWEETS, 1));
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(la_cat));
+    hy.register_table_view(
+        "covid_tweets",
+        RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+    )
+    .unwrap();
+
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+        sort_key: None,
+        cast: CastKind::Sparse {
+            row: "tid".into(),
+            col: "topic".into(),
+            val: "level".into(),
+            rows: NUM_TWEETS,
+            cols: NUM_TOPICS,
+        },
+        cast_name: "N".into(),
+        suffix: mul(t(m("N")), m("w")),
+    };
+
+    // Mutate through the raw catalog handle: logged but not maintained.
+    hy.catalog
+        .insert_rows(
+            "tweets",
+            vec![vec![Value::Int(700), Value::Int(COVID_TOPIC), Value::Int(1)]],
+        )
+        .unwrap();
+    let err = hy.rewrite_hybrid(&pipeline).unwrap_err();
+    assert!(
+        matches!(err, HybridError::StaleViews(ref vs) if vs == &["covid_tweets".to_string()])
+    );
+
+    // Maintenance clears the staleness and the rewrite sees the new row.
+    hy.maintain_views().unwrap();
+    let r = hy.rewrite_hybrid(&pipeline).unwrap();
+    assert_eq!(r.rel.rows_out, NUM_TWEETS / NUM_TOPICS + 1);
+}
+
+/// Maintained casts re-stamp the LA catalog's matrix metadata after each
+/// update, and the re-stamped meta equals a from-scratch cast exactly.
+#[test]
+fn maintained_cast_restamps_meta_to_match_scratch_materialization() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(MetaCatalog::new()));
+    hy.register_table_view(
+        "covid_tweets",
+        RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+    )
+    .unwrap();
+    let cast = CastKind::Sparse {
+        row: "tid".into(),
+        col: "topic".into(),
+        val: "level".into(),
+        rows: NUM_TWEETS,
+        cols: NUM_TOPICS,
+    };
+    hy.register_maintained_cast(MaintainedCast {
+        cast_name: "N".into(),
+        view: "covid_tweets".into(),
+        sort_key: None,
+        cast: cast.clone(),
+    })
+    .unwrap();
+    let nnz0 = hy.optimizer.cat.get("N").unwrap().nnz;
+    assert_eq!(nnz0, NUM_TWEETS / NUM_TOPICS);
+
+    hy.insert_rows(
+        "tweets",
+        vec![
+            vec![Value::Int(50), Value::Int(COVID_TOPIC), Value::Int(2)],
+            vec![Value::Int(51), Value::Int(COVID_TOPIC), Value::Int(3)],
+        ],
+    )
+    .unwrap();
+
+    let meta = hy.optimizer.cat.get("N").unwrap().clone();
+    let scratch = hadad_relational::cast::table_to_sparse(
+        &RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC).execute(&hy.catalog).unwrap(),
+        "tid",
+        "topic",
+        "level",
+        NUM_TWEETS,
+        NUM_TOPICS,
+    );
+    let scratch_meta = MatrixMeta::from_matrix(&scratch);
+    assert_eq!(meta.nnz, scratch_meta.nnz);
+    assert_eq!((meta.rows, meta.cols), (scratch_meta.rows, scratch_meta.cols));
+    assert_eq!(meta.density(), scratch_meta.density());
+    assert_eq!(meta.mnc.as_ref().map(|h| h.nnz()), scratch_meta.mnc.as_ref().map(|h| h.nnz()));
+}
+
+/// A maintained cast can read a *base table* directly; pending updates on
+/// that table must block rewrites just as stale views do — the stamped
+/// matrix metadata no longer matches the table.
+#[test]
+fn stale_maintained_cast_over_base_table_blocks_rewrites() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut la_cat = MetaCatalog::new();
+    la_cat.register("w", MatrixMeta::dense(NUM_TWEETS, 1));
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(la_cat));
+    let cast = CastKind::Sparse {
+        row: "tid".into(),
+        col: "topic".into(),
+        val: "level".into(),
+        rows: NUM_TWEETS + 10,
+        cols: NUM_TOPICS,
+    };
+    hy.register_maintained_cast(MaintainedCast {
+        cast_name: "N".into(),
+        view: "tweets".into(),
+        sort_key: None,
+        cast: cast.clone(),
+    })
+    .unwrap();
+    assert_eq!(hy.optimizer.cat.get("N").unwrap().nnz, NUM_TWEETS);
+
+    hy.catalog
+        .insert_rows(
+            "tweets",
+            vec![vec![Value::Int(NUM_TWEETS as i64), Value::Int(3), Value::Int(1)]],
+        )
+        .unwrap();
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+        sort_key: None,
+        cast,
+        cast_name: "M".into(),
+        suffix: m("M"),
+    };
+    let err = hy.rewrite_hybrid(&pipeline).unwrap_err();
+    assert!(matches!(err, HybridError::StaleViews(ref vs) if vs == &["cast N".to_string()]));
+
+    // Maintenance re-stamps the cast and clears the staleness.
+    hy.maintain_views().unwrap();
+    assert_eq!(hy.optimizer.cat.get("N").unwrap().nnz, NUM_TWEETS + 1);
+    assert!(hy.rewrite_hybrid(&pipeline).is_ok());
+}
+
+/// A failed maintenance pass leaves the facade in a loudly-broken state:
+/// maintenance and rewrites refuse until `rebuild_views` re-materializes
+/// everything from the current base tables.
+#[test]
+fn poisoned_maintenance_recovers_through_rebuild() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(MetaCatalog::new()));
+    hy.register_table_view(
+        "covid_tweets",
+        RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+    )
+    .unwrap();
+
+    // Sabotage the materialization through the raw catalog handle, then
+    // update the base table: the propagated delta cannot apply.
+    hy.catalog.register("covid_tweets", Table::new(vec![("other", Column::Str(vec![]))]));
+    hy.catalog
+        .insert_rows(
+            "tweets",
+            vec![vec![Value::Int(600), Value::Int(COVID_TOPIC), Value::Int(1)]],
+        )
+        .unwrap();
+    assert!(matches!(hy.maintain_views(), Err(HybridError::Ivm(_))));
+    // Poisoned: maintenance refuses, and rewrites see every view stale.
+    assert!(matches!(hy.maintain_views(), Err(HybridError::MaintenancePoisoned)));
+    assert_eq!(hy.stale_views(), vec!["covid_tweets"]);
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
+        sort_key: None,
+        cast: CastKind::Dense { columns: vec!["level".into()] },
+        cast_name: "M".into(),
+        suffix: m("M"),
+    };
+    assert!(matches!(hy.rewrite_hybrid(&pipeline), Err(HybridError::StaleViews(_))));
+
+    // Rebuild re-materializes from the current base tables (which include
+    // the insert) and clears the poison.
+    hy.rebuild_views().unwrap();
+    assert_eq!(hy.catalog.cardinality("covid_tweets"), Some(NUM_TWEETS / NUM_TOPICS + 1));
+    let r = hy.rewrite_hybrid(&pipeline).unwrap();
+    assert_eq!(r.rel.rows_out, NUM_TWEETS / NUM_TOPICS + 1);
+    // And maintenance works again.
+    hy.insert_rows(
+        "tweets",
+        vec![vec![Value::Int(601), Value::Int(COVID_TOPIC), Value::Int(2)]],
+    )
+    .unwrap();
+    assert_eq!(hy.catalog.cardinality("covid_tweets"), Some(NUM_TWEETS / NUM_TOPICS + 2));
+}
+
+/// A maintained cast's name must be fresh in the LA catalog: re-stamping
+/// over an existing input matrix (or another cast) would silently repoint
+/// every plan reading that name at the cast's metadata.
+#[test]
+fn duplicate_cast_names_are_rejected() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut la_cat = MetaCatalog::new();
+    la_cat.register("w", MatrixMeta::dense(NUM_TWEETS, 1));
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(la_cat));
+    let mk = |name: &str| MaintainedCast {
+        cast_name: name.into(),
+        view: "tweets".into(),
+        sort_key: None,
+        cast: CastKind::Dense { columns: vec!["level".into()] },
+    };
+    // Clobbering an existing LA input matrix is refused...
+    let err = hy.register_maintained_cast(mk("w")).unwrap_err();
+    assert!(matches!(err, HybridError::DuplicateName(ref n) if n == "w"));
+    assert_eq!(hy.optimizer.cat.get("w").unwrap().cols, 1, "input metadata untouched");
+    // ...and so is registering the same cast twice.
+    hy.register_maintained_cast(mk("N")).unwrap();
+    let err = hy.register_maintained_cast(mk("N")).unwrap_err();
+    assert!(matches!(err, HybridError::DuplicateName(ref n) if n == "N"));
+    assert_eq!(hy.maintained_casts().len(), 1);
+}
+
+/// A failed cast re-stamp after the log is drained must poison the
+/// maintainer — otherwise the staleness signal is gone and rewrites would
+/// price plans with pre-update cast metadata.
+#[test]
+fn failed_restamp_poisons_instead_of_clearing_staleness() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(MetaCatalog::new()));
+    hy.register_maintained_cast(MaintainedCast {
+        cast_name: "N".into(),
+        view: "tweets".into(),
+        sort_key: None,
+        cast: CastKind::Dense { columns: vec!["level".into()] },
+    })
+    .unwrap();
+
+    // Replace the cast's source with a table lacking the cast column, then
+    // log an update on it: maintenance drains the log, the re-stamp fails.
+    hy.catalog.register("tweets", Table::new(vec![("other", Column::Int(vec![1]))]));
+    hy.catalog.insert_rows("tweets", vec![vec![Value::Int(2)]]).unwrap();
+    assert!(matches!(hy.maintain_views(), Err(HybridError::MissingColumn(_))));
+
+    // The drained log must not have cleared the staleness: the cast stays
+    // stale (poisoned) and rewrites over it are refused.
+    assert!(matches!(hy.maintain_views(), Err(HybridError::MaintenancePoisoned)));
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("tweets"),
+        sort_key: None,
+        cast: CastKind::Dense { columns: vec!["other".into()] },
+        cast_name: "M".into(),
+        suffix: m("M"),
+    };
+    let err = hy.rewrite_hybrid(&pipeline).unwrap_err();
+    assert!(matches!(err, HybridError::StaleViews(ref vs) if vs == &["cast N".to_string()]));
+
+    // Rebuild fails while the source stays broken — and the failed
+    // rebuild keeps the poison, so rewrites are still refused.
+    assert!(hy.rebuild_views().is_err());
+    assert!(matches!(hy.rewrite_hybrid(&pipeline), Err(HybridError::StaleViews(_))));
+    // Once the source is restored, rebuild succeeds and the cast metadata
+    // is stamped from the restored table.
+    hy.catalog.register("tweets", tweets());
+    hy.rebuild_views().unwrap();
+    assert_eq!(hy.optimizer.cat.get("N").unwrap().rows, NUM_TWEETS);
+    // (This pipeline casts the sabotage-era column, which is gone again.)
+    assert!(matches!(hy.rewrite_hybrid(&pipeline), Err(HybridError::MissingColumn(_))));
+}
+
+/// Registering a view under a taken name is refused, not a silent shadow.
+#[test]
+fn duplicate_view_names_are_rejected() {
+    let mut catalog = Catalog::new();
+    catalog.register("tweets", tweets());
+    let mut hy = HybridOptimizer::new(catalog, Optimizer::new(MetaCatalog::new()));
+    hy.register_table_view("v", RelQuery::scan("tweets").select_eq("topic", 1)).unwrap();
+    // Same name again — and a base-table name — both refused.
+    let err = hy.register_table_view("v", RelQuery::scan("tweets")).unwrap_err();
+    assert!(matches!(err, HybridError::DuplicateName(ref n) if n == "v"));
+    let err = hy.register_table_view("tweets", RelQuery::scan("tweets")).unwrap_err();
+    assert!(matches!(err, HybridError::DuplicateName(ref n) if n == "tweets"));
+    // The original view is intact.
+    assert_eq!(hy.catalog.cardinality("v"), Some(NUM_TWEETS / NUM_TOPICS));
+    assert_eq!(hy.table_views().len(), 1);
 }
 
 /// Without a matching materialized view the prefix falls back to the
