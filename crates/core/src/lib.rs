@@ -21,6 +21,6 @@ pub use expr::Expr;
 pub use extract::{ExtractionCost, Extractor, TreeSizeCost};
 pub use schema::{OpKind, Vrem, DENSITY_SCALE};
 pub use stats::{
-    expr_stats, op_cost, op_flops, op_stats, ClassStats, MatrixMeta, MetaCatalog, MncHistogram,
-    ShapeError, TypeFlags, MEM_WEIGHT,
+    expr_stats, op_cost, op_cost_with, op_flops, op_stats, BackendProfile, ClassStats,
+    MatrixMeta, MetaCatalog, MncHistogram, ShapeError, TypeFlags, MEM_WEIGHT,
 };

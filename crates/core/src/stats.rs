@@ -271,10 +271,108 @@ pub fn op_flops(kind: OpKind, _out_idx: usize, child: &[ClassStats]) -> f64 {
     }
 }
 
+/// Calibration constants for one execution backend
+/// (`hadad_linalg::backend`): how much faster than the reference kernels
+/// its product kernels run, per representation class. Every cost consumer
+/// (ranking `CostModel`, extraction `FlopsCost`, chase `Prune_prov`)
+/// prices plans through [`op_cost_with`] under the optimizer's profile, so
+/// plan choice tracks what the selected hardware backend actually runs
+/// fastest — the SystemML lesson that abstract flops alone mis-rank plans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendProfile {
+    pub name: &'static str,
+    /// Worker threads the backend fans product rows across.
+    pub threads: usize,
+    /// Dense GEMM tile width (0 = unblocked).
+    pub tile: usize,
+    /// Effective speedup of dense-representation products over the
+    /// reference i-k-j kernel (cache blocking × sublinear thread scaling).
+    pub dense_mul_speedup: f64,
+    /// Effective speedup of sparse-representation products (direct CSR
+    /// assembly instead of a global triplet sort, × thread scaling).
+    pub sparse_mul_speedup: f64,
+    /// Per-output-nnz materialization weight (memory traffic does not
+    /// scale with threads, so it is per-profile rather than global).
+    pub mem_weight: f64,
+}
+
+impl BackendProfile {
+    /// The reference kernels: the unit everything is calibrated against.
+    pub const fn reference() -> Self {
+        BackendProfile {
+            name: "reference",
+            threads: 1,
+            tile: 0,
+            dense_mul_speedup: 1.0,
+            sparse_mul_speedup: 1.0,
+            mem_weight: MEM_WEIGHT,
+        }
+    }
+
+    /// The `Parallel` backend at a given worker count. Single-thread
+    /// dividends come from cache blocking (dense) and direct-CSR SpGEMM
+    /// assembly (sparse); extra threads scale sublinearly — dense GEMM is
+    /// compute-bound and scales well, sparse kernels are memory-bound and
+    /// scale worse.
+    pub fn parallel(threads: usize) -> Self {
+        let t = threads.max(1) as f64;
+        BackendProfile {
+            name: "parallel",
+            threads: threads.max(1),
+            tile: hadad_linalg::backend::GEMM_TILE,
+            dense_mul_speedup: 1.25 * (1.0 + 0.85 * (t - 1.0)),
+            sparse_mul_speedup: 2.0 * (1.0 + 0.6 * (t - 1.0)),
+            mem_weight: MEM_WEIGHT,
+        }
+    }
+
+    /// Profile for a backend selection, with `Parallel` sized to the host
+    /// the way the backend itself sizes its thread pool.
+    pub fn for_kind(kind: hadad_linalg::BackendKind) -> Self {
+        match kind {
+            hadad_linalg::BackendKind::Reference => BackendProfile::reference(),
+            hadad_linalg::BackendKind::Parallel => {
+                BackendProfile::parallel(hadad_linalg::backend::auto_threads())
+            }
+        }
+    }
+}
+
+impl Default for BackendProfile {
+    fn default() -> Self {
+        BackendProfile::reference()
+    }
+}
+
 /// Full per-operator charge: flops plus the materialization of the output's
-/// estimated non-zeros.
+/// estimated non-zeros, priced under the reference backend. Backend-aware
+/// consumers go through [`op_cost_with`].
 pub fn op_cost(kind: OpKind, out_idx: usize, child: &[ClassStats], out: &ClassStats) -> f64 {
-    op_flops(kind, out_idx, child) + MEM_WEIGHT * out.nnz()
+    op_cost_with(&BackendProfile::reference(), kind, out_idx, child, out)
+}
+
+/// [`op_cost`] under a backend's calibration constants. Only products
+/// route through [`ExecBackend`](hadad_linalg::ExecBackend) kernels, so
+/// only `Mul` flops are scaled; the representation policy of the kernels
+/// (sparse × sparse stays sparse, anything dense densifies) picks which
+/// speedup applies via the child densities.
+pub fn op_cost_with(
+    profile: &BackendProfile,
+    kind: OpKind,
+    out_idx: usize,
+    child: &[ClassStats],
+    out: &ClassStats,
+) -> f64 {
+    let mut flops = op_flops(kind, out_idx, child);
+    if kind == OpKind::Mul {
+        // Matrices denser than the CSR break-even point run the dense
+        // kernels; a fully sparse pair runs SpGEMM.
+        let sparse_pair = child[0].density < 0.5 && child[1].density < 0.5;
+        let speedup =
+            if sparse_pair { profile.sparse_mul_speedup } else { profile.dense_mul_speedup };
+        flops /= speedup.max(1e-9);
+    }
+    flops + profile.mem_weight * out.nnz()
 }
 
 /// Infers the shape of an expression from base-matrix metadata.
@@ -466,6 +564,45 @@ mod tests {
         let cost = op_cost(OpKind::Mul, 0, &[a, b], &out);
         // 2·30·4·30 flops + 30·30 output term + mem weight on 900 cells.
         assert!((cost - (7200.0 + 900.0 + MEM_WEIGHT * 900.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backend_profile_scales_only_product_flops() {
+        let refp = BackendProfile::reference();
+        let par = BackendProfile::parallel(4);
+        let a = ClassStats::dense(100, 100);
+        let out = op_stats(OpKind::Mul, 0, &[a, a]);
+        let base = op_cost_with(&refp, OpKind::Mul, 0, &[a, a], &out);
+        let fast = op_cost_with(&par, OpKind::Mul, 0, &[a, a], &out);
+        assert_eq!(
+            base,
+            op_cost(OpKind::Mul, 0, &[a, a], &out),
+            "op_cost is the reference wrapper"
+        );
+        assert!(fast < base, "parallel profile must price products cheaper");
+        // The materialization term is backend-invariant: the gap is purely
+        // the flops term divided by the dense speedup.
+        let flops = op_flops(OpKind::Mul, 0, &[a, a]);
+        assert!((base - fast - (flops - flops / par.dense_mul_speedup)).abs() < 1e-6);
+        // Non-product operators are not kernel-routed and cost the same.
+        let t_out = op_stats(OpKind::Transpose, 0, &[a]);
+        assert_eq!(
+            op_cost_with(&refp, OpKind::Transpose, 0, &[a], &t_out),
+            op_cost_with(&par, OpKind::Transpose, 0, &[a], &t_out),
+        );
+    }
+
+    #[test]
+    fn sparse_pairs_use_the_spgemm_speedup() {
+        let par = BackendProfile::parallel(1);
+        let s = ClassStats { rows: 1000, cols: 1000, density: 0.01 };
+        let out = op_stats(OpKind::Mul, 0, &[s, s]);
+        let flops = op_flops(OpKind::Mul, 0, &[s, s]);
+        let got = op_cost_with(&par, OpKind::Mul, 0, &[s, s], &out);
+        assert!(
+            (got - (flops / par.sparse_mul_speedup + par.mem_weight * out.nnz())).abs() < 1e-6
+        );
+        assert!(par.sparse_mul_speedup > par.dense_mul_speedup, "single-core SpGEMM dividend");
     }
 
     #[test]

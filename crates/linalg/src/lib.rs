@@ -12,6 +12,7 @@
 //! so that benchmark wall-times are a deterministic function of the
 //! intermediate-result sizes HADAD's cost model reasons about.
 
+pub mod backend;
 pub mod dense;
 pub mod error;
 pub mod io;
@@ -37,6 +38,9 @@ pub mod decomp {
     pub mod qr;
 }
 
+pub use backend::{
+    default_backend, BackendKind, ExecBackend, Parallel, Reference, PARALLEL, REFERENCE,
+};
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;

@@ -16,16 +16,16 @@ use std::time::Instant;
 use hadad_chase::{ChaseBudget, ChaseOutcome, EvalMode};
 use hadad_core::expr::dsl::*;
 use hadad_core::{Expr, MatrixMeta, MetaCatalog};
-use hadad_linalg::{rand_gen, Matrix};
+use hadad_linalg::{rand_gen, ExecBackend, Matrix, PARALLEL, REFERENCE};
 use hadad_relational::{Catalog, Column, Table, Value};
 use hadad_rewrite::{
-    eval, CastKind, Env, HybridOptimizer, HybridPipeline, MaintainedCast, Optimizer, PruneMode,
-    RankedPlans, RelQuery,
+    eval_with, CastKind, Env, HybridOptimizer, HybridPipeline, MaintainedCast, Optimizer,
+    PruneMode, RankedPlans, RelQuery,
 };
 
 /// Every family the JSON must carry; CI cross-checks the emitted artifact
 /// against this list.
-const FAMILIES: [&str; 9] = [
+const FAMILIES: [&str; 10] = [
     "trace_cyclic",
     "matvec_chain",
     "qr_reuse",
@@ -33,8 +33,21 @@ const FAMILIES: [&str; 9] = [
     "matmul_chain12",
     "sparse_chain",
     "ridge_normal_eq",
+    "dense_gemm512",
     "hybrid_tweets",
     "ivm_updates",
+];
+
+/// The pure-LA rewrite families, in emission order — the per-family
+/// `chase_us` map in the tracked series covers exactly these.
+const LA_FAMILIES: [&str; 7] = [
+    "trace_cyclic",
+    "matvec_chain",
+    "qr_reuse",
+    "matmul_chain8",
+    "matmul_chain12",
+    "sparse_chain",
+    "ridge_normal_eq",
 ];
 
 struct Pipeline {
@@ -158,14 +171,26 @@ fn ridge_pipeline(n: usize, d: usize) -> Pipeline {
     Pipeline { name: "ridge_normal_eq", expr, cat, env, budget: ChaseBudget::default() }
 }
 
+/// Execution time of `e` on `backend`: one warm-up, then the **median** of
+/// `reps` individually timed runs, in microseconds. Median, not mean — a
+/// single descheduled run would otherwise smear into every exec number and
+/// mask kernel-level wins.
+fn time_exec_on(e: &Expr, env: &Env, backend: &dyn ExecBackend, reps: u32) -> f64 {
+    let _ = eval_with(e, env, backend).expect("pipeline evaluates");
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let _ = eval_with(e, env, backend).expect("pipeline evaluates");
+            start.elapsed().as_micros() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Median-of-N execution on the default backend.
 fn time_exec(e: &Expr, env: &Env, reps: u32) -> f64 {
-    // One warm-up, then the mean of `reps` runs, in microseconds.
-    let _ = eval(e, env).expect("pipeline evaluates");
-    let start = Instant::now();
-    for _ in 0..reps {
-        let _ = eval(e, env).expect("pipeline evaluates");
-    }
-    start.elapsed().as_micros() as f64 / reps as f64
+    time_exec_on(e, env, hadad_linalg::default_backend(), reps)
 }
 
 /// Per-phase mean timings of `reps` rewrites, in microseconds.
@@ -337,6 +362,43 @@ fn hybrid_family(reps: u32) -> String {
     )
 }
 
+/// Raw-kernel micro-bench: a 512×512 dense GEMM timed under each backend.
+/// No rewriting is involved — this family isolates kernel speed, the
+/// multiplier under every other family's exec numbers. Returns the JSON
+/// row plus the two medians for the tracked series.
+fn dense_gemm_family(reps: u32) -> (String, f64, f64) {
+    let n = 512usize;
+    let mut env = Env::new();
+    env.bind("G1", Matrix::Dense(rand_gen::random_dense(n, n, 81)));
+    env.bind("G2", Matrix::Dense(rand_gen::random_dense(n, n, 82)));
+    let e = mul(m("G1"), m("G2"));
+    let reference_us = time_exec_on(&e, &env, &REFERENCE, reps);
+    let parallel_us = time_exec_on(&e, &env, &PARALLEL, reps);
+    let threads = PARALLEL.threads();
+    println!(
+        "{:<16} exec reference {:>8.0}us vs parallel {:>8.0}us ({:.2}x, {} threads)",
+        "dense_gemm512",
+        reference_us,
+        parallel_us,
+        reference_us / parallel_us.max(1.0),
+        threads,
+    );
+    let row = format!(
+        concat!(
+            "    {{\"pipeline\": \"dense_gemm512\", \"n\": {}, ",
+            "\"exec_us_reference\": {:.1}, \"exec_us_parallel\": {:.1}, ",
+            "\"speedup\": {:.2}, \"threads\": {}, ",
+            "\"tgd_firings\": 0, \"nopruning_tgd_firings\": 0}}"
+        ),
+        n,
+        reference_us,
+        parallel_us,
+        reference_us / parallel_us.max(1.0),
+        threads,
+    );
+    (row, reference_us, parallel_us)
+}
+
 /// Total TGD firings across every rule of a rewrite's chase.
 fn total_firings(ranked: &RankedPlans) -> usize {
     ranked.report.chase_stats.tgd_firings.iter().map(|(_, n)| n).sum()
@@ -498,9 +560,25 @@ fn ivm_family(reps: u32) -> (String, f64, f64) {
     (row, maintain_us, reexec_us)
 }
 
+/// Everything one tracked series row carries beyond the commit stamp:
+/// per-LA-family chase medians, the IVM maintenance duel, and the
+/// sparse-chain / dense-GEMM backend duels.
+struct SeriesData<'a> {
+    chase: &'a [(String, f64)],
+    maintain_us: f64,
+    reexec_us: f64,
+    /// Unrewritten sparse_chain exec under (reference, parallel).
+    sparse_exec: (f64, f64),
+    /// 512×512 dense GEMM exec under (reference, parallel).
+    gemm_exec: (f64, f64),
+    threads: usize,
+}
+
 /// Appends one commit-stamped row to the tracked per-PR series
 /// `BENCH_series.jsonl` — the cross-commit perf trajectory CI uploads.
-fn append_series_row(maintain_us: f64, reexec_us: f64) {
+/// Each row carries every family's headline number: chase_us per LA
+/// family, the IVM maintenance timings, and the per-backend kernel execs.
+fn append_series_row(data: &SeriesData) {
     let commit = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -513,10 +591,31 @@ fn append_series_row(maintain_us: f64, reexec_us: f64) {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let families: Vec<String> = FAMILIES.iter().map(|f| format!("\"{f}\"")).collect();
+    let chase_map: Vec<String> =
+        data.chase.iter().map(|(name, us)| format!("\"{name}\": {us:.1}")).collect();
+    let (sparse_ref, sparse_par) = data.sparse_exec;
+    let (gemm_ref, gemm_par) = data.gemm_exec;
     let line = format!(
-        "{{\"commit\": \"{commit}\", \"ts_unix\": {ts}, \"families\": [{}], \"ivm_maintain_us\": {maintain_us:.1}, \"ivm_reexec_us\": {reexec_us:.1}, \"ivm_speedup\": {:.1}}}\n",
+        concat!(
+            "{{\"commit\": \"{}\", \"ts_unix\": {}, \"families\": [{}], ",
+            "\"chase_us\": {{{}}}, ",
+            "\"ivm_maintain_us\": {:.1}, \"ivm_reexec_us\": {:.1}, \"ivm_speedup\": {:.1}, ",
+            "\"sparse_chain_exec_us\": {{\"reference\": {:.1}, \"parallel\": {:.1}}}, ",
+            "\"dense_gemm512_exec_us\": {{\"reference\": {:.1}, \"parallel\": {:.1}}}, ",
+            "\"threads\": {}}}\n"
+        ),
+        commit,
+        ts,
         families.join(", "),
-        reexec_us / maintain_us.max(1.0),
+        chase_map.join(", "),
+        data.maintain_us,
+        data.reexec_us,
+        data.reexec_us / data.maintain_us.max(1.0),
+        sparse_ref,
+        sparse_par,
+        gemm_ref,
+        gemm_par,
+        data.threads,
     );
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()
@@ -547,6 +646,10 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    // Per-family chase medians and the sparse_chain backend duel, collected
+    // for the tracked series row.
+    let mut series_chase: Vec<(String, f64)> = Vec::new();
+    let mut sparse_exec: Option<(f64, f64)> = None;
     for p in &pipelines {
         // Default engine: semi-naïve + Prune_prov. The acceptance bar is
         // that even the 12-chain saturates (conclusion-atom reuse).
@@ -579,8 +682,32 @@ fn main() {
         let equivalent = opt
             .check_equivalent(&p.expr, &best.expr, &p.env, 1e-9)
             .expect("both plans evaluate");
-        let orig_exec_us = time_exec(&p.expr, &p.env, 3);
-        let best_exec_us = time_exec(&best.expr, &p.env, 3);
+        let orig_exec_us = time_exec(&p.expr, &p.env, 5);
+        let best_exec_us = time_exec(&best.expr, &p.env, 5);
+        series_chase.push((p.name.to_string(), tm.chase));
+
+        // The headline kernel duel: the *unrewritten* sparse chain under
+        // each backend (direct-CSR SpGEMM assembly vs triplet-sort).
+        let extra = if p.name == "sparse_chain" {
+            let reference_us = time_exec_on(&p.expr, &p.env, &REFERENCE, 5);
+            let parallel_us = time_exec_on(&p.expr, &p.env, &PARALLEL, 5);
+            sparse_exec = Some((reference_us, parallel_us));
+            println!(
+                "  unrewritten exec: reference {:.0}us vs parallel {:.0}us ({:.2}x, {} threads)",
+                reference_us,
+                parallel_us,
+                reference_us / parallel_us.max(1.0),
+                PARALLEL.threads(),
+            );
+            format!(
+                ", \"exec_us_reference\": {:.1}, \"exec_us_parallel\": {:.1}, \"threads\": {}",
+                reference_us,
+                parallel_us,
+                PARALLEL.threads(),
+            )
+        } else {
+            String::new()
+        };
 
         println!(
             "{:<16} {:>8.0}us rewrite (enc {:.0} chase {:.0} ext {:.0} rank {:.0}) | {} -> {} | est x{:.1} | exec {:.0}us -> {:.0}us | equivalent: {}",
@@ -635,7 +762,7 @@ fn main() {
                 "\"chase_rounds\": {}, \"saturated\": {}, ",
                 "\"candidates\": {}, \"chase_facts\": {}, \"original\": \"{}\", ",
                 "\"best\": \"{}\", \"est_cost_original\": {:.1}, \"est_cost_best\": {:.1}, ",
-                "\"exec_us_original\": {:.1}, \"exec_us_best\": {:.1}, \"equivalent\": {}}}"
+                "\"exec_us_original\": {:.1}, \"exec_us_best\": {:.1}, \"equivalent\": {}{}}}"
             ),
             p.name,
             p.expr.node_count(),
@@ -662,9 +789,12 @@ fn main() {
             orig_exec_us,
             best_exec_us,
             equivalent,
+            extra,
         ));
     }
 
+    let (gemm_row, gemm_reference_us, gemm_parallel_us) = dense_gemm_family(5);
+    rows.push(gemm_row);
     rows.push(hybrid_family(5));
     let (ivm_row, maintain_us, reexec_us) = ivm_family(5);
     rows.push(ivm_row);
@@ -680,6 +810,18 @@ fn main() {
         );
     }
     std::fs::write("BENCH_rewrite.json", &json).expect("write BENCH_rewrite.json");
-    append_series_row(maintain_us, reexec_us);
+    assert_eq!(
+        series_chase.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        LA_FAMILIES.to_vec(),
+        "series chase map must cover every LA family in order"
+    );
+    append_series_row(&SeriesData {
+        chase: &series_chase,
+        maintain_us,
+        reexec_us,
+        sparse_exec: sparse_exec.expect("sparse_chain family ran"),
+        gemm_exec: (gemm_reference_us, gemm_parallel_us),
+        threads: PARALLEL.threads(),
+    });
     println!("wrote BENCH_rewrite.json ({} families) + BENCH_series.jsonl row", FAMILIES.len());
 }

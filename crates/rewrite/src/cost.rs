@@ -21,15 +21,25 @@ use std::collections::HashMap;
 
 use hadad_chase::{CostOracle, CostPruner, Instance, Match, NodeId, Pruner, SymId, Term, Tgd};
 use hadad_core::{
-    op_cost, op_stats, ClassStats, Expr, ExtractionCost, Extractor, MetaCatalog, OpKind,
-    ShapeError, Vrem, DENSITY_SCALE,
+    op_cost_with, op_stats, BackendProfile, ClassStats, Expr, ExtractionCost, Extractor,
+    MetaCatalog, OpKind, ShapeError, Vrem, DENSITY_SCALE,
 };
 
 /// Stats-aware cost for the extraction DP: the shared per-operator charge
 /// (sparsity-discounted flops plus materialization of the output's
-/// estimated non-zeros). With all-dense stats this reproduces the old
-/// dense-flops model.
-pub struct FlopsCost;
+/// estimated non-zeros), priced under one execution backend's calibration
+/// constants. `Default` is the reference profile, which reproduces the old
+/// dense-flops model on all-dense stats.
+#[derive(Default)]
+pub struct FlopsCost {
+    pub profile: BackendProfile,
+}
+
+impl FlopsCost {
+    pub fn with_profile(profile: BackendProfile) -> Self {
+        FlopsCost { profile }
+    }
+}
 
 impl ExtractionCost for FlopsCost {
     fn leaf_cost(&self, _stats: ClassStats) -> f64 {
@@ -44,7 +54,7 @@ impl ExtractionCost for FlopsCost {
         child: &[ClassStats],
         out: ClassStats,
     ) -> f64 {
-        op_cost(kind, out_idx, child, &out)
+        op_cost_with(&self.profile, kind, out_idx, child, &out)
     }
 }
 
@@ -74,11 +84,20 @@ impl Estimate {
 /// the chase pruner through `hadad_core::stats`.
 pub struct CostModel<'a> {
     cat: &'a MetaCatalog,
+    profile: BackendProfile,
 }
 
 impl<'a> CostModel<'a> {
+    /// Estimator under the reference backend's constants.
     pub fn new(cat: &'a MetaCatalog) -> Self {
-        CostModel { cat }
+        CostModel { cat, profile: BackendProfile::reference() }
+    }
+
+    /// Estimator under a specific backend's calibration constants — the
+    /// optimizer passes its selected backend's profile so ranking tracks
+    /// the kernels that will actually run.
+    pub fn with_profile(cat: &'a MetaCatalog, profile: BackendProfile) -> Self {
+        CostModel { cat, profile }
     }
 
     /// Total estimated cost of evaluating `e`.
@@ -108,7 +127,7 @@ impl<'a> CostModel<'a> {
                 validate(e, kind, &child_stats)?;
                 let out = op_stats(kind, out_idx, &child_stats);
                 let children_cost: f64 = child_est.iter().map(|c| c.cost).sum();
-                let op = op_cost(kind, out_idx, &child_stats, &out);
+                let op = op_cost_with(&self.profile, kind, out_idx, &child_stats, &out);
                 Estimate::from_stats(out, children_cost + op)
             }
         };
@@ -164,13 +183,26 @@ fn validate(e: &Expr, kind: OpKind, child: &[ClassStats]) -> Result<(), ShapeErr
 /// a firing survives if any part of it could still beat the incumbent.
 pub struct VremCostOracle<'a> {
     vrem: &'a Vrem,
+    /// Calibration constants of the backend that will execute the plan —
+    /// pruning bounds must be priced in the same currency as extraction.
+    profile: BackendProfile,
     /// Parsed numeric constants, keyed by symbol (sizes and ppm densities).
     nums: RefCell<HashMap<SymId, Option<f64>>>,
 }
 
 impl<'a> VremCostOracle<'a> {
+    /// Oracle under the reference backend's constants.
     pub fn new(vrem: &'a Vrem) -> Self {
-        VremCostOracle { vrem, nums: RefCell::new(HashMap::new()) }
+        Self::with_profile(vrem, BackendProfile::reference())
+    }
+
+    /// Oracle under a specific backend's calibration constants.
+    pub fn with_profile(vrem: &'a Vrem, profile: BackendProfile) -> Self {
+        VremCostOracle { vrem, profile, nums: RefCell::new(HashMap::new()) }
+    }
+
+    pub fn profile(&self) -> BackendProfile {
+        self.profile
     }
 
     fn num(&self, sym: SymId) -> Option<f64> {
@@ -309,7 +341,7 @@ impl CostOracle for VremCostOracle<'_> {
                     continue;
                 }
                 let out = op_stats(kind, 0, &child);
-                let own = op_cost(kind, 0, &child, &out);
+                let own = op_cost_with(&self.profile, kind, 0, &child, &out);
                 bound.insert(i, (own + chained, out));
                 progressed = true;
             }
@@ -390,7 +422,9 @@ impl<'a> TighteningPruner<'a> {
         self.last_tighten = self.consultations;
         self.last_clock = inst.clock();
         self.last_facts = inst.num_facts();
-        let ex = Extractor::new(self.vrem, inst, &FlopsCost);
+        // Tighten in the same currency the pruning bounds are priced in.
+        let cost_fn = FlopsCost::with_profile(self.oracle.profile());
+        let ex = Extractor::new(self.vrem, inst, &cost_fn);
         if let Some(best) = ex.class_cost(self.root) {
             self.inner.tighten(best);
         }
@@ -495,7 +529,7 @@ mod tests {
 
     #[test]
     fn flops_cost_orders_mul_shapes() {
-        let f = FlopsCost;
+        let f = FlopsCost::default();
         let big = f.op_cost(
             OpKind::Mul,
             0,
@@ -509,6 +543,31 @@ mod tests {
             ClassStats::dense(4, 4),
         );
         assert!(small < big);
+    }
+
+    /// Backend profiles scale product charges uniformly, so the *ordering*
+    /// of candidate plans is preserved while absolute costs drop — and the
+    /// profiled estimator, DP cost, and oracle all drop together.
+    #[test]
+    fn parallel_profile_lowers_costs_consistently() {
+        let c = cat();
+        let profile = BackendProfile::parallel(4);
+        let e = trace(mul(m("A"), m("B")));
+        let base = CostModel::new(&c).cost(&e).unwrap();
+        let fast = CostModel::with_profile(&c, profile).cost(&e).unwrap();
+        assert!(fast < base, "parallel profile must cheapen products: {fast} vs {base}");
+        // Ranking is preserved: the rotated trace still wins under either.
+        let cm = CostModel::with_profile(&c, profile);
+        let ab = cm.cost(&trace(mul(m("A"), m("B")))).unwrap();
+        let ba = cm.cost(&trace(mul(m("B"), m("A")))).unwrap();
+        assert!(ba < ab);
+        // The DP's cost function agrees with the estimator's scaling.
+        let f = FlopsCost::with_profile(profile);
+        let child = [ClassStats::dense(30, 4), ClassStats::dense(4, 30)];
+        let out = op_stats(OpKind::Mul, 0, &child);
+        let dp = f.op_cost(OpKind::Mul, 0, &child, out);
+        let reference = FlopsCost::default().op_cost(OpKind::Mul, 0, &child, out);
+        assert!(dp < reference);
     }
 
     /// The oracle prices a `trace-cyclic`-shaped firing by the rotated

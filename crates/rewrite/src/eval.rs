@@ -7,7 +7,7 @@ use std::collections::HashMap;
 
 use hadad_core::Expr;
 use hadad_linalg::ops::{aggregates, structural};
-use hadad_linalg::{decomp, LinalgError, Matrix};
+use hadad_linalg::{decomp, default_backend, ExecBackend, LinalgError, Matrix};
 
 /// Named matrix bindings for evaluation.
 #[derive(Debug, Clone, Default)]
@@ -59,13 +59,22 @@ impl From<LinalgError> for EvalError {
     }
 }
 
-/// Evaluates `e` under `env`, dispatching to dense/sparse kernels.
-/// `qr.Q`/`qr.R` (and `lu.L`/`lu.U`) of the same operand share one
-/// factorization per call; other repeated subexpressions are re-evaluated
-/// (general CSE is a ROADMAP item).
+/// Evaluates `e` under `env` on the process-default execution backend
+/// (`HADAD_BACKEND`, `Parallel` unless overridden) — see [`eval_with`].
 pub fn eval(e: &Expr, env: &Env) -> Result<Matrix, EvalError> {
+    eval_with(e, env, default_backend())
+}
+
+/// Evaluates `e` under `env`, dispatching products through `backend` and
+/// everything else to the shared dense/sparse kernels. Plans the extractor
+/// resugars to `tr(A)·B` route to the backend's fused transpose-multiply
+/// instead of materializing the transpose. `qr.Q`/`qr.R` (and
+/// `lu.L`/`lu.U`) of the same operand share one factorization per call;
+/// other repeated subexpressions are re-evaluated (general CSE is a
+/// ROADMAP item).
+pub fn eval_with(e: &Expr, env: &Env, backend: &dyn ExecBackend) -> Result<Matrix, EvalError> {
     let mut memo: HashMap<String, Matrix> = HashMap::new();
-    eval_memo(e, env, &mut memo)
+    eval_memo(e, env, backend, &mut memo)
 }
 
 /// QR/LU factorizations memoized per input subexpression, so an
@@ -75,6 +84,7 @@ fn decomp_pair(
     e: &Expr,
     a: &Expr,
     env: &Env,
+    backend: &dyn ExecBackend,
     memo: &mut HashMap<String, Matrix>,
 ) -> Result<Matrix, EvalError> {
     use Expr::*;
@@ -89,7 +99,7 @@ fn decomp_pair(
     if let Some(m) = memo.get(&key) {
         return Ok(m.clone());
     }
-    let input = eval_memo(a, env, memo)?;
+    let input = eval_memo(a, env, backend, memo)?;
     let (c1, c2) = if tag == "QR" { decomp::qr::qr(&input)? } else { decomp::lu::lu(&input)? };
     memo.insert(key1, Matrix::Dense(c1));
     memo.insert(key2, Matrix::Dense(c2));
@@ -99,6 +109,7 @@ fn decomp_pair(
 fn eval_memo(
     e: &Expr,
     env: &Env,
+    backend: &dyn ExecBackend,
     memo: &mut HashMap<String, Matrix>,
 ) -> Result<Matrix, EvalError> {
     use Expr::*;
@@ -107,48 +118,73 @@ fn eval_memo(
         Const(v) => Matrix::scalar(*v),
         Identity(n) => Matrix::identity(*n),
         Zero(r, c) => Matrix::zeros(*r, *c),
-        Add(a, b) => eval_memo(a, env, memo)?.add(&eval_memo(b, env, memo)?)?,
-        Sub(a, b) => eval_memo(a, env, memo)?.sub(&eval_memo(b, env, memo)?)?,
-        Mul(a, b) => eval_memo(a, env, memo)?.multiply(&eval_memo(b, env, memo)?)?,
-        Hadamard(a, b) => eval_memo(a, env, memo)?.hadamard(&eval_memo(b, env, memo)?)?,
-        Div(a, b) => eval_memo(a, env, memo)?.divide(&eval_memo(b, env, memo)?)?,
-        Kron(a, b) => {
-            structural::kronecker(&eval_memo(a, env, memo)?, &eval_memo(b, env, memo)?)
+        Add(a, b) => {
+            eval_memo(a, env, backend, memo)?.add(&eval_memo(b, env, backend, memo)?)?
         }
-        DirectSum(a, b) => {
-            structural::direct_sum(&eval_memo(a, env, memo)?, &eval_memo(b, env, memo)?)
+        Sub(a, b) => {
+            eval_memo(a, env, backend, memo)?.sub(&eval_memo(b, env, backend, memo)?)?
         }
+        // Rewrite-aware fusion: a resugared `tr(A)·B` never materializes
+        // the transpose — the backend's fused kernel reads `A` in place.
+        Mul(a, b) => match a.as_ref() {
+            Transpose(inner) => {
+                let lhs = eval_memo(inner, env, backend, memo)?;
+                let rhs = eval_memo(b, env, backend, memo)?;
+                backend.transpose_multiply(&lhs, &rhs)?
+            }
+            _ => {
+                let lhs = eval_memo(a, env, backend, memo)?;
+                let rhs = eval_memo(b, env, backend, memo)?;
+                backend.multiply(&lhs, &rhs)?
+            }
+        },
+        Hadamard(a, b) => {
+            eval_memo(a, env, backend, memo)?.hadamard(&eval_memo(b, env, backend, memo)?)?
+        }
+        Div(a, b) => {
+            eval_memo(a, env, backend, memo)?.divide(&eval_memo(b, env, backend, memo)?)?
+        }
+        Kron(a, b) => structural::kronecker(
+            &eval_memo(a, env, backend, memo)?,
+            &eval_memo(b, env, backend, memo)?,
+        ),
+        DirectSum(a, b) => structural::direct_sum(
+            &eval_memo(a, env, backend, memo)?,
+            &eval_memo(b, env, backend, memo)?,
+        ),
         ScalarMul(s, a) => {
-            let sv = eval_memo(s, env, memo)?
+            let sv = eval_memo(s, env, backend, memo)?
                 .as_scalar()
                 .ok_or_else(|| EvalError::NonScalar(e.to_string()))?;
-            eval_memo(a, env, memo)?.scalar_mul(sv)
+            eval_memo(a, env, backend, memo)?.scalar_mul(sv)
         }
-        Transpose(a) => eval_memo(a, env, memo)?.transpose(),
-        Inv(a) => eval_memo(a, env, memo)?.inverse()?,
-        Adj(a) => decomp::adjugate::adjugate(&eval_memo(a, env, memo)?)?,
-        Exp(a) => decomp::exp::matrix_exp(&eval_memo(a, env, memo)?)?,
-        Diag(a) => structural::diag(&eval_memo(a, env, memo)?)?,
-        Rev(a) => structural::reverse_rows(&eval_memo(a, env, memo)?),
-        RowSums(a) => aggregates::row_sums(&eval_memo(a, env, memo)?),
-        ColSums(a) => aggregates::col_sums(&eval_memo(a, env, memo)?),
-        RowMeans(a) => aggregates::row_means(&eval_memo(a, env, memo)?),
-        ColMeans(a) => aggregates::col_means(&eval_memo(a, env, memo)?),
-        RowMin(a) => aggregates::row_min(&eval_memo(a, env, memo)?),
-        RowMax(a) => aggregates::row_max(&eval_memo(a, env, memo)?),
-        ColMin(a) => aggregates::col_min(&eval_memo(a, env, memo)?),
-        ColMax(a) => aggregates::col_max(&eval_memo(a, env, memo)?),
-        RowVar(a) => aggregates::row_var(&eval_memo(a, env, memo)?),
-        ColVar(a) => aggregates::col_var(&eval_memo(a, env, memo)?),
-        Det(a) => Matrix::scalar(eval_memo(a, env, memo)?.det()?),
-        Trace(a) => Matrix::scalar(eval_memo(a, env, memo)?.trace()?),
-        Sum(a) => Matrix::scalar(eval_memo(a, env, memo)?.sum()),
-        Min(a) => Matrix::scalar(aggregates::min(&eval_memo(a, env, memo)?)),
-        Max(a) => Matrix::scalar(aggregates::max(&eval_memo(a, env, memo)?)),
-        Mean(a) => Matrix::scalar(aggregates::mean(&eval_memo(a, env, memo)?)),
-        Var(a) => Matrix::scalar(aggregates::var(&eval_memo(a, env, memo)?)),
-        Cho(a) => Matrix::Dense(decomp::cholesky::cholesky(&eval_memo(a, env, memo)?)?),
-        QrQ(a) | QrR(a) | LuL(a) | LuU(a) => decomp_pair(e, a, env, memo)?,
+        Transpose(a) => eval_memo(a, env, backend, memo)?.transpose(),
+        Inv(a) => eval_memo(a, env, backend, memo)?.inverse()?,
+        Adj(a) => decomp::adjugate::adjugate(&eval_memo(a, env, backend, memo)?)?,
+        Exp(a) => decomp::exp::matrix_exp(&eval_memo(a, env, backend, memo)?)?,
+        Diag(a) => structural::diag(&eval_memo(a, env, backend, memo)?)?,
+        Rev(a) => structural::reverse_rows(&eval_memo(a, env, backend, memo)?),
+        RowSums(a) => aggregates::row_sums(&eval_memo(a, env, backend, memo)?),
+        ColSums(a) => aggregates::col_sums(&eval_memo(a, env, backend, memo)?),
+        RowMeans(a) => aggregates::row_means(&eval_memo(a, env, backend, memo)?),
+        ColMeans(a) => aggregates::col_means(&eval_memo(a, env, backend, memo)?),
+        RowMin(a) => aggregates::row_min(&eval_memo(a, env, backend, memo)?),
+        RowMax(a) => aggregates::row_max(&eval_memo(a, env, backend, memo)?),
+        ColMin(a) => aggregates::col_min(&eval_memo(a, env, backend, memo)?),
+        ColMax(a) => aggregates::col_max(&eval_memo(a, env, backend, memo)?),
+        RowVar(a) => aggregates::row_var(&eval_memo(a, env, backend, memo)?),
+        ColVar(a) => aggregates::col_var(&eval_memo(a, env, backend, memo)?),
+        Det(a) => Matrix::scalar(eval_memo(a, env, backend, memo)?.det()?),
+        Trace(a) => Matrix::scalar(eval_memo(a, env, backend, memo)?.trace()?),
+        Sum(a) => Matrix::scalar(eval_memo(a, env, backend, memo)?.sum()),
+        Min(a) => Matrix::scalar(aggregates::min(&eval_memo(a, env, backend, memo)?)),
+        Max(a) => Matrix::scalar(aggregates::max(&eval_memo(a, env, backend, memo)?)),
+        Mean(a) => Matrix::scalar(aggregates::mean(&eval_memo(a, env, backend, memo)?)),
+        Var(a) => Matrix::scalar(aggregates::var(&eval_memo(a, env, backend, memo)?)),
+        Cho(a) => {
+            Matrix::Dense(decomp::cholesky::cholesky(&eval_memo(a, env, backend, memo)?)?)
+        }
+        QrQ(a) | QrR(a) | LuL(a) | LuU(a) => decomp_pair(e, a, env, backend, memo)?,
     })
 }
 
@@ -177,6 +213,23 @@ mod tests {
         env.bind("A", Matrix::dense(2, 2, vec![1., 2., 3., 4.]));
         assert!(matches!(eval(&smul(m("A"), m("A")), &env), Err(EvalError::NonScalar(_))));
         assert!(matches!(eval(&m("missing"), &env), Err(EvalError::Unbound(_))));
+    }
+
+    #[test]
+    fn transpose_product_routes_to_fused_kernel() {
+        use hadad_linalg::{ExecBackend, Parallel, REFERENCE};
+        let mut env = Env::new();
+        env.bind("A", Matrix::Dense(rand_gen::random_dense(6, 4, 1)));
+        env.bind("B", Matrix::Dense(rand_gen::random_dense(6, 3, 2)));
+        let e = mul(t(m("A")), m("B"));
+        let backend = Parallel::with_threads(2);
+        let got = eval_with(&e, &env, &backend).unwrap();
+        assert_eq!(backend.fused_tmul_calls(), 1, "resugared tr(A)·B must fuse");
+        assert_eq!(got, eval_with(&e, &env, &REFERENCE).unwrap());
+        // A bare transpose (no product on top) still materializes.
+        let bare = eval_with(&t(m("A")), &env, &backend).unwrap();
+        assert_eq!(backend.fused_tmul_calls(), 1);
+        assert_eq!(bare.shape(), (4, 6));
     }
 
     #[test]

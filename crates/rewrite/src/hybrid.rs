@@ -689,6 +689,15 @@ impl HybridOptimizer {
         }
     }
 
+    /// Selects the execution backend for the LA suffix: both the kernels
+    /// the suffix runs on and the calibration constants its plans are
+    /// ranked under (the inner [`Optimizer`] is what the hybrid path
+    /// clones for suffix rewriting).
+    pub fn with_backend(mut self, backend: hadad_linalg::BackendKind) -> Self {
+        self.optimizer = self.optimizer.with_backend(backend);
+        self
+    }
+
     /// Materializes `def` over the current catalog and registers the result
     /// as a table (under `name`), a PACB view, and a maintained view.
     /// Registering over an existing table or view name is an error — a

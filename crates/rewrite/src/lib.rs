@@ -24,8 +24,9 @@ pub mod maintain;
 pub mod optimizer;
 
 pub use cost::{CostModel, Estimate, FlopsCost, TighteningPruner, VremCostOracle};
-pub use eval::{eval, Env, EvalError};
+pub use eval::{eval, eval_with, Env, EvalError};
 pub use hadad_chase::EvalMode;
+pub use hadad_linalg::{BackendKind, ExecBackend};
 pub use hybrid::{
     eval_cq, CastKind, CompiledQuery, HybridError, HybridOptimizer, HybridPipeline,
     HybridResult, MaintainedCast, RelOp, RelPhase, RelQuery, TableView, TableVocab,

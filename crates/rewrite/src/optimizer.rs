@@ -12,12 +12,13 @@ use std::time::Instant;
 
 use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostPruner, EvalMode};
 use hadad_core::{
-    Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, ShapeError, Vrem,
+    BackendProfile, Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, ShapeError,
+    Vrem,
 };
-use hadad_linalg::{approx_eq, Matrix};
+use hadad_linalg::{approx_eq, BackendKind, Matrix};
 
 use crate::cost::{CostModel, FlopsCost, TighteningPruner, VremCostOracle};
-use crate::eval::{eval, Env, EvalError};
+use crate::eval::{eval_with, Env, EvalError};
 
 /// Whether the chase runs under `Prune_prov` (paper §7.3). The default
 /// consults the cost oracle: a TGD firing whose conclusion cannot beat the
@@ -58,6 +59,9 @@ pub struct RewriteReport {
     pub chase_us: u128,
     pub extract_us: u128,
     pub rank_us: u128,
+    /// The backend calibration constants every cost in this report was
+    /// priced under (estimator, extraction DP, and chase pruner alike).
+    pub cost_profile: BackendProfile,
     /// Per-rule firings/matches and per-round delta sizes from the chase.
     pub chase_stats: ChaseStats,
 }
@@ -152,6 +156,11 @@ pub struct Optimizer {
     /// each contributes `V_IO`/`V_OI` constraints to the chase, so plans
     /// can land on (and expand through) `Mat(view)` leaves.
     pub views: Vec<LaView>,
+    /// Execution backend the chosen plan will run on: selects the kernels
+    /// `rewrite_verified`/`check_equivalent` evaluate with *and* the
+    /// calibration constants every cost estimate is priced under. Defaults
+    /// to the `HADAD_BACKEND` env selection (`Parallel` unless overridden).
+    pub backend: BackendKind,
 }
 
 impl Optimizer {
@@ -164,7 +173,18 @@ impl Optimizer {
             mode: EvalMode::default(),
             prune: PruneMode::default(),
             views: Vec::new(),
+            backend: BackendKind::from_env(),
         }
+    }
+
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Calibration constants of the selected backend.
+    fn profile(&self) -> BackendProfile {
+        BackendProfile::for_kind(self.backend)
     }
 
     pub fn with_budget(mut self, budget: ChaseBudget) -> Self {
@@ -234,7 +254,7 @@ impl Optimizer {
         let mut env = env.clone();
         for v in &self.views {
             if env.get(&v.name).is_none() {
-                let m = eval(&v.def, &env)?;
+                let m = eval_with(&v.def, &env, self.backend.select())?;
                 env.bind(&v.name, m);
             }
         }
@@ -245,7 +265,12 @@ impl Optimizer {
     pub fn rewrite(&self, e: &Expr) -> Result<RankedPlans, RewriteError> {
         let start = Instant::now();
         let cat = self.effective_cat()?;
-        let cm = CostModel::new(&cat);
+        // Every cost consumer below — ranking estimator, chase pruner,
+        // extraction DP — prices plans under the selected backend's
+        // calibration constants, so plan choice tracks the kernels that
+        // will actually execute.
+        let profile = self.profile();
+        let cm = CostModel::with_profile(&cat, profile);
         let original = Plan { expr: e.clone(), est_cost: cm.cost(e)? };
 
         let mut vrem = Vrem::new();
@@ -271,7 +296,7 @@ impl Optimizer {
                 // size/density facts, the incumbent starts at the original
                 // plan's cost and tightens each round as the DP finds
                 // cheaper plans in the partially saturated instance.
-                let oracle = VremCostOracle::new(&vrem);
+                let oracle = VremCostOracle::with_profile(&vrem, profile);
                 let mut pruner = TighteningPruner::new(
                     &oracle,
                     CostPruner::new(&oracle, original.est_cost),
@@ -284,7 +309,8 @@ impl Optimizer {
         let chase_us = chase_start.elapsed().as_micros();
 
         let extract_start = Instant::now();
-        let extractor = Extractor::new(&vrem, &inst, &FlopsCost);
+        let cost_fn = FlopsCost::with_profile(profile);
+        let extractor = Extractor::new(&vrem, &inst, &cost_fn);
         let mut candidates = extractor.candidates(encoded.root);
         if candidates.is_empty() {
             // Un-chased leaf-only expressions still decode via `extract`.
@@ -313,6 +339,7 @@ impl Optimizer {
             chase_us,
             extract_us,
             rank_us,
+            cost_profile: profile,
             chase_stats: stats,
         };
         Ok(RankedPlans { original, plans, report })
@@ -329,8 +356,9 @@ impl Optimizer {
         rtol: f64,
     ) -> Result<bool, EvalError> {
         let env = self.env_with_views(env)?;
-        let a = eval(original, &env)?;
-        let b = eval(candidate, &env)?;
+        let backend = self.backend.select();
+        let a = eval_with(original, &env, backend)?;
+        let b = eval_with(candidate, &env, backend)?;
         Ok(approx_eq(&a, &b, rtol))
     }
 
@@ -347,9 +375,10 @@ impl Optimizer {
     ) -> Result<(RankedPlans, Plan, Matrix), RewriteError> {
         let ranked = self.rewrite(e)?;
         let env = self.env_with_views(env).map_err(RewriteError::Eval)?;
-        let reference = eval(e, &env).map_err(RewriteError::Eval)?;
+        let backend = self.backend.select();
+        let reference = eval_with(e, &env, backend).map_err(RewriteError::Eval)?;
         for plan in &ranked.plans {
-            if let Ok(value) = eval(&plan.expr, &env) {
+            if let Ok(value) = eval_with(&plan.expr, &env, backend) {
                 if approx_eq(&value, &reference, rtol) {
                     let plan = plan.clone();
                     return Ok((ranked, plan, reference));

@@ -1,0 +1,145 @@
+//! Differential property test: the `Parallel` backend must agree with
+//! `Reference` on the full 120-expression corpus, across thread counts
+//! 1/2/8 and mixed dense/sparse environments. Agreement is pinned at
+//! epsilon 1e-12 (the kernels preserve per-cell accumulation order, so in
+//! practice results are bitwise identical) with identical shapes and, for
+//! sparse results, identical non-zero counts.
+
+use hadad_core::expr::dsl::*;
+use hadad_linalg::rng::Rng64;
+use hadad_linalg::{approx_eq, rand_gen, ExecBackend, Matrix, Parallel, Reference};
+use hadad_rewrite::{eval_with, Env};
+
+mod common;
+use common::random_expr;
+
+/// Bindings matching the corpus catalog's shapes. `sparse` swaps the
+/// square matrices and one rectangular factor to CSR (density 0.2) so
+/// products exercise every representation pair the backends dispatch on.
+fn corpus_env(sparse: bool, seed: u64) -> Env {
+    let mut env = Env::new();
+    let mat = |r: usize, c: usize, s: u64, sp: bool| {
+        if sp {
+            Matrix::Sparse(rand_gen::random_sparse(r, c, 0.2, seed + s))
+        } else {
+            Matrix::Dense(rand_gen::random_dense(r, c, seed + s))
+        }
+    };
+    env.bind("A", mat(12, 8, 1, false));
+    env.bind("B", mat(8, 12, 2, sparse));
+    env.bind("C", mat(8, 8, 3, sparse));
+    env.bind("D", mat(12, 12, 4, sparse));
+    env.bind("x", mat(8, 1, 5, false));
+    env.bind("y", mat(12, 1, 6, false));
+    env
+}
+
+/// The corpus differential: 120 random expressions × dense and mixed
+/// envs × thread counts 1/2/8.
+#[test]
+fn parallel_backend_matches_reference_on_corpus() {
+    let mut rng = Rng64::new(0xADAD_5EED);
+    let envs = [corpus_env(false, 100), corpus_env(true, 200)];
+    let mut composites = 0usize;
+    for i in 0..120 {
+        let e = random_expr(&mut rng);
+        if e.node_count() > 1 {
+            composites += 1;
+        }
+        for (ei, env) in envs.iter().enumerate() {
+            let want = eval_with(&e, env, &Reference).expect("reference evaluates");
+            for threads in [1usize, 2, 8] {
+                let backend = Parallel::with_threads(threads);
+                let got = eval_with(&e, env, &backend).expect("parallel evaluates");
+                assert_eq!(
+                    want.shape(),
+                    got.shape(),
+                    "sample {i} env {ei} t={threads} ({e}): shapes diverge"
+                );
+                assert_eq!(
+                    want.is_sparse(),
+                    got.is_sparse(),
+                    "sample {i} env {ei} t={threads} ({e}): representations diverge"
+                );
+                if want.is_sparse() {
+                    assert_eq!(
+                        want.nnz(),
+                        got.nnz(),
+                        "sample {i} env {ei} t={threads} ({e}): nnz diverges"
+                    );
+                }
+                assert!(
+                    approx_eq(&want, &got, 1e-12),
+                    "sample {i} env {ei} t={threads} ({e}): values diverge"
+                );
+                // The kernels preserve accumulation order, so the epsilon
+                // bound is actually an equality.
+                assert_eq!(want, got, "sample {i} env {ei} t={threads} ({e}): not bitwise");
+            }
+        }
+    }
+    assert!(composites >= 100, "corpus too degenerate: {composites} composite samples");
+}
+
+/// Randomized raw kernels at shapes straddling the GEMM tile width,
+/// including the fused transpose-multiply, across thread counts.
+#[test]
+fn randomized_kernels_match_across_thread_counts() {
+    for (m_, k, n, seed) in
+        [(65usize, 130usize, 7usize, 10u64), (128, 64, 129, 20), (9, 200, 3, 30)]
+    {
+        let pairs = [
+            (
+                Matrix::Dense(rand_gen::random_dense(m_, k, seed)),
+                Matrix::Dense(rand_gen::random_dense(k, n, seed + 1)),
+            ),
+            (
+                Matrix::Sparse(rand_gen::random_sparse(m_, k, 0.05, seed + 2)),
+                Matrix::Sparse(rand_gen::random_sparse(k, n, 0.05, seed + 3)),
+            ),
+            (
+                Matrix::Sparse(rand_gen::random_sparse(m_, k, 0.1, seed + 4)),
+                Matrix::Dense(rand_gen::random_dense(k, n, seed + 5)),
+            ),
+            (
+                Matrix::Dense(rand_gen::random_dense(m_, k, seed + 6)),
+                Matrix::Sparse(rand_gen::random_sparse(k, n, 0.1, seed + 7)),
+            ),
+        ];
+        // `Aᵀ·B` needs matching row counts: pair each m×k lhs with m×n rhs.
+        let trhs = [
+            Matrix::Dense(rand_gen::random_dense(m_, n, seed + 8)),
+            Matrix::Sparse(rand_gen::random_sparse(m_, n, 0.1, seed + 9)),
+        ];
+        for (a, b) in &pairs {
+            let want = Reference.multiply(a, b).unwrap();
+            for threads in [1usize, 2, 8] {
+                let backend = Parallel::with_threads(threads);
+                assert_eq!(want, backend.multiply(a, b).unwrap(), "{m_}x{k}x{n} t={threads}");
+                for r in &trhs {
+                    assert_eq!(
+                        Reference.transpose_multiply(a, r).unwrap(),
+                        backend.transpose_multiply(a, r).unwrap(),
+                        "tmul {m_}x{k}x{n} t={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The fused-kernel counter observes rewrite-aware routing end to end: a
+/// resugared `tr(A)·B` plan fuses, a pre-materialized transpose does not.
+#[test]
+fn fused_routing_is_observable_through_eval() {
+    let env = corpus_env(false, 300);
+    let backend = Parallel::with_threads(2);
+    let fused_plan = mul(t(m("A")), mul(m("A"), m("B")));
+    let got = eval_with(&fused_plan, &env, &backend).unwrap();
+    assert_eq!(backend.fused_tmul_calls(), 1);
+    assert_eq!(got, eval_with(&fused_plan, &env, &Reference).unwrap());
+    // Without a transpose directly under the product, nothing fuses.
+    let plain = mul(m("B"), mul(m("A"), m("B")));
+    let _ = eval_with(&plain, &env, &backend).unwrap();
+    assert_eq!(backend.fused_tmul_calls(), 1);
+}

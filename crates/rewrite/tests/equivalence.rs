@@ -16,91 +16,8 @@ use hadad_core::{Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, V
 use hadad_linalg::rng::Rng64;
 use hadad_rewrite::{FlopsCost, Optimizer, PruneMode};
 
-/// Base matrices every random expression draws from. Two square sizes, a
-/// compatible rectangular pair, and vectors keep all binary ops satisfiable.
-fn corpus_catalog() -> MetaCatalog {
-    let mut cat = MetaCatalog::new();
-    cat.register("A", MatrixMeta::dense(12, 8));
-    cat.register("B", MatrixMeta::dense(8, 12));
-    cat.register("C", MatrixMeta::dense(8, 8));
-    cat.register("D", MatrixMeta::dense(12, 12));
-    cat.register("x", MatrixMeta::dense(8, 1));
-    cat.register("y", MatrixMeta::dense(12, 1));
-    cat
-}
-
-/// Grows a pool of shape-tracked expressions by random composition and
-/// returns the largest composite below a node budget. Only chase-friendly
-/// operators (no divergent inverse interplay) so every sample saturates
-/// within the test budget.
-fn random_expr(rng: &mut Rng64) -> Expr {
-    let mut pool: Vec<(Expr, (usize, usize))> = vec![
-        (m("A"), (12, 8)),
-        (m("B"), (8, 12)),
-        (m("C"), (8, 8)),
-        (m("D"), (12, 12)),
-        (m("x"), (8, 1)),
-        (m("y"), (12, 1)),
-    ];
-    let steps = 3 + rng.range_usize(4);
-    let mut last_composite: Option<(Expr, usize)> = None;
-    for _ in 0..steps {
-        let op = rng.range_usize(8);
-        let pick = |rng: &mut Rng64, pool: &[(Expr, (usize, usize))]| {
-            pool[rng.range_usize(pool.len())].clone()
-        };
-        let made: Option<(Expr, (usize, usize))> = match op {
-            // Multiplication dominates (it is what the catalogue rewrites
-            // hardest): pick a left factor, then any right factor that fits.
-            0..=2 => {
-                let (l, (lr, lc)) = pick(rng, &pool);
-                let fits: Vec<&(Expr, (usize, usize))> =
-                    pool.iter().filter(|(_, (rr, _))| *rr == lc).collect();
-                if fits.is_empty() {
-                    None
-                } else {
-                    let (r, (_, rc)) = fits[rng.range_usize(fits.len())].clone();
-                    Some((mul(l, r), (lr, rc)))
-                }
-            }
-            3..=5 => {
-                let (l, ls) = pick(rng, &pool);
-                let fits: Vec<&(Expr, (usize, usize))> =
-                    pool.iter().filter(|(_, s)| *s == ls).collect();
-                let (r, _) = fits[rng.range_usize(fits.len())].clone();
-                Some(match op {
-                    3 => (add(l, r), ls),
-                    4 => (sub(l, r), ls),
-                    _ => (had(l, r), ls),
-                })
-            }
-            6 => {
-                let (e, (r, c)) = pick(rng, &pool);
-                Some((t(e), (c, r)))
-            }
-            _ => {
-                let squares: Vec<&(Expr, (usize, usize))> =
-                    pool.iter().filter(|(_, (r, c))| r == c && *r > 1).collect();
-                if squares.is_empty() {
-                    None
-                } else {
-                    let (e, _) = squares[rng.range_usize(squares.len())].clone();
-                    Some((trace(e), (1, 1)))
-                }
-            }
-        };
-        if let Some((e, shape)) = made {
-            let n = e.node_count();
-            if n <= 16 {
-                if last_composite.as_ref().map_or(true, |(_, best)| n >= *best) {
-                    last_composite = Some((e.clone(), n));
-                }
-                pool.push((e, shape));
-            }
-        }
-    }
-    last_composite.map_or_else(|| m("A"), |(e, _)| e)
-}
+mod common;
+use common::{corpus_catalog, random_expr};
 
 /// Structural signature of an instance, stable under renaming of labelled
 /// nulls: colour refinement over the bipartite fact/class incidence graph.
@@ -224,8 +141,9 @@ fn naive_and_semi_naive_chases_agree_on_random_corpus() {
             signature(&pair.semi_inst),
             "sample {i} ({e}): saturated instances are not isomorphic"
         );
-        let naive_ex = Extractor::new(&pair.vrem, &pair.naive_inst, &FlopsCost);
-        let semi_ex = Extractor::new(&pair.vrem, &pair.semi_inst, &FlopsCost);
+        let cost_fn = FlopsCost::default();
+        let naive_ex = Extractor::new(&pair.vrem, &pair.naive_inst, &cost_fn);
+        let semi_ex = Extractor::new(&pair.vrem, &pair.semi_inst, &cost_fn);
         let (np, sp) = (naive_ex.extract(pair.root), semi_ex.extract(pair.root));
         if np != sp {
             panic!(
@@ -278,7 +196,8 @@ fn chain8_saturates_in_default_budget_and_semi_naive_wins() {
         pair.semi_matches,
         pair.naive_matches
     );
-    let ex = Extractor::new(&pair.vrem, &pair.semi_inst, &FlopsCost);
+    let cost_fn = FlopsCost::default();
+    let ex = Extractor::new(&pair.vrem, &pair.semi_inst, &cost_fn);
     let best = ex.extract(pair.root).expect("chain decodes");
     assert_eq!(best.to_string(), "(M1 (M2 (M3 (M4 (M5 (M6 (M7 M8)))))))");
 }
