@@ -25,6 +25,7 @@
 //! time should run in naive mode.
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use crate::constraint::{Constraint, Egd, Tgd};
 use crate::homomorphism::{self, Match};
@@ -41,11 +42,131 @@ pub struct ChaseBudget {
     pub max_facts: usize,
     /// Hard cap on labelled nulls (fresh IDs) created.
     pub max_nulls: usize,
+    /// Optional wall-clock deadline, checked at every round boundary and
+    /// inside long TGD application loops. A chase that runs out of time
+    /// ends with [`ChaseOutcome::BudgetExhausted`] — the instance at that
+    /// point is still a sound under-approximation to extract from.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for ChaseBudget {
     fn default() -> Self {
-        ChaseBudget { max_rounds: 12, max_facts: 60_000, max_nulls: 30_000 }
+        ChaseBudget { max_rounds: 12, max_facts: 60_000, max_nulls: 30_000, deadline: None }
+    }
+}
+
+impl ChaseBudget {
+    /// Stamps a deadline `timeout` from now onto this budget.
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Which resource bound ended a budget-exhausted chase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustedBy {
+    Rounds,
+    Facts,
+    Nulls,
+    Deadline,
+    /// An armed failpoint (`chase.round=error`) asked the round loop to
+    /// stop — the degradation path behaves exactly like a budget trip.
+    Fault,
+}
+
+impl std::fmt::Display for ExhaustedBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ExhaustedBy::Rounds => "round budget",
+            ExhaustedBy::Facts => "fact budget",
+            ExhaustedBy::Nulls => "null budget",
+            ExhaustedBy::Deadline => "deadline",
+            ExhaustedBy::Fault => "injected fault",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Marks a result produced by a degraded (anytime) pipeline run: a resource
+/// bound or contained fault ended `phase` early, and the result is the best
+/// incumbent found up to that point rather than the full search's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded {
+    pub reason: DegradeReason,
+    pub phase: RewritePhase,
+}
+
+impl std::fmt::Display for Degraded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degraded in {} phase: {}", self.phase, self.reason)
+    }
+}
+
+/// Why a pipeline degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// A fact/null/round budget was exhausted.
+    Budget(ExhaustedBy),
+    /// A worker panicked and was contained by `catch_unwind` supervision.
+    WorkerPanic,
+    /// An armed failpoint asked the phase to stop early.
+    Fault,
+    /// View maintenance is poisoned; rewriting proceeded without views.
+    MaintenancePoisoned,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::Deadline => f.write_str("deadline exceeded"),
+            DegradeReason::Budget(b) => write!(f, "{b} exhausted"),
+            DegradeReason::WorkerPanic => f.write_str("worker panic contained"),
+            DegradeReason::Fault => f.write_str("injected fault"),
+            DegradeReason::MaintenancePoisoned => f.write_str("view maintenance poisoned"),
+        }
+    }
+}
+
+/// Maps a finished chase's exhaustion record onto the [`Degraded`] marker
+/// reported for the pipeline phase that ran it.
+pub fn degradation_of(stats: &ChaseStats, phase: RewritePhase) -> Option<Degraded> {
+    stats.exhausted.map(|by| Degraded {
+        reason: match by {
+            ExhaustedBy::Deadline => DegradeReason::Deadline,
+            ExhaustedBy::Fault => DegradeReason::Fault,
+            bounded => DegradeReason::Budget(bounded),
+        },
+        phase,
+    })
+}
+
+/// Which pipeline phase degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewritePhase {
+    Chase,
+    Backchase,
+    Extraction,
+    Ranking,
+    Maintenance,
+}
+
+impl std::fmt::Display for RewritePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RewritePhase::Chase => "chase",
+            RewritePhase::Backchase => "backchase",
+            RewritePhase::Extraction => "extraction",
+            RewritePhase::Ranking => "ranking",
+            RewritePhase::Maintenance => "maintenance",
+        };
+        f.write_str(s)
     }
 }
 
@@ -167,6 +288,9 @@ pub struct ChaseStats {
     /// Size of the delta frontier at the start of each round (round one
     /// counts every fact).
     pub round_deltas: Vec<usize>,
+    /// When the outcome is [`ChaseOutcome::BudgetExhausted`], which bound
+    /// tripped.
+    pub exhausted: Option<ExhaustedBy>,
 }
 
 impl ChaseStats {
@@ -298,6 +422,14 @@ impl ChaseEngine {
         let mut last_seen: Vec<u64> = vec![0; self.constraints.len()];
         let mut prev_round_clock = 0u64;
         for _round in 0..self.budget.max_rounds {
+            if self.budget.deadline_passed() {
+                stats.exhausted = Some(ExhaustedBy::Deadline);
+                return (ChaseOutcome::BudgetExhausted, stats);
+            }
+            if hadad_failpoint::hit("chase.round").is_err() {
+                stats.exhausted = Some(ExhaustedBy::Fault);
+                return (ChaseOutcome::BudgetExhausted, stats);
+            }
             stats.rounds += 1;
             stats.round_deltas.push(inst.delta_size(prev_round_clock));
             prev_round_clock = inst.clock();
@@ -343,15 +475,19 @@ impl ChaseEngine {
                         if fired > 0 {
                             changed = true;
                         }
-                        if over_budget {
+                        if let Some(by) = over_budget {
+                            stats.exhausted = Some(by);
                             return (ChaseOutcome::BudgetExhausted, stats);
                         }
                     }
                 }
                 last_seen[ci] = snapshot;
-                if inst.num_facts() > self.budget.max_facts
-                    || inst.num_nulls() > self.budget.max_nulls
-                {
+                if inst.num_facts() > self.budget.max_facts {
+                    stats.exhausted = Some(ExhaustedBy::Facts);
+                    return (ChaseOutcome::BudgetExhausted, stats);
+                }
+                if inst.num_nulls() > self.budget.max_nulls {
+                    stats.exhausted = Some(ExhaustedBy::Nulls);
                     return (ChaseOutcome::BudgetExhausted, stats);
                 }
             }
@@ -360,6 +496,7 @@ impl ChaseEngine {
             }
             pruner.end_round(inst);
         }
+        stats.exhausted = Some(ExhaustedBy::Rounds);
         (ChaseOutcome::BudgetExhausted, stats)
     }
 
@@ -441,7 +578,7 @@ impl ChaseEngine {
         watermark: u64,
         functional: &HashMap<crate::symbols::PredId, FunctionalSig>,
         matches_seen: &mut u64,
-    ) -> (usize, usize, bool) {
+    ) -> (usize, usize, Option<ExhaustedBy>) {
         let existentials = tgd.existential_vars();
         // Phase 1: stream premise matches into a flat buffer (immutable
         // borrow; the sink copies bindings + fact indices, not Matches).
@@ -460,7 +597,13 @@ impl ChaseEngine {
         // Phase 2: re-check satisfiability against the instance as it grows
         // (restricted chase), consult the pruner, and apply. Fact indices
         // stay valid throughout: TGD application only appends facts.
-        for firing in pending {
+        // The deadline is re-checked every `DEADLINE_STRIDE` firings so a
+        // rule with a huge pending buffer can't blow past it by a round.
+        const DEADLINE_STRIDE: usize = 64;
+        for (fi, firing) in pending.into_iter().enumerate() {
+            if fi % DEADLINE_STRIDE == 0 && self.budget.deadline_passed() {
+                return (fired, pruned, Some(ExhaustedBy::Deadline));
+            }
             let relevant: HashMap<u32, NodeId> = firing.bindings.iter().copied().collect();
             if homomorphism::satisfiable_with(inst, &tgd.conclusion, &relevant) {
                 continue;
@@ -536,13 +679,14 @@ impl ChaseEngine {
                 inst.insert(atom.pred, args, prov.clone(), Some(rule_idx));
             }
             fired += 1;
-            if inst.num_facts() > self.budget.max_facts
-                || inst.num_nulls() > self.budget.max_nulls
-            {
-                return (fired, pruned, true);
+            if inst.num_facts() > self.budget.max_facts {
+                return (fired, pruned, Some(ExhaustedBy::Facts));
+            }
+            if inst.num_nulls() > self.budget.max_nulls {
+                return (fired, pruned, Some(ExhaustedBy::Nulls));
             }
         }
-        (fired, pruned, false)
+        (fired, pruned, None)
     }
 }
 
@@ -698,6 +842,7 @@ mod tests {
             max_rounds: 3,
             max_facts: 1000,
             max_nulls: 1000,
+            deadline: None,
         });
         let (outcome, stats) = engine.chase(&mut inst);
         assert_eq!(outcome, ChaseOutcome::BudgetExhausted);

@@ -74,6 +74,21 @@ pub struct ConstClash {
     pub b: SymId,
 }
 
+/// Error: [`Instance::insert_ground`] was handed an atom still carrying a
+/// variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonGroundAtom {
+    pub var: u32,
+}
+
+impl std::fmt::Display for NonGroundAtom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "insert_ground on non-ground atom (variable {})", self.var)
+    }
+}
+
+impl std::error::Error for NonGroundAtom {}
+
 impl Default for Instance {
     fn default() -> Self {
         Instance {
@@ -271,17 +286,23 @@ impl Instance {
         (i, true)
     }
 
-    /// Inserts a ground atom whose terms must all be constants.
-    pub fn insert_ground(&mut self, atom: &Atom, prov: Provenance) -> usize {
+    /// Inserts a ground atom whose terms must all be constants. A variable
+    /// anywhere in the atom is a caller error reported as [`NonGroundAtom`]
+    /// — bad input must not be able to crash the engine.
+    pub fn insert_ground(
+        &mut self,
+        atom: &Atom,
+        prov: Provenance,
+    ) -> Result<usize, NonGroundAtom> {
         let args: Vec<NodeId> = atom
             .args
             .iter()
             .map(|t| match t {
-                Term::Const(c) => self.const_node(*c),
-                Term::Var(_) => panic!("insert_ground on non-ground atom"),
+                Term::Const(c) => Ok(self.const_node(*c)),
+                Term::Var(v) => Err(NonGroundAtom { var: *v }),
             })
-            .collect();
-        self.insert(atom.pred, args, prov, None).0
+            .collect::<Result<_, _>>()?;
+        Ok(self.insert(atom.pred, args, prov, None).0)
     }
 
     pub fn facts(&self) -> &[Fact] {

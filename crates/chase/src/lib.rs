@@ -33,13 +33,13 @@ pub mod term;
 
 pub use atom::Atom;
 pub use chase::{
-    ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostOracle, CostPruner, EvalMode,
-    NoPrune, Pruner,
+    degradation_of, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostOracle, CostPruner,
+    DegradeReason, Degraded, EvalMode, ExhaustedBy, NoPrune, Pruner, RewritePhase,
 };
 pub use constraint::{Constraint, Egd, Tgd};
 pub use cq::Cq;
 pub use homomorphism::Match;
-pub use instance::{ConstClash, Instance, NodeId};
+pub use instance::{ConstClash, Instance, NodeId, NonGroundAtom};
 pub use pacb::{CostFn, Pacb, PacbOptions, PacbResult, Rewriting, View};
 pub use provenance::Provenance;
 pub use symbols::{PredId, SymId, Vocabulary};

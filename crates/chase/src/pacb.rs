@@ -19,7 +19,8 @@ use std::collections::HashMap;
 
 use crate::atom::Atom;
 use crate::chase::{
-    ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostOracle, CostPruner,
+    degradation_of, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostOracle, CostPruner,
+    Degraded, RewritePhase,
 };
 use crate::constraint::{Constraint, Tgd};
 use crate::cq::Cq;
@@ -137,6 +138,11 @@ pub struct PacbResult {
     /// Statistics of the backchase (phase iv); `pruned_firings` counts the
     /// steps vetoed by `Prune_prov`.
     pub backchase_stats: ChaseStats,
+    /// Set when either chase phase ran out of budget/deadline: the
+    /// rewritings found are a sound subset of the full search's (anytime
+    /// semantics — the caller still gets every reformulation discovered
+    /// before the cut).
+    pub degraded: Option<Degraded>,
 }
 
 impl<'a> Pacb<'a> {
@@ -284,6 +290,8 @@ impl<'a> Pacb<'a> {
                 .partial_cmp(&b.cost.unwrap_or(f64::INFINITY))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        let degraded = degradation_of(&chase_stats, RewritePhase::Chase)
+            .or_else(|| degradation_of(&backchase_stats, RewritePhase::Backchase));
         PacbResult {
             rewritings,
             chase_outcome,
@@ -291,6 +299,7 @@ impl<'a> Pacb<'a> {
             universal_plan_size,
             chase_stats,
             backchase_stats,
+            degraded,
         }
     }
 

@@ -754,6 +754,7 @@ mod tests {
             max_rounds: 8,
             max_facts: 20_000,
             max_nulls: 10_000,
+            deadline: None,
         });
         let mut inst = enc.instance;
         let (outcome, _) = engine.chase(&mut inst);

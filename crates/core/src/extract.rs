@@ -110,6 +110,13 @@ pub fn worker_count() -> usize {
 /// fan-out shape every parallel path here (and plan ranking in
 /// `hadad-rewrite`) shares. Falls back to a plain sequential map below
 /// `min_len` items or without real parallelism.
+///
+/// Workers run under `catch_unwind` supervision: a panicking worker loses
+/// only its own chunk, which is retried sequentially on the calling
+/// thread. Only if the retry panics too (a deterministic bug, not a
+/// transient worker failure) does the panic propagate to the caller —
+/// where the rewrite pipeline's phase-level supervision turns it into a
+/// degraded result instead of a crash.
 pub fn par_map<'i, T, R>(
     items: &'i [T],
     min_len: usize,
@@ -119,7 +126,21 @@ where
     T: Sync,
     R: Send,
 {
-    let workers = worker_count();
+    par_map_with(items, min_len, worker_count(), f)
+}
+
+/// [`par_map`] with an explicit worker count (tests force the threaded
+/// path with it regardless of the host's core count).
+fn par_map_with<'i, T, R>(
+    items: &'i [T],
+    min_len: usize,
+    workers: usize,
+    f: impl Fn(&'i T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
     if items.len() < min_len || workers < 2 {
         return items.iter().map(f).collect();
     }
@@ -128,9 +149,24 @@ where
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                let h = s.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        c.iter().map(f).collect::<Vec<R>>()
+                    }))
+                });
+                (c, h)
+            })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("par_map worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|(c, h)| match h.join() {
+                Ok(Ok(results)) => results,
+                // Worker panicked (joining never fails: the closure's own
+                // panic is caught inside it). Retry the chunk in-line.
+                _ => c.iter().map(f).collect(),
+            })
+            .collect()
     })
 }
 
@@ -138,6 +174,11 @@ impl<'a> Extractor<'a> {
     /// Collects e-nodes and shapes from the instance and runs the cost
     /// relaxation to fixpoint.
     pub fn new(vrem: &Vrem, inst: &'a Instance, cost: &(dyn ExtractionCost + Sync)) -> Self {
+        // Fault-injection site: `extract.solve=panic` exercises the
+        // optimizer's phase-level catch_unwind (degrade to the original
+        // plan); `delay:<ms>` exercises deadlines. The `error` action has
+        // no typed path here and is a no-op.
+        let _ = hadad_failpoint::hit("extract.solve");
         let mut ex = Extractor {
             inst,
             classes: HashMap::new(),
@@ -770,5 +811,24 @@ mod tests {
         // Both derivations remain available as candidates.
         let cands = ex.candidates(roots[0]);
         assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn par_map_contains_worker_panics() {
+        // A function that panics on one input: the worker chunk holding it
+        // dies, the chunk is retried in-line, and since the panic is
+        // deterministic the retry panics too — but only *after* every
+        // other chunk's results survived. Here we use an input-dependent
+        // transient instead: panic only on the first attempt per item.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let attempts = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_with(&items, 1, 4, |&i| {
+            if i == 17 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient worker failure");
+            }
+            i * 2
+        });
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
     }
 }

@@ -8,6 +8,10 @@
 //! encode (this crate) → chase under the catalogue (`hadad-chase`) →
 //! decode + rank (this crate + cost model) → execute (`hadad-linalg`).
 
+/// Named fault-injection sites (`HADAD_FAILPOINTS` env DSL); re-exported
+/// here so every layer of the stack shares one registry.
+pub use hadad_failpoint as failpoint;
+
 pub mod catalogue;
 pub mod encode;
 pub mod expr;

@@ -1,0 +1,212 @@
+//! Named fault-injection sites for robustness testing.
+//!
+//! Production code marks interesting failure surfaces with
+//! [`hit`]`("site.name")?`. By default every site is inert: a single
+//! relaxed atomic load and nothing else, so the instrumentation is free on
+//! hot paths. Faults are armed two ways:
+//!
+//! * **Environment** — `HADAD_FAILPOINTS=site=action[,site=action...]`,
+//!   parsed once on first use. Actions: `panic`, `error`, `delay:<ms>`.
+//!   This is how CI drives whole-process fault matrices.
+//! * **Programmatic** — [`scoped`] arms a site for the lifetime of the
+//!   returned guard and serializes fault tests behind a global lock (the
+//!   registry is process-wide state, so concurrent fault tests would
+//!   otherwise bleed into each other).
+//!
+//! An armed site either panics (exercising `catch_unwind` supervision),
+//! sleeps (exercising deadlines), or makes [`hit`] return
+//! [`Injected`] so the caller's typed error path fires.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// What an armed failpoint does when execution reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a message naming the site.
+    Panic,
+    /// Return [`Injected`] from [`hit`].
+    Error,
+    /// Sleep for the given number of milliseconds, then continue normally.
+    Delay(u64),
+}
+
+/// The typed error produced by an `error`-armed failpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injected {
+    pub site: &'static str,
+}
+
+impl fmt::Display for Injected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at failpoint `{}`", self.site)
+    }
+}
+
+impl std::error::Error for Injected {}
+
+/// `true` once any site has ever been armed (env or programmatic). Checked
+/// with a relaxed load before touching the registry, so unarmed builds pay
+/// one atomic read per site.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Programmatic overrides; take precedence over the env table.
+static OVERRIDES: OnceLock<Mutex<HashMap<String, FailAction>>> = OnceLock::new();
+
+/// Serializes fault tests: held by every [`ScopedFailpoint`] guard.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn overrides() -> &'static Mutex<HashMap<String, FailAction>> {
+    OVERRIDES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn parse_action(s: &str) -> Option<FailAction> {
+    match s {
+        "panic" => Some(FailAction::Panic),
+        "error" => Some(FailAction::Error),
+        _ => {
+            let ms = s.strip_prefix("delay:")?;
+            ms.parse().ok().map(FailAction::Delay)
+        }
+    }
+}
+
+/// Parses `site=action[,site=action...]`; malformed entries are skipped so
+/// a typo can't take the process down at startup.
+fn parse_spec(spec: &str) -> HashMap<String, FailAction> {
+    let mut map = HashMap::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some((site, action)) = entry.split_once('=') {
+            let site = site.trim();
+            if site.is_empty() {
+                continue;
+            }
+            if let Some(a) = parse_action(action.trim()) {
+                map.insert(site.to_owned(), a);
+            }
+        }
+    }
+    map
+}
+
+fn env_table() -> &'static HashMap<String, FailAction> {
+    static ENV: OnceLock<HashMap<String, FailAction>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let map = std::env::var("HADAD_FAILPOINTS").map(|s| parse_spec(&s)).unwrap_or_default();
+        if !map.is_empty() {
+            ARMED.store(true, Ordering::Relaxed);
+        }
+        map
+    })
+}
+
+/// Forces the env table to be parsed (and `ARMED` set) early. Called once
+/// per process entry point that wants env-armed sites; `hit` also calls it
+/// lazily the first time through the slow path, but until then the fast
+/// path short-circuits, so binaries that care should init eagerly.
+pub fn init_from_env() {
+    env_table();
+}
+
+/// The action currently armed at `site`, if any.
+pub fn action_for(site: &str) -> Option<FailAction> {
+    if !ARMED.load(Ordering::Relaxed) {
+        // Cheap common case — but the env table may simply not have been
+        // parsed yet. Parse it once; after that, unarmed processes really
+        // do take the one-atomic-load exit above.
+        static ENV_INIT: OnceLock<()> = OnceLock::new();
+        ENV_INIT.get_or_init(init_from_env);
+        if !ARMED.load(Ordering::Relaxed) {
+            return None;
+        }
+    }
+    if let Some(a) = overrides().lock().unwrap().get(site) {
+        return Some(*a);
+    }
+    env_table().get(site).copied()
+}
+
+/// Evaluates the failpoint named `site`: inert when unarmed, otherwise
+/// panics, sleeps, or returns [`Injected`] per the armed action.
+pub fn hit(site: &'static str) -> Result<(), Injected> {
+    match action_for(site) {
+        None => Ok(()),
+        Some(FailAction::Panic) => panic!("injected panic at failpoint `{site}`"),
+        Some(FailAction::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FailAction::Error) => Err(Injected { site }),
+    }
+}
+
+/// RAII guard arming one site for its lifetime; disarms on drop. Also
+/// holds the global fault-test lock so concurrent tests can't interleave
+/// registry mutations.
+pub struct ScopedFailpoint {
+    site: String,
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Arms `site` with `action` until the returned guard drops.
+pub fn scoped(site: &str, action: FailAction) -> ScopedFailpoint {
+    let lock = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    overrides().lock().unwrap().insert(site.to_owned(), action);
+    ARMED.store(true, Ordering::Relaxed);
+    ScopedFailpoint { site: site.to_owned(), _lock: lock }
+}
+
+impl Drop for ScopedFailpoint {
+    fn drop(&mut self) {
+        overrides().lock().unwrap().remove(&self.site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_is_inert() {
+        assert_eq!(hit("nothing.here"), Ok(()));
+    }
+
+    #[test]
+    fn error_action_returns_injected() {
+        let _g = scoped("t.err", FailAction::Error);
+        assert_eq!(hit("t.err"), Err(Injected { site: "t.err" }));
+        drop(_g);
+        assert_eq!(hit("t.err"), Ok(()));
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _g = scoped("t.panic", FailAction::Panic);
+        let err = std::panic::catch_unwind(|| hit("t.panic")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("t.panic"));
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_continues() {
+        let _g = scoped("t.delay", FailAction::Delay(5));
+        let t0 = std::time::Instant::now();
+        assert_eq!(hit("t.delay"), Ok(()));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn spec_parser_skips_malformed_entries() {
+        let m = parse_spec("a=panic, b=delay:30 ,c=bogus,d,e=error,=panic");
+        assert_eq!(m.get("a"), Some(&FailAction::Panic));
+        assert_eq!(m.get("b"), Some(&FailAction::Delay(30)));
+        assert_eq!(m.get("e"), Some(&FailAction::Error));
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -24,14 +24,54 @@
 //! on the shared kernels. The calibration constants the cost oracle uses
 //! to price each backend live in `hadad_core::stats::BackendProfile`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use crate::dense::DenseMatrix;
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 use crate::ops;
 use crate::sparse::SparseMatrix;
+
+/// A contained kernel-worker panic. `Parallel` discards the partial
+/// output, records one of these in the process-wide event log, and retries
+/// the operation once on [`Reference`] — a panicking kernel degrades to
+/// the slow path instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendPanic {
+    /// Backend whose worker panicked.
+    pub backend: &'static str,
+    /// Operation being executed (`"multiply"` / `"transpose_multiply"`).
+    pub op: &'static str,
+}
+
+impl std::fmt::Display for BackendPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panic in {} backend during {}", self.backend, self.op)
+    }
+}
+
+static PANIC_EVENTS: Mutex<Vec<BackendPanic>> = Mutex::new(Vec::new());
+
+fn record_backend_panic(backend: &'static str, op: &'static str) {
+    PANIC_EVENTS.lock().unwrap_or_else(|e| e.into_inner()).push(BackendPanic { backend, op });
+}
+
+/// Snapshot of every contained kernel panic so far (observability hook).
+pub fn backend_panics() -> Vec<BackendPanic> {
+    PANIC_EVENTS.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Drains the contained-panic event log (tests isolate with this).
+pub fn take_backend_panics() -> Vec<BackendPanic> {
+    std::mem::take(&mut *PANIC_EVENTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Internal marker: a supervised worker panicked and the kernel's output
+/// buffer must be discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanicked;
 
 /// Tile width of the blocked dense GEMM micro-kernel. A 256×256 `f64`
 /// panel of B is 512 KiB — comfortably L2-resident — and wide enough that
@@ -162,14 +202,25 @@ impl ExecBackend for Parallel {
     fn multiply(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
         check_mul(a, b)?;
         let t = self.threads();
-        Ok(match (a, b) {
+        let attempt = match (a, b) {
             (Matrix::Dense(x), Matrix::Dense(y)) => {
-                Matrix::Dense(gemm_blocked(x, y, t, self.tile))
+                gemm_blocked(x, y, t, self.tile).map(Matrix::Dense)
             }
-            (Matrix::Sparse(x), Matrix::Dense(y)) => Matrix::Dense(spmm_rows(x, y, t)),
-            (Matrix::Dense(x), Matrix::Sparse(y)) => Matrix::Dense(dense_sparse_rows(x, y, t)),
-            (Matrix::Sparse(x), Matrix::Sparse(y)) => Matrix::Sparse(spgemm_rows(x, y, t)),
-        })
+            (Matrix::Sparse(x), Matrix::Dense(y)) => spmm_rows(x, y, t).map(Matrix::Dense),
+            (Matrix::Dense(x), Matrix::Sparse(y)) => {
+                dense_sparse_rows(x, y, t).map(Matrix::Dense)
+            }
+            (Matrix::Sparse(x), Matrix::Sparse(y)) => spgemm_rows(x, y, t).map(Matrix::Sparse),
+        };
+        match attempt {
+            Ok(m) => Ok(m),
+            // A worker panicked: surface the typed event, drop the partial
+            // output, retry once on the single-threaded reference kernels.
+            Err(WorkerPanicked) => {
+                record_backend_panic(self.name(), "multiply");
+                REFERENCE.multiply(a, b)
+            }
+        }
     }
 
     fn transpose_multiply(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
@@ -177,12 +228,21 @@ impl ExecBackend for Parallel {
         match a {
             // Dense Aᵀ is an O(rows·cols) strided rewrite — fuse it away.
             Matrix::Dense(x) => {
-                self.fused.fetch_add(1, Ordering::Relaxed);
                 let t = self.threads();
-                Ok(Matrix::Dense(match b {
+                let attempt = match b {
                     Matrix::Dense(y) => tmul_dense_dense(x, y, t),
                     Matrix::Sparse(y) => tmul_dense_sparse(x, y, t),
-                }))
+                };
+                match attempt {
+                    Ok(m) => {
+                        self.fused.fetch_add(1, Ordering::Relaxed);
+                        Ok(Matrix::Dense(m))
+                    }
+                    Err(WorkerPanicked) => {
+                        record_backend_panic(self.name(), "transpose_multiply");
+                        REFERENCE.transpose_multiply(a, b)
+                    }
+                }
             }
             // Sparse transposition is O(nnz); fusion would re-scan A per
             // thread for no win.
@@ -204,30 +264,51 @@ fn row_ranges(rows: usize, threads: usize) -> Vec<(usize, usize)> {
 
 /// Runs `f` over row-partitioned mutable slices of a `rows×cols` row-major
 /// output buffer, spawning scoped threads only when more than one range
-/// exists.
+/// exists. Every worker (including the single-range in-line path) runs
+/// under `catch_unwind` supervision: a panic anywhere surfaces as
+/// [`WorkerPanicked`] instead of unwinding through the scope, and the
+/// caller discards the partially-written buffer.
 fn partition_rows(
     out: &mut [f64],
     rows: usize,
     cols: usize,
     threads: usize,
     f: impl Fn(&mut [f64], usize, usize) + Sync,
-) {
+) -> std::result::Result<(), WorkerPanicked> {
+    let supervised = |chunk: &mut [f64], r0: usize, r1: usize| {
+        catch_unwind(AssertUnwindSafe(|| {
+            hadad_failpoint::hit("linalg.kernel").expect("linalg.kernel failpoint");
+            f(chunk, r0, r1)
+        }))
+        .map_err(|_| WorkerPanicked)
+    };
     let ranges = row_ranges(rows, threads);
     if ranges.len() <= 1 {
         if let Some(&(r0, r1)) = ranges.first() {
-            f(out, r0, r1);
+            supervised(out, r0, r1)?;
         }
-        return;
+        return Ok(());
     }
+    let mut ok = true;
     std::thread::scope(|s| {
-        let f = &f;
+        let supervised = &supervised;
         let mut rest = out;
+        let mut handles = Vec::with_capacity(ranges.len());
         for &(r0, r1) in &ranges {
             let (chunk, tail) = rest.split_at_mut((r1 - r0) * cols);
             rest = tail;
-            s.spawn(move || f(chunk, r0, r1));
+            handles.push(s.spawn(move || supervised(chunk, r0, r1).is_ok()));
+        }
+        for h in handles {
+            // join() cannot fail: the worker catches its own panics.
+            ok &= h.join().unwrap_or(false);
         }
     });
+    if ok {
+        Ok(())
+    } else {
+        Err(WorkerPanicked)
+    }
 }
 
 /// Blocked dense GEMM over one row range: j/k tiled so a `tile×tile` panel
@@ -270,18 +351,22 @@ pub fn gemm_blocked(
     b: &DenseMatrix,
     threads: usize,
     tile: usize,
-) -> DenseMatrix {
+) -> std::result::Result<DenseMatrix, WorkerPanicked> {
     let (m, n) = (a.rows(), b.cols());
     let mut out = DenseMatrix::zeros(m, n);
     partition_rows(out.data_mut(), m, n, threads, |chunk, r0, r1| {
         gemm_rows(a, b, chunk, r0, r1, tile);
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// Threaded CSR × dense (SpMV when `b` is a vector, SpMM otherwise):
 /// output rows partitioned across workers, each streaming its rows of `A`.
-pub fn spmm_rows(a: &SparseMatrix, b: &DenseMatrix, threads: usize) -> DenseMatrix {
+pub fn spmm_rows(
+    a: &SparseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+) -> std::result::Result<DenseMatrix, WorkerPanicked> {
     let (m, n) = (a.rows(), b.cols());
     let mut out = DenseMatrix::zeros(m, n);
     partition_rows(out.data_mut(), m, n, threads, |chunk, r0, r1| {
@@ -295,13 +380,17 @@ pub fn spmm_rows(a: &SparseMatrix, b: &DenseMatrix, threads: usize) -> DenseMatr
                 }
             }
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// Threaded dense × CSR: output rows partitioned; each worker walks its
 /// rows of `A`, scattering the stored entries of the matching `B` rows.
-pub fn dense_sparse_rows(a: &DenseMatrix, b: &SparseMatrix, threads: usize) -> DenseMatrix {
+pub fn dense_sparse_rows(
+    a: &DenseMatrix,
+    b: &SparseMatrix,
+    threads: usize,
+) -> std::result::Result<DenseMatrix, WorkerPanicked> {
     let (m, n) = (a.rows(), b.cols());
     let mut out = DenseMatrix::zeros(m, n);
     partition_rows(out.data_mut(), m, n, threads, |chunk, r0, r1| {
@@ -318,8 +407,8 @@ pub fn dense_sparse_rows(a: &DenseMatrix, b: &SparseMatrix, threads: usize) -> D
                 }
             }
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// One worker's SpGEMM output: CSR fragments for a contiguous row range.
@@ -332,10 +421,15 @@ struct CsrChunk {
 /// Threaded row-wise SpGEMM: per-thread row ranges with thread-local dense
 /// accumulators, assembling sorted CSR rows directly — no global triplet
 /// sort, which is what dominates the reference kernel on chain workloads.
-pub fn spgemm_rows(a: &SparseMatrix, b: &SparseMatrix, threads: usize) -> SparseMatrix {
+pub fn spgemm_rows(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    threads: usize,
+) -> std::result::Result<SparseMatrix, WorkerPanicked> {
     let (m, n) = (a.rows(), b.cols());
     let ranges = row_ranges(m, threads);
     let run_range = |r0: usize, r1: usize| -> CsrChunk {
+        hadad_failpoint::hit("linalg.kernel").expect("linalg.kernel failpoint");
         let mut acc = vec![0.0f64; n];
         let mut touched: Vec<usize> = Vec::new();
         let mut chunk = CsrChunk {
@@ -368,14 +462,27 @@ pub fn spgemm_rows(a: &SparseMatrix, b: &SparseMatrix, threads: usize) -> Sparse
         }
         chunk
     };
+    // Supervised workers: each catches its own panics, so join() cannot
+    // fail and one bad worker surfaces as `WorkerPanicked` for the whole
+    // product (the chunks are interdependent only at assembly).
+    let supervised =
+        |r0: usize, r1: usize| catch_unwind(AssertUnwindSafe(|| run_range(r0, r1)));
     let chunks: Vec<CsrChunk> = if ranges.len() <= 1 {
-        ranges.iter().map(|&(r0, r1)| run_range(r0, r1)).collect()
+        ranges
+            .iter()
+            .map(|&(r0, r1)| supervised(r0, r1).map_err(|_| WorkerPanicked))
+            .collect::<std::result::Result<_, _>>()?
     } else {
         std::thread::scope(|s| {
+            let supervised = &supervised;
             let handles: Vec<_> =
-                ranges.iter().map(|&(r0, r1)| s.spawn(move || run_range(r0, r1))).collect();
-            handles.into_iter().map(|h| h.join().expect("spgemm worker")).collect()
-        })
+                ranges.iter().map(|&(r0, r1)| s.spawn(move || supervised(r0, r1))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(Box::new(WorkerPanicked))))
+                .collect::<std::result::Result<Vec<_>, _>>()
+                .map_err(|_| WorkerPanicked)
+        })?
     };
     let nnz: usize = chunks.iter().map(|c| c.values.len()).sum();
     let mut indptr = Vec::with_capacity(m + 1);
@@ -390,14 +497,18 @@ pub fn spgemm_rows(a: &SparseMatrix, b: &SparseMatrix, threads: usize) -> Sparse
         values.extend_from_slice(&c.values);
     }
     debug_assert_eq!(indptr.len(), m + 1);
-    SparseMatrix::from_csr(m, n, indptr, indices, values)
+    Ok(SparseMatrix::from_csr(m, n, indptr, indices, values))
 }
 
 /// Fused dense `Aᵀ·B` (both dense): output rows (= columns of `A`)
 /// partitioned across workers; each worker streams `A` and `B` row-major
 /// once, accumulating `out[j,:] += A[i,j] · B[i,:]` — no transposed copy
 /// of `A` is ever built.
-pub fn tmul_dense_dense(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> DenseMatrix {
+pub fn tmul_dense_dense(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+) -> std::result::Result<DenseMatrix, WorkerPanicked> {
     let (m, p, n) = (a.rows(), a.cols(), b.cols());
     let mut out = DenseMatrix::zeros(p, n);
     partition_rows(out.data_mut(), p, n, threads, |chunk, r0, r1| {
@@ -415,14 +526,18 @@ pub fn tmul_dense_dense(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Den
                 }
             }
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// Fused dense-`A` `Aᵀ·B` with sparse `B`: each worker owns a range of
 /// output rows and scatters the stored entries of `B`'s rows against the
 /// matching column of `A`, read in place.
-pub fn tmul_dense_sparse(a: &DenseMatrix, b: &SparseMatrix, threads: usize) -> DenseMatrix {
+pub fn tmul_dense_sparse(
+    a: &DenseMatrix,
+    b: &SparseMatrix,
+    threads: usize,
+) -> std::result::Result<DenseMatrix, WorkerPanicked> {
     let (m, p, n) = (a.rows(), a.cols(), b.cols());
     let mut out = DenseMatrix::zeros(p, n);
     partition_rows(out.data_mut(), p, n, threads, |chunk, r0, r1| {
@@ -439,8 +554,8 @@ pub fn tmul_dense_sparse(a: &DenseMatrix, b: &SparseMatrix, threads: usize) -> D
                 }
             }
         }
-    });
-    out
+    })?;
+    Ok(out)
 }
 
 /// Backend selection, settable per `Optimizer` (builder) or process-wide
@@ -568,6 +683,32 @@ mod tests {
         let empty = Matrix::zeros(0, 3);
         let rhs = Matrix::zeros(3, 2);
         assert_eq!(PARALLEL.multiply(&empty, &rhs).unwrap().shape(), (0, 2));
+    }
+
+    #[test]
+    fn kernel_panic_degrades_to_reference_with_event() {
+        let _fp = hadad_failpoint::scoped("linalg.kernel", hadad_failpoint::FailAction::Panic);
+        // Silence the default panic hook for the injected worker panics.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        take_backend_panics();
+        let backend = Parallel::with_threads(2);
+        // bt shares a's row count so `aᵀ · bt` is well-shaped.
+        for (a, b, bt) in [
+            (dense(20, 10, 21), dense(10, 6, 22), dense(20, 6, 25)),
+            (sparse(20, 10, 23), sparse(10, 6, 24), sparse(20, 6, 26)),
+        ] {
+            let got = backend.multiply(&a, &b).unwrap();
+            assert_eq!(got, REFERENCE.multiply(&a, &b).unwrap());
+            let tgot = backend.transpose_multiply(&a, &bt).unwrap();
+            assert_eq!(tgot, REFERENCE.transpose_multiply(&a, &bt).unwrap());
+        }
+        std::panic::set_hook(hook);
+        let events = take_backend_panics();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.backend == "parallel"));
+        assert!(events.iter().any(|e| e.op == "multiply"));
+        assert!(events.iter().any(|e| e.op == "transpose_multiply"));
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub mod decomp {
 }
 
 pub use backend::{
-    default_backend, BackendKind, ExecBackend, Parallel, Reference, PARALLEL, REFERENCE,
+    backend_panics, default_backend, take_backend_panics, BackendKind, BackendPanic,
+    ExecBackend, Parallel, Reference, PARALLEL, REFERENCE,
 };
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};

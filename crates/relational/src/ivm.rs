@@ -601,10 +601,13 @@ mod tests {
         t_new.push_row(&[Value::Int(300), Value::Int(2)]).unwrap();
         let d = Delta::inserts(&tweets(), vec![vec![Value::Int(300), Value::Int(2)]]);
         let dj = d.join_right(&users(), "uid", "id").unwrap();
-        let mut joined = ops::hash_join(&tweets(), "uid", &users(), "id");
+        let mut joined = ops::hash_join(&tweets(), "uid", &users(), "id").unwrap();
         apply_delta(&mut joined, &dj, "joined").unwrap();
-        let full = ops::hash_join(&t_new, "uid", &users(), "id");
-        assert_eq!(ops::sort_by_int(&joined, "tid"), ops::sort_by_int(&full, "tid"));
+        let full = ops::hash_join(&t_new, "uid", &users(), "id").unwrap();
+        assert_eq!(
+            ops::sort_by_int(&joined, "tid").unwrap(),
+            ops::sort_by_int(&full, "tid").unwrap()
+        );
     }
 
     #[test]
@@ -616,7 +619,7 @@ mod tests {
         let (ins, del) = apply_delta(&mut t, &d, "t").unwrap();
         assert_eq!((ins, del), (0, 2));
         assert_eq!(t.num_rows(), 2);
-        assert_eq!(ops::group_count(&t, "v"), vec![(7, 1), (8, 1)]);
+        assert_eq!(ops::group_count(&t, "v").unwrap(), vec![(7, 1), (8, 1)]);
     }
 
     #[test]
@@ -655,7 +658,7 @@ mod tests {
         apply_delta(&mut t, &d, "u").unwrap();
         assert_eq!(t.num_rows(), 4);
         apply_delta(&mut t, &d.negated(), "u").unwrap();
-        assert_eq!(ops::sort_by_int(&t, "id"), ops::sort_by_int(&orig, "id"));
+        assert_eq!(ops::sort_by_int(&t, "id").unwrap(), ops::sort_by_int(&orig, "id").unwrap());
     }
 
     #[test]

@@ -23,4 +23,5 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use ivm::{apply_delta, Delta, IvmError, TableUpdate, UpdateLog};
+pub use ops::OpsError;
 pub use table::{Column, Table, Value};

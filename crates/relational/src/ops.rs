@@ -1,9 +1,40 @@
 //! Relational operators: selection, projection, hash join, aggregates.
 //! These are the `Rops` of the paper's hybrid language (§3).
+//!
+//! Operators that look columns up by name return [`OpsError`] when the
+//! name does not resolve — a malformed query must surface as a typed error
+//! through `RelQuery` execution, never as a panic.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::table::{Column, Table, Value};
+
+/// A relational operator was pointed at a column the table does not have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpsError {
+    MissingColumn {
+        /// Operator that failed (`"project"`, `"hash_join"`, ...).
+        op: &'static str,
+        column: String,
+    },
+}
+
+impl fmt::Display for OpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpsError::MissingColumn { op, column } => {
+                write!(f, "{op}: no column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OpsError {}
+
+fn require<'t>(t: &'t Table, op: &'static str, col: &str) -> Result<&'t Column, OpsError> {
+    t.column(col).ok_or_else(|| OpsError::MissingColumn { op, column: col.to_owned() })
+}
 
 /// Selection: keeps rows where `pred(row)` holds.
 pub fn select(t: &Table, pred: impl Fn(&Table, usize) -> bool) -> Table {
@@ -12,30 +43,32 @@ pub fn select(t: &Table, pred: impl Fn(&Table, usize) -> bool) -> Table {
 }
 
 /// Selection on a single numeric column.
-pub fn select_num(t: &Table, col: &str, pred: impl Fn(f64) -> bool) -> Table {
-    let c = t.column(col).unwrap_or_else(|| panic!("no column {col}"));
+pub fn select_num(t: &Table, col: &str, pred: impl Fn(f64) -> bool) -> Result<Table, OpsError> {
+    let c = require(t, "select_num", col)?;
     let keep: Vec<usize> = (0..t.num_rows()).filter(|&r| pred(c.numeric(r))).collect();
-    t.gather(&keep)
+    Ok(t.gather(&keep))
 }
 
 /// Projection to the named columns, in the given order.
-pub fn project(t: &Table, cols: &[&str]) -> Table {
+pub fn project(t: &Table, cols: &[&str]) -> Result<Table, OpsError> {
     let pairs: Vec<(&str, Column)> = cols
         .iter()
-        .map(|&name| {
-            let c = t.column(name).unwrap_or_else(|| panic!("no column {name}")).clone();
-            (name, c)
-        })
-        .collect();
-    Table::new(pairs)
+        .map(|&name| Ok((name, require(t, "project", name)?.clone())))
+        .collect::<Result<_, OpsError>>()?;
+    Ok(Table::new(pairs))
 }
 
 /// Hash equi-join on integer key columns. Output keeps all columns of the
 /// left table and the non-key columns of the right, prefixing right-side
 /// names that collide with `right.`.
-pub fn hash_join(left: &Table, left_key: &str, right: &Table, right_key: &str) -> Table {
-    let lk = left.column(left_key).unwrap_or_else(|| panic!("no column {left_key}"));
-    let rk = right.column(right_key).unwrap_or_else(|| panic!("no column {right_key}"));
+pub fn hash_join(
+    left: &Table,
+    left_key: &str,
+    right: &Table,
+    right_key: &str,
+) -> Result<Table, OpsError> {
+    let lk = require(left, "hash_join", left_key)?;
+    let rk = require(right, "hash_join", right_key)?;
 
     // Build side: key -> row indices (right).
     let mut index: HashMap<i64, Vec<usize>> = HashMap::new();
@@ -72,18 +105,18 @@ pub fn hash_join(left: &Table, left_key: &str, right: &Table, right_key: &str) -
         }
         out = out.with_column(&out_name, gathered_right.column_at(i).clone());
     }
-    out
+    Ok(out)
 }
 
 /// Aggregate: sum of a numeric column.
-pub fn sum_column(t: &Table, col: &str) -> f64 {
-    let c = t.column(col).unwrap_or_else(|| panic!("no column {col}"));
-    (0..t.num_rows()).map(|r| c.numeric(r)).sum()
+pub fn sum_column(t: &Table, col: &str) -> Result<f64, OpsError> {
+    let c = require(t, "sum_column", col)?;
+    Ok((0..t.num_rows()).map(|r| c.numeric(r)).sum())
 }
 
 /// Group-by on an integer key with per-group count.
-pub fn group_count(t: &Table, key: &str) -> Vec<(i64, usize)> {
-    let c = t.column(key).unwrap_or_else(|| panic!("no column {key}"));
+pub fn group_count(t: &Table, key: &str) -> Result<Vec<(i64, usize)>, OpsError> {
+    let c = require(t, "group_count", key)?;
     let mut counts: HashMap<i64, usize> = HashMap::new();
     for r in 0..t.num_rows() {
         if let Some(k) = c.value(r).as_i64() {
@@ -92,16 +125,16 @@ pub fn group_count(t: &Table, key: &str) -> Vec<(i64, usize)> {
     }
     let mut out: Vec<(i64, usize)> = counts.into_iter().collect();
     out.sort_unstable();
-    out
+    Ok(out)
 }
 
 /// Sorts rows ascending by an integer key (relation → matrix casts need a
 /// defined order, cf. paper §3).
-pub fn sort_by_int(t: &Table, key: &str) -> Table {
-    let c = t.column(key).unwrap_or_else(|| panic!("no column {key}"));
+pub fn sort_by_int(t: &Table, key: &str) -> Result<Table, OpsError> {
+    let c = require(t, "sort_by_int", key)?;
     let mut idx: Vec<usize> = (0..t.num_rows()).collect();
     idx.sort_by_key(|&r| c.value(r).as_i64().unwrap_or(i64::MAX));
-    t.gather(&idx)
+    Ok(t.gather(&idx))
 }
 
 /// Filters rows whose string column contains `needle` (the paper's Twitter
@@ -142,20 +175,20 @@ mod tests {
 
     #[test]
     fn select_filters_rows() {
-        let t = select_num(&users(), "followers", |v| v >= 20.0);
+        let t = select_num(&users(), "followers", |v| v >= 20.0).unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.value(0, "id"), Value::Int(2));
     }
 
     #[test]
     fn project_keeps_order() {
-        let t = project(&users(), &["followers", "id"]);
+        let t = project(&users(), &["followers", "id"]).unwrap();
         assert_eq!(t.column_names(), &["followers".to_string(), "id".to_string()]);
     }
 
     #[test]
     fn join_matches_keys() {
-        let j = hash_join(&tweets(), "uid", &users(), "id");
+        let j = hash_join(&tweets(), "uid", &users(), "id").unwrap();
         // tweet 103 has uid 9 with no matching user: dropped.
         assert_eq!(j.num_rows(), 3);
         assert_eq!(j.value(0, "followers"), Value::Int(10));
@@ -164,7 +197,7 @@ mod tests {
 
     #[test]
     fn join_handles_duplicate_probe_keys() {
-        let j = hash_join(&tweets(), "uid", &users(), "id");
+        let j = hash_join(&tweets(), "uid", &users(), "id").unwrap();
         // User 1 posted two tweets.
         let uid_one = (0..j.num_rows()).filter(|&r| j.value(r, "uid") == Value::Int(1)).count();
         assert_eq!(uid_one, 2);
@@ -185,7 +218,7 @@ mod tests {
             ("uid", Column::Float(vec![1.0, 1.2, 1.9, 2.0])),
             ("reading", Column::Int(vec![10, 20, 30, 40])),
         ]);
-        let j = hash_join(&measurements, "uid", &users(), "id");
+        let j = hash_join(&measurements, "uid", &users(), "id").unwrap();
         assert_eq!(j.num_rows(), 2);
         assert_eq!(j.value(0, "reading"), Value::Int(10));
         assert_eq!(j.value(0, "followers"), Value::Int(10));
@@ -206,7 +239,7 @@ mod tests {
             ("id", Column::Int(vec![1, 2])),
             ("score", Column::Int(vec![50, 60])),
         ]);
-        let j = hash_join(&left, "id", &right, "id");
+        let j = hash_join(&left, "id", &right, "id").unwrap();
         assert_eq!(
             j.column_names(),
             &[
@@ -223,11 +256,30 @@ mod tests {
 
     #[test]
     fn aggregation_and_sort() {
-        assert_eq!(sum_column(&users(), "followers"), 60.0);
+        assert_eq!(sum_column(&users(), "followers").unwrap(), 60.0);
         let shuffled = users().gather(&[2, 0, 1]);
-        let sorted = sort_by_int(&shuffled, "id");
+        let sorted = sort_by_int(&shuffled, "id").unwrap();
         assert_eq!(sorted.value(0, "id"), Value::Int(1));
         assert_eq!(sorted.value(2, "id"), Value::Int(3));
-        assert_eq!(group_count(&tweets(), "uid"), vec![(1, 2), (2, 1), (9, 1)]);
+        assert_eq!(group_count(&tweets(), "uid").unwrap(), vec![(1, 2), (2, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn missing_columns_are_typed_errors() {
+        let u = users();
+        let missing = |e: Result<Table, OpsError>, op: &str| match e {
+            Err(OpsError::MissingColumn { op: got, column }) => {
+                assert_eq!(got, op);
+                assert_eq!(column, "nope");
+            }
+            other => panic!("expected MissingColumn from {op}, got {other:?}"),
+        };
+        missing(select_num(&u, "nope", |_| true), "select_num");
+        missing(project(&u, &["id", "nope"]), "project");
+        missing(hash_join(&u, "nope", &u, "id"), "hash_join");
+        missing(hash_join(&u, "id", &u, "nope"), "hash_join");
+        missing(sort_by_int(&u, "nope"), "sort_by_int");
+        assert!(sum_column(&u, "nope").is_err());
+        assert!(group_count(&u, "nope").is_err());
     }
 }

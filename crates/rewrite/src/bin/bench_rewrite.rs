@@ -1,5 +1,7 @@
-//! Micro-benchmark for `Optimizer::rewrite` across eight pipeline families
-//! (seven pure-LA, one hybrid relational→LA), emitting `BENCH_rewrite.json`
+//! Micro-benchmark for `Optimizer::rewrite` across eleven pipeline
+//! families (seven pure-LA, a dense-GEMM backend duel, one hybrid
+//! relational→LA, the IVM maintenance duel, and the deadline-bounded
+//! anytime family), emitting `BENCH_rewrite.json`
 //! (a tracked point of the perf trajectory). CI asserts the JSON parses,
 //! carries every family, and that the pruned chase never fires *more*
 //! rules than the unpruned one.
@@ -25,7 +27,7 @@ use hadad_rewrite::{
 
 /// Every family the JSON must carry; CI cross-checks the emitted artifact
 /// against this list.
-const FAMILIES: [&str; 10] = [
+const FAMILIES: [&str; 11] = [
     "trace_cyclic",
     "matvec_chain",
     "qr_reuse",
@@ -36,6 +38,7 @@ const FAMILIES: [&str; 10] = [
     "dense_gemm512",
     "hybrid_tweets",
     "ivm_updates",
+    "deadline_rewrite",
 ];
 
 /// The pure-LA rewrite families, in emission order — the per-family
@@ -560,9 +563,67 @@ fn ivm_family(reps: u32) -> (String, f64, f64) {
     (row, maintain_us, reexec_us)
 }
 
+/// Deadline-bounded anytime rewriting on the hardest LA family: the
+/// 12-chain under a 1 ms wall-clock deadline. The emitted row records what
+/// the cut costs — the degraded best plan's estimated cost against the
+/// unbounded search's best — and proves the anytime contract (the call
+/// returns `Ok`, and the verified plan never prices above the unrewritten
+/// expression).
+fn deadline_family() -> (String, f64) {
+    let p = matmul_chain_pipeline(
+        "deadline_rewrite",
+        &[96, 88, 80, 64, 48, 40, 36, 24, 16, 12, 6, 4, 1],
+        ChaseBudget { max_rounds: 20, max_facts: 60_000, max_nulls: 30_000, deadline: None },
+    );
+    let full = Optimizer::new(p.cat.clone())
+        .with_budget(p.budget)
+        .rewrite(&p.expr)
+        .expect("unbounded rewrite");
+    let opt = Optimizer::new(p.cat.clone())
+        .with_budget(p.budget)
+        .with_deadline(std::time::Duration::from_millis(1));
+    let t0 = Instant::now();
+    let (ranked, plan, _) =
+        opt.rewrite_verified(&p.expr, &p.env, 1e-9).expect("deadline rewrite returns Ok");
+    let rewrite_us = t0.elapsed().as_micros();
+    assert!(
+        plan.est_cost <= ranked.original.est_cost,
+        "anytime plan ({}) priced above the unrewritten expression ({})",
+        plan.est_cost,
+        ranked.original.est_cost,
+    );
+    let ratio = plan.est_cost / full.best().est_cost.max(1.0);
+    let degraded = ranked.report.degraded.is_some();
+    println!(
+        "deadline_rewrite 1ms on 12-chain: degraded {} | est cost {:.0} vs full {:.0} (x{:.2}) | {}us wall",
+        degraded,
+        plan.est_cost,
+        full.best().est_cost,
+        ratio,
+        rewrite_us,
+    );
+    let row = format!(
+        concat!(
+            "    {{\"pipeline\": \"deadline_rewrite\", \"deadline_ms\": 1, ",
+            "\"degraded\": {}, \"rewrite_us\": {}, \"est_cost_original\": {:.1}, ",
+            "\"est_cost_degraded\": {:.1}, \"est_cost_full\": {:.1}, ",
+            "\"degraded_vs_full_ratio\": {:.3}, ",
+            "\"tgd_firings\": 0, \"nopruning_tgd_firings\": 0}}"
+        ),
+        degraded,
+        rewrite_us,
+        ranked.original.est_cost,
+        plan.est_cost,
+        full.best().est_cost,
+        ratio,
+    );
+    (row, ratio)
+}
+
 /// Everything one tracked series row carries beyond the commit stamp:
-/// per-LA-family chase medians, the IVM maintenance duel, and the
-/// sparse-chain / dense-GEMM backend duels.
+/// per-LA-family chase medians, the IVM maintenance duel, the
+/// sparse-chain / dense-GEMM backend duels, and the deadline family's
+/// degraded-vs-full plan cost ratio.
 struct SeriesData<'a> {
     chase: &'a [(String, f64)],
     maintain_us: f64,
@@ -571,6 +632,9 @@ struct SeriesData<'a> {
     sparse_exec: (f64, f64),
     /// 512×512 dense GEMM exec under (reference, parallel).
     gemm_exec: (f64, f64),
+    /// Best-plan cost of the 1 ms-deadline 12-chain over the unbounded
+    /// search's best (1.0 = the cut was free).
+    deadline_ratio: f64,
     threads: usize,
 }
 
@@ -602,6 +666,7 @@ fn append_series_row(data: &SeriesData) {
             "\"ivm_maintain_us\": {:.1}, \"ivm_reexec_us\": {:.1}, \"ivm_speedup\": {:.1}, ",
             "\"sparse_chain_exec_us\": {{\"reference\": {:.1}, \"parallel\": {:.1}}}, ",
             "\"dense_gemm512_exec_us\": {{\"reference\": {:.1}, \"parallel\": {:.1}}}, ",
+            "\"deadline_cost_ratio\": {:.3}, ",
             "\"threads\": {}}}\n"
         ),
         commit,
@@ -615,6 +680,7 @@ fn append_series_row(data: &SeriesData) {
         sparse_par,
         gemm_ref,
         gemm_par,
+        data.deadline_ratio,
         data.threads,
     );
     use std::io::Write as _;
@@ -639,7 +705,12 @@ fn main() {
         matmul_chain_pipeline(
             "matmul_chain12",
             &[96, 88, 80, 64, 48, 40, 36, 24, 16, 12, 6, 4, 1],
-            ChaseBudget { max_rounds: 20, max_facts: 60_000, max_nulls: 30_000 },
+            ChaseBudget {
+                max_rounds: 20,
+                max_facts: 60_000,
+                max_nulls: 30_000,
+                deadline: None,
+            },
         ),
         sparse_chain_pipeline(2000, 0.01),
         ridge_pipeline(200, 30),
@@ -798,6 +869,8 @@ fn main() {
     rows.push(hybrid_family(5));
     let (ivm_row, maintain_us, reexec_us) = ivm_family(5);
     rows.push(ivm_row);
+    let (deadline_row, deadline_ratio) = deadline_family();
+    rows.push(deadline_row);
 
     let json = format!(
         "{{\n  \"bench\": \"Optimizer::rewrite\",\n  \"pipelines\": [\n{}\n  ]\n}}\n",
@@ -821,6 +894,7 @@ fn main() {
         reexec_us,
         sparse_exec: sparse_exec.expect("sparse_chain family ran"),
         gemm_exec: (gemm_reference_us, gemm_parallel_us),
+        deadline_ratio,
         threads: PARALLEL.threads(),
     });
     println!("wrote BENCH_rewrite.json ({} families) + BENCH_series.jsonl row", FAMILIES.len());

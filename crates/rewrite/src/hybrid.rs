@@ -22,7 +22,8 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use hadad_chase::{
-    Atom, ChaseBudget, Cq, Instance, Pacb, PacbOptions, PacbResult, PredId, Term, Vocabulary,
+    Atom, ChaseBudget, ChaseOutcome, ChaseStats, Cq, DegradeReason, Degraded, Instance, Pacb,
+    PacbOptions, PacbResult, PredId, RewritePhase, Term, Vocabulary,
 };
 use hadad_core::MatrixMeta;
 use hadad_linalg::{approx_eq, Matrix};
@@ -64,6 +65,13 @@ pub enum HybridError {
     /// A delta-maintenance step failed (schema drift, retraction of a
     /// missing row, ...).
     Ivm(hadad_relational::IvmError),
+    /// An executable relational operator was handed a column its input
+    /// table does not carry (schema drift between planning and execution).
+    Ops(hadad_relational::OpsError),
+    /// An `error`-armed failpoint fired (fault-injection runs only).
+    Fault {
+        site: &'static str,
+    },
     Rewrite(RewriteError),
     Eval(EvalError),
 }
@@ -96,6 +104,8 @@ impl std::fmt::Display for HybridError {
                 )
             }
             HybridError::Ivm(e) => write!(f, "{e}"),
+            HybridError::Ops(e) => write!(f, "{e}"),
+            HybridError::Fault { site } => write!(f, "injected fault at failpoint `{site}`"),
             HybridError::Rewrite(e) => write!(f, "{e}"),
             HybridError::Eval(e) => write!(f, "{e}"),
         }
@@ -107,6 +117,18 @@ impl std::error::Error for HybridError {}
 impl From<hadad_relational::IvmError> for HybridError {
     fn from(e: hadad_relational::IvmError) -> Self {
         HybridError::Ivm(e)
+    }
+}
+
+impl From<hadad_relational::OpsError> for HybridError {
+    fn from(e: hadad_relational::OpsError) -> Self {
+        HybridError::Ops(e)
+    }
+}
+
+impl From<hadad_failpoint::Injected> for HybridError {
+    fn from(e: hadad_failpoint::Injected) -> Self {
+        HybridError::Fault { site: e.site }
     }
 }
 
@@ -225,14 +247,14 @@ impl RelQuery {
                     .ok_or_else(|| HybridError::MissingTable(table.clone()))?;
                 require_column(&t, left_key)?;
                 require_column(right, right_key)?;
-                ops::hash_join(&t, left_key, right, right_key)
+                ops::hash_join(&t, left_key, right, right_key)?
             }
             RelOp::Project { columns } => {
                 for c in columns {
                     require_column(&t, c)?;
                 }
                 let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
-                ops::project(&t, &refs)
+                ops::project(&t, &refs)?
             }
         })
     }
@@ -661,6 +683,12 @@ pub struct HybridResult {
     /// prefix cast to the same matrix, and the best-ranked LA plan agreed
     /// with the original suffix. `None` when verification was not run.
     pub verified: Option<bool>,
+    /// `Some` when any phase gave up completeness: a poisoned maintainer
+    /// (the run proceeded without materialized table views), a chase or
+    /// backchase budget/deadline, or a contained panic in the LA phase.
+    /// The result is still sound — degraded runs just may miss cheaper
+    /// rewritings. The first (most upstream) degradation wins.
+    pub degraded: Option<Degraded>,
     pub elapsed_us: u128,
 }
 
@@ -921,22 +949,40 @@ impl HybridOptimizer {
     ) -> Result<HybridResult, HybridError> {
         let start = Instant::now();
 
-        // Refuse to rewrite against stale materializations: pending updates
-        // touching a view's base tables mean PACB could land the prefix on
-        // a view whose contents no longer match its definition, and a dirty
-        // maintained-cast source means the LA catalog's stamped metadata
-        // would misprice the suffix.
-        let stale = self.stale_materializations();
-        if !stale.is_empty() {
-            return Err(HybridError::StaleViews(stale));
+        // A poisoned maintainer means view materializations are unknown —
+        // but base tables are always current (mutations land immediately;
+        // the pending log only defers *view* maintenance). So instead of
+        // refusing, degrade: run the pipeline against base tables only, with
+        // no materialized views offered to either rewriter. The caller sees
+        // the degradation on the result and can `rebuild_views()` at leisure.
+        let mut degraded: Option<Degraded> = None;
+        if self.maintainer.is_poisoned() {
+            degraded = Some(Degraded {
+                reason: DegradeReason::MaintenancePoisoned,
+                phase: RewritePhase::Maintenance,
+            });
+        } else {
+            // Refuse to rewrite against stale materializations: pending
+            // updates touching a view's base tables mean PACB could land the
+            // prefix on a view whose contents no longer match its
+            // definition, and a dirty maintained-cast source means the LA
+            // catalog's stamped metadata would misprice the suffix. Unlike
+            // poisoning this has a cheap remedy — `maintain_views()` — so
+            // it stays a hard error rather than a silent degradation.
+            let stale = self.stale_materializations();
+            if !stale.is_empty() {
+                return Err(HybridError::StaleViews(stale));
+            }
         }
 
         // Phase 1: compile the prefix and the view definitions to CQs over
-        // the catalog vocabulary.
+        // the catalog vocabulary. A degraded run offers no views.
         let mut tv = TableVocab::from_catalog(&self.catalog);
         let compiled = p.prefix.compile(&self.catalog, &mut tv)?;
-        let mut views = Vec::with_capacity(self.table_views.len());
-        for v in &self.table_views {
+        let usable_views: &[TableView] =
+            if degraded.is_some() { &[] } else { &self.table_views };
+        let mut views = Vec::with_capacity(usable_views.len());
+        for v in usable_views {
             let def = v.def.compile(&self.catalog, &mut tv)?;
             let mat_cols =
                 self.catalog.get(&v.name).map(|t| t.num_cols()).unwrap_or(def.columns.len());
@@ -963,13 +1009,31 @@ impl HybridOptimizer {
             )
         };
         let pacb_start = Instant::now();
-        let pacb = Pacb::new(&[], &views)
-            .with_options(PacbOptions {
-                budget: self.budget,
-                prune_threshold: Some(cost_original),
-            })
-            .with_cost_fn(&cost_fn)
-            .rewrite(&compiled.cq);
+        // Supervised: a panic inside PACB (a bug, or an injected fault in
+        // the shared chase engine) degrades the relational phase to "no
+        // rewriting found" — the original prefix below is always a sound
+        // fallback — instead of unwinding out of the pipeline.
+        let pacb = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Pacb::new(&[], &views)
+                .with_options(PacbOptions {
+                    budget: self.budget,
+                    prune_threshold: Some(cost_original),
+                })
+                .with_cost_fn(&cost_fn)
+                .rewrite(&compiled.cq)
+        }))
+        .unwrap_or_else(|_| PacbResult {
+            rewritings: Vec::new(),
+            chase_outcome: ChaseOutcome::BudgetExhausted,
+            backchase_outcome: ChaseOutcome::BudgetExhausted,
+            universal_plan_size: 0,
+            chase_stats: ChaseStats::default(),
+            backchase_stats: ChaseStats::default(),
+            degraded: Some(Degraded {
+                reason: DegradeReason::WorkerPanic,
+                phase: RewritePhase::Chase,
+            }),
+        });
         let pacb_us = pacb_start.elapsed().as_micros();
 
         let best_rw =
@@ -1037,6 +1101,12 @@ impl HybridOptimizer {
             }
         };
 
+        // Most upstream degradation wins: maintenance, then the relational
+        // (PACB) phase, then the LA phase.
+        let degraded = degraded
+            .or_else(|| rel.pacb.degraded.clone())
+            .or_else(|| ranked.report.degraded.clone());
+
         Ok(HybridResult {
             rel,
             table,
@@ -1045,6 +1115,7 @@ impl HybridOptimizer {
             ranked,
             best,
             verified,
+            degraded,
             elapsed_us: start.elapsed().as_micros(),
         })
     }
@@ -1057,6 +1128,9 @@ fn restamp_cast_into(
     optimizer: &mut Optimizer,
     cast: &MaintainedCast,
 ) -> Result<(), HybridError> {
+    // Fault surface: a re-stamp failure after maintenance drained the log
+    // must poison the maintainer (see `maintain_views`), not pass silently.
+    hadad_failpoint::hit("hybrid.restamp")?;
     let t =
         catalog.get(&cast.view).ok_or_else(|| HybridError::MissingTable(cast.view.clone()))?;
     // Clone only when a sort actually reorders; the unsorted path casts
@@ -1078,7 +1152,7 @@ fn maybe_sort(t: Table, key: &Option<String>) -> Result<Table, HybridError> {
     match key {
         Some(k) => {
             require_column(&t, k)?;
-            Ok(ops::sort_by_int(&t, k))
+            Ok(ops::sort_by_int(&t, k)?)
         }
         None => Ok(t),
     }
@@ -1136,8 +1210,8 @@ mod tests {
         assert_eq!(compiled.columns, vec!["tid".to_string(), "level".to_string()]);
         assert_eq!(compiled.cq.body.len(), 1);
         let via_cq = eval_cq(&compiled.cq, &compiled.columns, &cat, &tv).unwrap();
-        let sorted_direct = ops::sort_by_int(&direct, "tid");
-        let sorted_cq = ops::sort_by_int(&via_cq, "tid");
+        let sorted_direct = ops::sort_by_int(&direct, "tid").unwrap();
+        let sorted_cq = ops::sort_by_int(&via_cq, "tid").unwrap();
         assert_eq!(sorted_direct, sorted_cq);
     }
 
@@ -1183,7 +1257,10 @@ mod tests {
             &["tid", "topic", "level", "right.level"].map(String::from)
         );
         let via_cq = eval_cq(&compiled.cq, &compiled.columns, &cat, &tv).unwrap();
-        assert_eq!(ops::sort_by_int(&t, "tid"), ops::sort_by_int(&via_cq, "tid"));
+        assert_eq!(
+            ops::sort_by_int(&t, "tid").unwrap(),
+            ops::sort_by_int(&via_cq, "tid").unwrap()
+        );
     }
 
     #[test]
@@ -1218,7 +1295,7 @@ mod tests {
         let r = hy.rewrite_hybrid(&p).unwrap();
         assert!(r.rel.rewriting.is_some());
         assert_eq!(r.rel.rows_out, 10);
-        let direct = ops::sort_by_int(&prefix.execute(&hy.catalog).unwrap(), "level");
+        let direct = ops::sort_by_int(&prefix.execute(&hy.catalog).unwrap(), "level").unwrap();
         assert_eq!(r.table, direct);
     }
 

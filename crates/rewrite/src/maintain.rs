@@ -133,7 +133,14 @@ impl ViewMaintainer {
         if self.poisoned {
             return Err(HybridError::MaintenancePoisoned);
         }
-        let result = self.maintain_inner(catalog, views);
+        // Supervised: a panic mid-pass is no different from an error — the
+        // log is drained and earlier views may be mutated — so it poisons
+        // the maintainer and surfaces as the typed poisoning error instead
+        // of unwinding through the caller.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.maintain_inner(catalog, views)
+        }))
+        .unwrap_or(Err(HybridError::MaintenancePoisoned));
         if result.is_err() {
             self.poisoned = true;
         }
@@ -157,6 +164,10 @@ impl ViewMaintainer {
                 _ => queue.push(e),
             }
         }
+        // Fault surface for the poisoning contract: the log is already
+        // drained here, so a failure from this point on must leave the
+        // maintainer poisoned (state unknown until `rebuild_views`).
+        hadad_failpoint::hit("maintain.midpass")?;
         let mut report = MaintenanceReport::default();
         let mut i = 0;
         while i < queue.len() {

@@ -8,9 +8,13 @@
 //! the backchase — every candidate it returns is a full reformulation
 //! justified by the constraints, and the cost model picks the winner.
 
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
-use hadad_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostPruner, EvalMode};
+use hadad_chase::{
+    degradation_of, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostPruner,
+    DegradeReason, Degraded, EvalMode, RewritePhase,
+};
 use hadad_core::{
     BackendProfile, Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, ShapeError,
     Vrem,
@@ -64,6 +68,12 @@ pub struct RewriteReport {
     pub cost_profile: BackendProfile,
     /// Per-rule firings/matches and per-round delta sizes from the chase.
     pub chase_stats: ChaseStats,
+    /// `Some` when the pipeline had to give up completeness — a budget or
+    /// deadline tripped, or a phase worker panicked and was contained. The
+    /// returned plans are still sound (every candidate is justified by the
+    /// facts that *were* derived), but cheaper rewritings may have been
+    /// missed. `None` means the chase terminated and every phase ran clean.
+    pub degraded: Option<Degraded>,
 }
 
 /// Result of `Optimizer::rewrite`: the original plan plus all candidate
@@ -161,6 +171,11 @@ pub struct Optimizer {
     /// calibration constants every cost estimate is priced under. Defaults
     /// to the `HADAD_BACKEND` env selection (`Parallel` unless overridden).
     pub backend: BackendKind,
+    /// Optional wall-clock allowance for each `rewrite` call. When set, the
+    /// chase budget is stamped with `Instant::now() + deadline` at the start
+    /// of the call; a chase cut short by it still yields an anytime result
+    /// (see [`RewriteReport::degraded`]).
+    pub deadline: Option<Duration>,
 }
 
 impl Optimizer {
@@ -169,16 +184,31 @@ impl Optimizer {
             cat,
             // Tighter than the chase default: rewriting works expression by
             // expression, so instances are small and saturate quickly.
-            budget: ChaseBudget { max_rounds: 12, max_facts: 30_000, max_nulls: 15_000 },
+            budget: ChaseBudget {
+                max_rounds: 12,
+                max_facts: 30_000,
+                max_nulls: 15_000,
+                deadline: None,
+            },
             mode: EvalMode::default(),
             prune: PruneMode::default(),
             views: Vec::new(),
             backend: BackendKind::from_env(),
+            deadline: None,
         }
     }
 
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Bounds each `rewrite` call to roughly `timeout` of wall-clock time.
+    /// The bound is enforced inside the chase (checked at every round start
+    /// and every few TGD firings), so the pipeline degrades to the best plan
+    /// derivable from the partial instance rather than erroring.
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
         self
     }
 
@@ -284,12 +314,19 @@ impl Optimizer {
                 .extend(Catalogue::la_view_constraints(&mut vrem, &cat, &v.name, &v.def)?);
         }
 
-        let engine = ChaseEngine::new(catalogue.constraints)
-            .with_budget(self.budget)
-            .with_mode(self.mode);
+        let budget = match self.deadline {
+            Some(timeout) => self.budget.with_deadline(timeout),
+            None => self.budget,
+        };
+        let engine =
+            ChaseEngine::new(catalogue.constraints).with_budget(budget).with_mode(self.mode);
         let mut inst = encoded.instance;
         let chase_start = Instant::now();
-        let (chase_outcome, stats) = match self.prune {
+        // Phase supervision: a panic inside the chase (a bug, or an injected
+        // fault) is contained here. The partially saturated instance is still
+        // a sound under-approximation — every fact in it was derived from the
+        // catalogue — so extraction proceeds on whatever was built.
+        let chased = catch_unwind(AssertUnwindSafe(|| match self.prune {
             PruneMode::Off => engine.chase(&mut inst),
             PruneMode::CostThreshold => {
                 // `Prune_prov` for the LA path: the oracle reads propagated
@@ -305,24 +342,60 @@ impl Optimizer {
                 );
                 engine.chase_with(&mut inst, &mut pruner)
             }
+        }));
+        let (chase_outcome, stats, mut degraded) = match chased {
+            Ok((outcome, stats)) => {
+                let degraded = degradation_of(&stats, RewritePhase::Chase);
+                (outcome, stats, degraded)
+            }
+            Err(_) => (
+                ChaseOutcome::BudgetExhausted,
+                ChaseStats::default(),
+                Some(Degraded {
+                    reason: DegradeReason::WorkerPanic,
+                    phase: RewritePhase::Chase,
+                }),
+            ),
         };
         let chase_us = chase_start.elapsed().as_micros();
 
         let extract_start = Instant::now();
         let cost_fn = FlopsCost::with_profile(profile);
-        let extractor = Extractor::new(&vrem, &inst, &cost_fn);
-        let mut candidates = extractor.candidates(encoded.root);
-        if candidates.is_empty() {
-            // Un-chased leaf-only expressions still decode via `extract`.
-            candidates.extend(extractor.extract(encoded.root));
-        }
+        let candidates = catch_unwind(AssertUnwindSafe(|| {
+            let extractor = Extractor::new(&vrem, &inst, &cost_fn);
+            let mut candidates = extractor.candidates(encoded.root);
+            if candidates.is_empty() {
+                // Un-chased leaf-only expressions still decode via `extract`.
+                candidates.extend(extractor.extract(encoded.root));
+            }
+            candidates
+        }))
+        .unwrap_or_else(|_| {
+            degraded.get_or_insert(Degraded {
+                reason: DegradeReason::WorkerPanic,
+                phase: RewritePhase::Extraction,
+            });
+            Vec::new()
+        });
         let extract_us = extract_start.elapsed().as_micros();
-        if candidates.is_empty() {
+        if candidates.is_empty() && degraded.is_none() {
             return Err(RewriteError::NoPlan);
         }
 
         let rank_start = Instant::now();
-        let mut plans = rank_candidates(&cm, candidates);
+        let mut plans = catch_unwind(AssertUnwindSafe(|| rank_candidates(&cm, candidates)))
+            .unwrap_or_else(|_| {
+                degraded.get_or_insert(Degraded {
+                    reason: DegradeReason::WorkerPanic,
+                    phase: RewritePhase::Ranking,
+                });
+                Vec::new()
+            });
+        if plans.is_empty() && degraded.is_some() {
+            // Anytime guarantee: the unrewritten expression is always a
+            // sound incumbent, so a degraded call still returns a plan.
+            plans.push(original.clone());
+        }
         plans.sort_by(|a, b| {
             a.est_cost.partial_cmp(&b.est_cost).unwrap_or(std::cmp::Ordering::Equal)
         });
@@ -341,6 +414,7 @@ impl Optimizer {
             rank_us,
             cost_profile: profile,
             chase_stats: stats,
+            degraded,
         };
         Ok(RankedPlans { original, plans, report })
     }
@@ -505,6 +579,36 @@ mod tests {
         let per_rule: usize =
             pruned.report.chase_stats.rule_vetoes.iter().map(|(_, n)| n).sum();
         assert_eq!(per_rule, pruned.report.pruned_firings);
+    }
+
+    /// Anytime behaviour under an already-expired deadline: the chase stops
+    /// before round one, yet `rewrite` still returns `Ok` with the original
+    /// expression recoverable from the un-chased instance, flagged degraded.
+    #[test]
+    fn expired_deadline_degrades_to_sound_plan() {
+        let (opt, env) = trace_setup();
+        let opt = opt.with_deadline(Duration::ZERO);
+        let e = trace(mul(m("A"), m("B")));
+        let ranked = opt.rewrite(&e).unwrap();
+        let degraded = ranked.report.degraded.as_ref().expect("deadline must mark degradation");
+        assert_eq!(degraded.reason, DegradeReason::Deadline);
+        assert_eq!(degraded.phase, RewritePhase::Chase);
+        assert_eq!(ranked.report.chase_outcome, ChaseOutcome::BudgetExhausted);
+        // The anytime result is never worse than the unrewritten plan.
+        assert!(ranked.best().est_cost <= ranked.original.est_cost);
+        let (_, plan, _) = opt.rewrite_verified(&e, &env, 1e-9).unwrap();
+        assert!(plan.est_cost <= ranked.original.est_cost);
+    }
+
+    /// An ample deadline changes nothing: the full search runs and the
+    /// report is not degraded.
+    #[test]
+    fn ample_deadline_is_transparent() {
+        let (opt, _) = trace_setup();
+        let opt = opt.with_deadline(Duration::from_secs(60));
+        let ranked = opt.rewrite(&trace(mul(m("A"), m("B")))).unwrap();
+        assert!(ranked.report.degraded.is_none());
+        assert_eq!(ranked.best().expr.to_string(), "trace((B A))");
     }
 
     #[test]

@@ -115,7 +115,8 @@ fn chase_both(e: &Expr, cat: &MetaCatalog, budget: ChaseBudget) -> ChasePair {
 #[test]
 fn naive_and_semi_naive_chases_agree_on_random_corpus() {
     let cat = corpus_catalog();
-    let budget = ChaseBudget { max_rounds: 12, max_facts: 20_000, max_nulls: 10_000 };
+    let budget =
+        ChaseBudget { max_rounds: 12, max_facts: 20_000, max_nulls: 10_000, deadline: None };
     let mut rng = Rng64::new(0xADAD_5EED);
     let mut total_naive = 0u64;
     let mut total_semi = 0u64;
@@ -208,7 +209,8 @@ fn chain8_saturates_in_default_budget_and_semi_naive_wins() {
 #[test]
 fn pruned_and_unpruned_rewrites_agree_on_best_cost() {
     let cat = corpus_catalog();
-    let budget = ChaseBudget { max_rounds: 12, max_facts: 20_000, max_nulls: 10_000 };
+    let budget =
+        ChaseBudget { max_rounds: 12, max_facts: 20_000, max_nulls: 10_000, deadline: None };
     let mut rng = Rng64::new(0xADAD_5EED);
     let pruned_opt = Optimizer::new(cat.clone()).with_budget(budget);
     assert_eq!(pruned_opt.prune, PruneMode::CostThreshold, "pruning is the default");
@@ -242,11 +244,21 @@ fn chain_families_prune_and_keep_best_cost() {
     let chains: [(&[usize], ChaseBudget); 2] = [
         (
             &[96, 80, 64, 48, 36, 24, 12, 6, 1],
-            ChaseBudget { max_rounds: 12, max_facts: 30_000, max_nulls: 15_000 },
+            ChaseBudget {
+                max_rounds: 12,
+                max_facts: 30_000,
+                max_nulls: 15_000,
+                deadline: None,
+            },
         ),
         (
             &[96, 88, 80, 64, 48, 40, 36, 24, 16, 12, 6, 4, 1],
-            ChaseBudget { max_rounds: 20, max_facts: 60_000, max_nulls: 30_000 },
+            ChaseBudget {
+                max_rounds: 20,
+                max_facts: 60_000,
+                max_nulls: 30_000,
+                deadline: None,
+            },
         ),
     ];
     for (dims, budget) in chains {

@@ -3,6 +3,7 @@
 //! LA suffix rewritten onto registered LA views — both halves ranked
 //! cheaper than the originals and verified by execution.
 
+use hadad_chase::{DegradeReason, Degraded, RewritePhase};
 use hadad_core::expr::dsl::*;
 use hadad_core::{MatrixMeta, MetaCatalog};
 use hadad_linalg::{approx_eq, rand_gen, Matrix};
@@ -478,13 +479,26 @@ fn poisoned_maintenance_recovers_through_rebuild() {
         cast_name: "M".into(),
         suffix: m("M"),
     };
-    assert!(matches!(hy.rewrite_hybrid(&pipeline), Err(HybridError::StaleViews(_))));
+    // Poisoned, the pipeline still runs — degraded: base tables only (they
+    // are current; only view materializations are unknown), no views
+    // offered to either rewriter, and the degradation surfaced.
+    let r = hy.rewrite_hybrid(&pipeline).unwrap();
+    assert_eq!(
+        r.degraded,
+        Some(Degraded {
+            reason: DegradeReason::MaintenancePoisoned,
+            phase: RewritePhase::Maintenance,
+        })
+    );
+    assert!(r.rel.rewriting.is_none());
+    assert_eq!(r.rel.rows_out, NUM_TWEETS / NUM_TOPICS + 1);
 
     // Rebuild re-materializes from the current base tables (which include
     // the insert) and clears the poison.
     hy.rebuild_views().unwrap();
     assert_eq!(hy.catalog.cardinality("covid_tweets"), Some(NUM_TWEETS / NUM_TOPICS + 1));
     let r = hy.rewrite_hybrid(&pipeline).unwrap();
+    assert!(r.degraded.is_none());
     assert_eq!(r.rel.rows_out, NUM_TWEETS / NUM_TOPICS + 1);
     // And maintenance works again.
     hy.insert_rows(
@@ -554,13 +568,15 @@ fn failed_restamp_poisons_instead_of_clearing_staleness() {
         cast_name: "M".into(),
         suffix: m("M"),
     };
-    let err = hy.rewrite_hybrid(&pipeline).unwrap_err();
-    assert!(matches!(err, HybridError::StaleViews(ref vs) if vs == &["cast N".to_string()]));
+    // Poisoned runs degrade rather than refuse: the pipeline reads the
+    // (current) base table, and the degradation is surfaced on the result.
+    let r = hy.rewrite_hybrid(&pipeline).unwrap();
+    assert_eq!(r.degraded.as_ref().map(|d| d.reason), Some(DegradeReason::MaintenancePoisoned));
 
     // Rebuild fails while the source stays broken — and the failed
-    // rebuild keeps the poison, so rewrites are still refused.
+    // rebuild keeps the poison, so runs stay degraded.
     assert!(hy.rebuild_views().is_err());
-    assert!(matches!(hy.rewrite_hybrid(&pipeline), Err(HybridError::StaleViews(_))));
+    assert!(hy.rewrite_hybrid(&pipeline).unwrap().degraded.is_some());
     // Once the source is restored, rebuild succeeds and the cast metadata
     // is stamped from the restored table.
     hy.catalog.register("tweets", tweets());
