@@ -1,0 +1,70 @@
+//! Stats-propagation coverage: every predicate the chase can *produce*
+//! must have a propagation rule concluding statistics for it.
+//!
+//! The cost oracle prices candidate plans from `size` facts the
+//! propagation TGDs attach to chase-created expression classes. A
+//! predicate that some TGD conclusion can mint but that no propagation
+//! rule covers would populate the e-graph with classes the oracle cannot
+//! price — silently degrading extraction, which is why this is an error
+//! rather than a warning.
+
+use std::collections::{HashMap, HashSet};
+
+use hadad_chase::{Constraint, PredId};
+
+use crate::{IssueKind, RuleIssue, Severity};
+
+/// Checks that each conclusion-producible predicate (outside `exempt`
+/// and the stats predicates themselves) has some TGD that, given a
+/// premise atom over it, concludes an atom over one of `stats_preds`
+/// sharing a variable with that premise atom.
+pub fn check(
+    constraints: &[Constraint],
+    stats_preds: &[PredId],
+    exempt: &[PredId],
+) -> Vec<RuleIssue> {
+    let skip: HashSet<PredId> = exempt.iter().chain(stats_preds).copied().collect();
+
+    // Predicate -> name of the first rule producing it.
+    let mut producible: HashMap<PredId, &str> = HashMap::new();
+    for c in constraints {
+        let Constraint::Tgd(t) = c else { continue };
+        for atom in &t.conclusion {
+            if !skip.contains(&atom.pred) {
+                producible.entry(atom.pred).or_insert(&t.name);
+            }
+        }
+    }
+
+    // A predicate is covered when a rule reads it in the premise and
+    // concludes a stats atom connected to the same variables.
+    let mut covered: HashSet<PredId> = HashSet::new();
+    for c in constraints {
+        let Constraint::Tgd(t) = c else { continue };
+        for premise_atom in &t.premise {
+            if covered.contains(&premise_atom.pred) || skip.contains(&premise_atom.pred) {
+                continue;
+            }
+            let premise_vars: HashSet<u32> = premise_atom.vars().collect();
+            let connected_stats = t.conclusion.iter().any(|conc| {
+                stats_preds.contains(&conc.pred)
+                    && conc.vars().any(|v| premise_vars.contains(&v))
+            });
+            if connected_stats {
+                covered.insert(premise_atom.pred);
+            }
+        }
+    }
+
+    let mut missing: Vec<(PredId, &str)> =
+        producible.into_iter().filter(|(p, _)| !covered.contains(p)).collect();
+    missing.sort_by_key(|(p, _)| p.0);
+    missing
+        .into_iter()
+        .map(|(pred, rule)| RuleIssue {
+            rule: rule.to_owned(),
+            severity: Severity::Error,
+            kind: IssueKind::MissingStatsCoverage { pred },
+        })
+        .collect()
+}

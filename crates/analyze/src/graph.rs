@@ -1,0 +1,298 @@
+//! Position-dependency graph and weak-acyclicity decision.
+//!
+//! Nodes are `(predicate, argument position)` pairs. For every TGD and
+//! every universally quantified variable `x` occurring in both premise
+//! and conclusion, each premise position of `x` gets a *regular* edge to
+//! each conclusion position of `x`, and a *special* edge to every
+//! conclusion position of every existential variable (Fagin et al.,
+//! data-exchange weak acyclicity). A constraint set is weakly acyclic iff
+//! no cycle passes through a special edge — the classic guarantee that
+//! the chase terminates on every instance.
+//!
+//! This module adds one refinement: a special edge whose existential is
+//! provably bindable by the engine's conclusion-atom reuse (see
+//! [`crate::reuse_bound_existentials`]) is downgraded to
+//! [`EdgeKind::GuardedSpecial`]. Such an edge can still feed a cycle —
+//! the MMC associativity rules do exactly that — but the nulls it mints
+//! are bounded by witness reuse in practice, and the runtime
+//! [`hadad_chase::ChaseBudget`] is the documented backstop. The report
+//! therefore distinguishes `wa_strict` (no special *or* guarded edge on
+//! any cycle) from `wa_modulo_reuse` (no unguarded special edge on any
+//! cycle), and only the latter gates registration.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use hadad_chase::{Constraint, FunctionalSig, PredId, Term};
+
+use crate::{reuse_bound_existentials, IssueKind, RuleIssue, Severity};
+
+/// Edge flavour in the position-dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A universal variable flows from a premise position to a
+    /// conclusion position.
+    Regular,
+    /// A premise position feeds an existential's conclusion position and
+    /// nothing guards the existential: fresh nulls every firing.
+    Special,
+    /// Like [`EdgeKind::Special`], but conclusion-atom reuse binds the
+    /// existential to an existing witness whenever one exists.
+    GuardedSpecial,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: usize,
+    to: usize,
+    kind: EdgeKind,
+    /// Index into the analyzed constraint slice.
+    rule: usize,
+}
+
+/// The position-dependency graph of a constraint set.
+#[derive(Debug, Clone)]
+pub struct PositionGraph {
+    positions: Vec<(PredId, usize)>,
+    index: HashMap<(PredId, usize), usize>,
+    edges: Vec<Edge>,
+}
+
+impl PositionGraph {
+    /// Builds the graph. `functional` maps predicates to the functional
+    /// signatures their co-registered EGDs prove (used to classify
+    /// special edges as guarded).
+    pub fn build(
+        constraints: &[Constraint],
+        functional: &HashMap<PredId, FunctionalSig>,
+    ) -> Self {
+        let mut g =
+            PositionGraph { positions: Vec::new(), index: HashMap::new(), edges: Vec::new() };
+        for (ci, c) in constraints.iter().enumerate() {
+            let Constraint::Tgd(tgd) = c else { continue };
+            let mut premise_pos: HashMap<u32, Vec<usize>> = HashMap::new();
+            for atom in &tgd.premise {
+                for (i, t) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        premise_pos.entry(*v).or_default().push(g.node(atom.pred, i));
+                    }
+                }
+            }
+            let mut conclusion_pos: HashMap<u32, Vec<usize>> = HashMap::new();
+            for atom in &tgd.conclusion {
+                for (i, t) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        conclusion_pos.entry(*v).or_default().push(g.node(atom.pred, i));
+                    }
+                }
+            }
+            let existentials: Vec<u32> = tgd.existential_vars();
+            let guarded = reuse_bound_existentials(tgd, functional);
+            for (x, from_positions) in &premise_pos {
+                if !conclusion_pos.contains_key(x) {
+                    continue; // variable not exported to the conclusion
+                }
+                for &from in from_positions {
+                    for &to in &conclusion_pos[x] {
+                        g.edges.push(Edge { from, to, kind: EdgeKind::Regular, rule: ci });
+                    }
+                    for y in &existentials {
+                        let kind = if guarded.contains(y) {
+                            EdgeKind::GuardedSpecial
+                        } else {
+                            EdgeKind::Special
+                        };
+                        for &to in conclusion_pos.get(y).map_or(&[][..], Vec::as_slice) {
+                            g.edges.push(Edge { from, to, kind, rule: ci });
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn node(&mut self, pred: PredId, pos: usize) -> usize {
+        if let Some(&id) = self.index.get(&(pred, pos)) {
+            return id;
+        }
+        let id = self.positions.len();
+        self.positions.push((pred, pos));
+        self.index.insert((pred, pos), id);
+        id
+    }
+
+    /// Number of `(predicate, position)` nodes.
+    pub fn num_positions(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of distinct `(from, to)` edges of the given kind.
+    pub fn num_edges(&self, kind: EdgeKind) -> usize {
+        let set: HashSet<(usize, usize)> =
+            self.edges.iter().filter(|e| e.kind == kind).map(|e| (e.from, e.to)).collect();
+        set.len()
+    }
+
+    /// Iterative Tarjan strongly-connected components; returns the
+    /// component id of each node.
+    fn sccs(&self) -> Vec<usize> {
+        let n = self.positions.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.from].push(e.to);
+        }
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut num_comps = 0usize;
+        // Explicit DFS frames: (node, next child offset).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            frames.push((start, 0));
+            while let Some(&(v, child)) = frames.last() {
+                if child == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if child < adj[v].len() {
+                    let w = adj[v][child];
+                    frames.last_mut().expect("frame exists").1 += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = num_comps;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        num_comps += 1;
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// Shortest path `from → … → to` over all edges (BFS); `None` when
+    /// unreachable. Returns the node sequence including both endpoints.
+    fn path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let n = self.positions.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.from].push(e.to);
+        }
+        let mut parent = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[from] = true;
+        queue.push_back(from);
+        while let Some(v) = queue.pop_front() {
+            if v == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    parent[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Decides weak acyclicity and renders per-rule cycle findings.
+    /// Returns `(issues, wa_strict, wa_modulo_reuse)`. One finding per
+    /// rule: [`IssueKind::SpecialCycle`] (error) when any of the rule's
+    /// unguarded special edges closes a cycle, otherwise
+    /// [`IssueKind::GuardedCycle`] (info) when a guarded one does.
+    pub fn cycle_issues(&self, constraints: &[Constraint]) -> (Vec<RuleIssue>, bool, bool) {
+        let comp = self.sccs();
+        let mut special_by_rule: HashMap<usize, &Edge> = HashMap::new();
+        let mut guarded_by_rule: HashMap<usize, &Edge> = HashMap::new();
+        let mut wa_strict = true;
+        let mut wa_modulo_reuse = true;
+        for e in &self.edges {
+            if e.kind == EdgeKind::Regular {
+                continue;
+            }
+            // `u == v` is a cycle outright; otherwise membership in one
+            // SCC means v reaches u, closing the loop through this edge.
+            let on_cycle = e.from == e.to || comp[e.from] == comp[e.to];
+            if !on_cycle {
+                continue;
+            }
+            wa_strict = false;
+            match e.kind {
+                EdgeKind::Special => {
+                    wa_modulo_reuse = false;
+                    special_by_rule.entry(e.rule).or_insert(e);
+                }
+                EdgeKind::GuardedSpecial => {
+                    guarded_by_rule.entry(e.rule).or_insert(e);
+                }
+                EdgeKind::Regular => unreachable!(),
+            }
+        }
+        let mut issues = Vec::new();
+        for (&rule, &edge) in &special_by_rule {
+            issues.push(RuleIssue {
+                rule: constraints[rule].name().to_owned(),
+                severity: Severity::Error,
+                kind: IssueKind::SpecialCycle { path: self.witness(edge) },
+            });
+        }
+        for (&rule, &edge) in &guarded_by_rule {
+            if special_by_rule.contains_key(&rule) {
+                continue; // the error already covers this rule
+            }
+            issues.push(RuleIssue {
+                rule: constraints[rule].name().to_owned(),
+                severity: Severity::Info,
+                kind: IssueKind::GuardedCycle { path: self.witness(edge) },
+            });
+        }
+        issues.sort_by(|a, b| a.rule.cmp(&b.rule));
+        (issues, wa_strict, wa_modulo_reuse)
+    }
+
+    /// A witness cycle through `edge`: `from → to → … → from`.
+    fn witness(&self, edge: &Edge) -> Vec<(PredId, usize)> {
+        let mut nodes = vec![edge.from, edge.to];
+        if edge.from != edge.to {
+            if let Some(back) = self.path(edge.to, edge.from) {
+                nodes.extend(back.into_iter().skip(1));
+            }
+        } else {
+            nodes = vec![edge.from, edge.from];
+        }
+        nodes.into_iter().map(|i| self.positions[i]).collect()
+    }
+}

@@ -1,0 +1,137 @@
+//! Range-restriction / safety checks over individual dependencies.
+//!
+//! These are the per-rule sanity conditions that make a dependency
+//! meaningful to chase at all: EGDs may only equate things their premise
+//! binds, atoms must respect declared arities, and a TGD should neither
+//! mint nulls unconditionally (empty premise + existentials) nor conclude
+//! facts completely disconnected from what it matched.
+
+use std::collections::{HashMap, HashSet};
+
+use hadad_chase::{Constraint, Egd, FunctionalSig, PredId, Term, Tgd, Vocabulary};
+
+use crate::{reuse_bound_existentials, IssueKind, RuleIssue, Severity};
+
+/// Runs every safety check over the constraint set. Arity validation
+/// requires `vocab` (the one the constraints were interned against) and
+/// is skipped when absent. `functional` feeds the unguarded-existential
+/// cross-check.
+pub fn check(
+    constraints: &[Constraint],
+    vocab: Option<&Vocabulary>,
+    functional: &HashMap<PredId, FunctionalSig>,
+) -> Vec<RuleIssue> {
+    let mut issues = Vec::new();
+    for c in constraints {
+        match c {
+            Constraint::Tgd(t) => check_tgd(t, vocab, functional, &mut issues),
+            Constraint::Egd(e) => check_egd(e, vocab, &mut issues),
+        }
+    }
+    issues
+}
+
+fn check_arities(
+    rule: &str,
+    atoms: &[hadad_chase::Atom],
+    vocab: &Vocabulary,
+    issues: &mut Vec<RuleIssue>,
+) {
+    for atom in atoms {
+        if (atom.pred.0 as usize) >= vocab.num_preds() {
+            // Predicate interned elsewhere: arity unknown, skip rather
+            // than panic inside `pred_arity`.
+            continue;
+        }
+        let expected = vocab.pred_arity(atom.pred);
+        if atom.args.len() != expected {
+            issues.push(RuleIssue {
+                rule: rule.to_owned(),
+                severity: Severity::Error,
+                kind: IssueKind::ArityMismatch {
+                    pred: atom.pred,
+                    expected,
+                    found: atom.args.len(),
+                },
+            });
+        }
+    }
+}
+
+fn check_tgd(
+    tgd: &Tgd,
+    vocab: Option<&Vocabulary>,
+    functional: &HashMap<PredId, FunctionalSig>,
+    issues: &mut Vec<RuleIssue>,
+) {
+    if let Some(v) = vocab {
+        check_arities(&tgd.name, &tgd.premise, v, issues);
+        check_arities(&tgd.name, &tgd.conclusion, v, issues);
+    }
+    let existentials = tgd.existential_vars();
+    if tgd.premise.is_empty() && !existentials.is_empty() {
+        issues.push(RuleIssue {
+            rule: tgd.name.clone(),
+            severity: Severity::Error,
+            kind: IssueKind::UnboundedGenerator,
+        });
+    }
+    let premise_vars: HashSet<u32> =
+        tgd.premise.iter().flat_map(hadad_chase::Atom::vars).collect();
+    let conclusion_vars: HashSet<u32> =
+        tgd.conclusion.iter().flat_map(hadad_chase::Atom::vars).collect();
+    if !tgd.premise.is_empty()
+        && !premise_vars.is_empty()
+        && !conclusion_vars.is_empty()
+        && premise_vars.is_disjoint(&conclusion_vars)
+    {
+        issues.push(RuleIssue {
+            rule: tgd.name.clone(),
+            severity: Severity::Warning,
+            kind: IssueKind::DisconnectedConclusion,
+        });
+    }
+    // PR 4 cross-check: the engine binds existentials via conclusion-atom
+    // reuse at functional-EGD output positions; an existential nothing can
+    // bind means fresh nulls on every firing even when witnesses exist.
+    let guarded = reuse_bound_existentials(tgd, functional);
+    for v in existentials {
+        if !guarded.contains(&v) {
+            issues.push(RuleIssue {
+                rule: tgd.name.clone(),
+                severity: Severity::Warning,
+                kind: IssueKind::UnguardedExistential { var: v },
+            });
+        }
+    }
+}
+
+fn check_egd(egd: &Egd, vocab: Option<&Vocabulary>, issues: &mut Vec<RuleIssue>) {
+    if let Some(v) = vocab {
+        check_arities(&egd.name, &egd.premise, v, issues);
+    }
+    let premise_vars: HashSet<u32> =
+        egd.premise.iter().flat_map(hadad_chase::Atom::vars).collect();
+    for (l, r) in &egd.equalities {
+        for t in [l, r] {
+            if let Term::Var(v) = t {
+                if !premise_vars.contains(v) {
+                    issues.push(RuleIssue {
+                        rule: egd.name.clone(),
+                        severity: Severity::Error,
+                        kind: IssueKind::UnboundEgdVar { var: *v },
+                    });
+                }
+            }
+        }
+        if let (Term::Const(a), Term::Const(b)) = (l, r) {
+            if a != b {
+                issues.push(RuleIssue {
+                    rule: egd.name.clone(),
+                    severity: Severity::Error,
+                    kind: IssueKind::ConstantClash,
+                });
+            }
+        }
+    }
+}

@@ -6,11 +6,14 @@ use crate::term::Term;
 /// A relational atom `P(t1, ..., tn)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
+    /// The predicate symbol.
     pub pred: PredId,
+    /// The argument terms, in position order.
     pub args: Vec<Term>,
 }
 
 impl Atom {
+    /// An atom `pred(args...)`.
     pub fn new(pred: PredId, args: Vec<Term>) -> Self {
         Atom { pred, args }
     }

@@ -70,9 +70,13 @@ impl ChaseBudget {
 /// Which resource bound ended a budget-exhausted chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExhaustedBy {
+    /// The round budget ran out.
     Rounds,
+    /// The fact budget ran out.
     Facts,
+    /// The labelled-null budget ran out.
     Nulls,
+    /// The wall-clock deadline passed.
     Deadline,
     /// An armed failpoint (`chase.round=error`) asked the round loop to
     /// stop — the degradation path behaves exactly like a budget trip.
@@ -97,7 +101,9 @@ impl std::fmt::Display for ExhaustedBy {
 /// incumbent found up to that point rather than the full search's answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Degraded {
+    /// What ended the phase early.
     pub reason: DegradeReason,
+    /// The phase that was cut short.
     pub phase: RewritePhase,
 }
 
@@ -150,10 +156,15 @@ pub fn degradation_of(stats: &ChaseStats, phase: RewritePhase) -> Option<Degrade
 /// Which pipeline phase degraded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RewritePhase {
+    /// Forward chase (saturation).
     Chase,
+    /// Backchase (candidate minimization).
     Backchase,
+    /// Plan extraction from the saturated instance.
     Extraction,
+    /// Candidate ranking / verification.
     Ranking,
+    /// Incremental view maintenance.
     Maintenance,
 }
 
@@ -240,6 +251,7 @@ pub struct CostPruner<'a> {
 }
 
 impl<'a> CostPruner<'a> {
+    /// A pruner vetoing firings the oracle prices above `incumbent`.
     pub fn new(oracle: &'a dyn CostOracle, incumbent: f64) -> Self {
         CostPruner { oracle, incumbent }
     }
@@ -252,6 +264,7 @@ impl<'a> CostPruner<'a> {
         }
     }
 
+    /// The current pruning threshold.
     pub fn incumbent(&self) -> f64 {
         self.incumbent
     }
@@ -274,9 +287,13 @@ impl Pruner for CostPruner<'_> {
 /// which LA properties fired, cf. the paper's per-pipeline discussions).
 #[derive(Debug, Clone, Default)]
 pub struct ChaseStats {
+    /// Rounds the chase ran before saturating or exhausting its budget.
     pub rounds: usize,
+    /// Successful firings per TGD, in the engine's constraint order.
     pub tgd_firings: Vec<(String, usize)>,
+    /// Node merges performed by EGDs.
     pub egd_merges: usize,
+    /// Total firings vetoed by the cost pruner.
     pub pruned_firings: usize,
     /// Firings vetoed by the pruner, per rule (same order as the engine's
     /// constraint list; EGDs are never offered to the pruner and stay 0).
@@ -312,10 +329,15 @@ struct PendingFiring {
 /// EGDs: `inputs` are the agreeing positions of the two-atom premise,
 /// `outputs` the equated ones. Existence of such an EGD proves that the
 /// outputs are semantically determined by the inputs, which is what makes
-/// conclusion-atom *reuse* sound (see [`ChaseEngine::apply_tgd`]).
-struct FunctionalSig {
-    inputs: Vec<usize>,
-    outputs: Vec<usize>,
+/// conclusion-atom *reuse* sound (see [`ChaseEngine::apply_tgd`]). Public
+/// so static analysis (`hadad-analyze`) can certify which TGD existentials
+/// the engine will bind by reuse rather than mint as fresh nulls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalSig {
+    /// Premise positions the two atoms agree on (the functional key).
+    pub inputs: Vec<usize>,
+    /// Positions whose values the EGD forces equal (determined outputs).
+    pub outputs: Vec<usize>,
 }
 
 /// Detects the generalized `Egd::functional` shape: two atoms over one
@@ -324,7 +346,7 @@ struct FunctionalSig {
 /// (and nothing else) being equated. Covers `I_multiM` (one output) and
 /// the QR/LU EGDs (two outputs) as well as inverse-functional constraints
 /// like `name-unique` (input = the name constant position).
-fn functional_sig(egd: &Egd) -> Option<(crate::symbols::PredId, FunctionalSig)> {
+pub fn functional_sig(egd: &Egd) -> Option<(crate::symbols::PredId, FunctionalSig)> {
     let [a, b] = egd.premise.as_slice() else {
         return None;
     };
@@ -368,21 +390,27 @@ fn functional_sig(egd: &Egd) -> Option<(crate::symbols::PredId, FunctionalSig)> 
 /// The chase engine: an ordered list of constraints plus budgets.
 #[derive(Debug, Clone)]
 pub struct ChaseEngine {
+    /// The dependencies to saturate under, in firing order.
     pub constraints: Vec<Constraint>,
+    /// Resource bounds ending a divergent run.
     pub budget: ChaseBudget,
+    /// Naive or semi-naïve premise evaluation.
     pub mode: EvalMode,
 }
 
 impl ChaseEngine {
+    /// An engine over `constraints` with default budget and mode.
     pub fn new(constraints: Vec<Constraint>) -> Self {
         ChaseEngine { constraints, budget: ChaseBudget::default(), mode: EvalMode::default() }
     }
 
+    /// Replaces the budget.
     pub fn with_budget(mut self, budget: ChaseBudget) -> Self {
         self.budget = budget;
         self
     }
 
+    /// Replaces the evaluation mode.
     pub fn with_mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
         self

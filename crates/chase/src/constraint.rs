@@ -15,11 +15,14 @@ pub struct Tgd {
     /// Human-readable tag (e.g. `"mult-assoc"`, `"V_IO:V1"`) used by tests,
     /// traces, and the per-rule statistics of the optimizer.
     pub name: String,
+    /// Premise conjunction (the body matched against the instance).
     pub premise: Vec<Atom>,
+    /// Conclusion conjunction (facts asserted on each match).
     pub conclusion: Vec<Atom>,
 }
 
 impl Tgd {
+    /// A TGD `premise → conclusion` named `name`.
     pub fn new(name: impl Into<String>, premise: Vec<Atom>, conclusion: Vec<Atom>) -> Self {
         Tgd { name: name.into(), premise, conclusion }
     }
@@ -29,7 +32,7 @@ impl Tgd {
     /// by the chase.
     pub fn existential_vars(&self) -> Vec<u32> {
         let premise_vars: std::collections::HashSet<u32> =
-            self.premise.iter().flat_map(|a| a.vars()).collect();
+            self.premise.iter().flat_map(super::atom::Atom::vars).collect();
         let mut out = Vec::new();
         for a in &self.conclusion {
             for v in a.vars() {
@@ -41,6 +44,7 @@ impl Tgd {
         out
     }
 
+    /// Renders `[name] premise → conclusion` for debugging.
     pub fn display(&self, vocab: &Vocabulary) -> String {
         let p: Vec<String> = self.premise.iter().map(|a| a.display(vocab)).collect();
         let c: Vec<String> = self.conclusion.iter().map(|a| a.display(vocab)).collect();
@@ -51,13 +55,16 @@ impl Tgd {
 /// Equality-generating dependency: premise plus pairs of terms to equate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Egd {
+    /// Human-readable tag, as for [`Tgd::name`].
     pub name: String,
+    /// Premise conjunction.
     pub premise: Vec<Atom>,
     /// Conjunction of equalities `w = w'` over premise variables/constants.
     pub equalities: Vec<(Term, Term)>,
 }
 
 impl Egd {
+    /// An EGD `premise → equalities` named `name`.
     pub fn new(
         name: impl Into<String>,
         premise: Vec<Atom>,
@@ -94,11 +101,14 @@ impl Egd {
 /// Either kind of dependency.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Constraint {
+    /// A tuple-generating dependency.
     Tgd(Tgd),
+    /// An equality-generating dependency.
     Egd(Egd),
 }
 
 impl Constraint {
+    /// The rule's name, whichever kind it is.
     pub fn name(&self) -> &str {
         match self {
             Constraint::Tgd(t) => &t.name,

@@ -13,10 +13,12 @@ use crate::term::Term;
 pub struct Cq {
     /// Distinguished (head) terms.
     pub head: Vec<Term>,
+    /// Body atoms (conjunction).
     pub body: Vec<Atom>,
 }
 
 impl Cq {
+    /// A CQ `head :- body`; debug-asserts safety (head vars body-bound).
     pub fn new(head: Vec<Term>, body: Vec<Atom>) -> Self {
         let q = Cq { head, body };
         debug_assert!(q.is_safe(), "head variables must occur in the body");
@@ -43,7 +45,7 @@ impl Cq {
     pub fn var_bound(&self) -> u32 {
         self.body
             .iter()
-            .flat_map(|a| a.vars())
+            .flat_map(super::atom::Atom::vars)
             .chain(self.head_vars())
             .max()
             .map_or(0, |v| v + 1)

@@ -19,7 +19,9 @@ use crate::term::Term;
 /// index of the fact each atom was mapped to.
 #[derive(Debug, Clone)]
 pub struct Match {
+    /// Node each variable was bound to.
     pub bindings: HashMap<u32, NodeId>,
+    /// Per conjunct, the index of the fact it mapped onto.
     pub fact_indices: Vec<usize>,
 }
 

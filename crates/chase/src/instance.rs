@@ -24,8 +24,11 @@ pub struct NodeId(pub u32);
 /// the rule that produced it (empty for input facts).
 #[derive(Debug, Clone)]
 pub struct Fact {
+    /// The predicate symbol.
     pub pred: PredId,
+    /// Argument nodes (canonical at last rehash).
     pub args: Vec<NodeId>,
+    /// Provenance formula: which input conjuncts support the fact.
     pub prov: Provenance,
     /// Index (into the engine's rule list) of the producing rule, if any.
     pub rule: Option<usize>,
@@ -70,7 +73,9 @@ pub struct Instance {
 /// is inconsistent with the instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConstClash {
+    /// First equated constant.
     pub a: SymId,
+    /// Second, distinct, equated constant.
     pub b: SymId,
 }
 
@@ -78,6 +83,7 @@ pub struct ConstClash {
 /// variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NonGroundAtom {
+    /// The variable that made the atom non-ground.
     pub var: u32,
 }
 
@@ -109,6 +115,7 @@ impl Default for Instance {
 }
 
 impl Instance {
+    /// An empty instance.
     pub fn new() -> Self {
         Self::default()
     }
@@ -137,10 +144,12 @@ impl Instance {
         self.push_node(None)
     }
 
+    /// Number of labelled nulls created so far.
     pub fn num_nulls(&self) -> usize {
         self.nulls
     }
 
+    /// Total node count (constants + nulls).
     pub fn num_nodes(&self) -> usize {
         self.parent.len()
     }
@@ -305,14 +314,17 @@ impl Instance {
         Ok(self.insert(atom.pred, args, prov, None).0)
     }
 
+    /// All facts, in insertion order (including merged-away duplicates).
     pub fn facts(&self) -> &[Fact] {
         &self.facts
     }
 
+    /// The fact at index `i`.
     pub fn fact(&self, i: usize) -> &Fact {
         &self.facts[i]
     }
 
+    /// Number of stored facts.
     pub fn num_facts(&self) -> usize {
         self.facts.len()
     }

@@ -33,8 +33,9 @@ pub mod term;
 
 pub use atom::Atom;
 pub use chase::{
-    degradation_of, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostOracle, CostPruner,
-    DegradeReason, Degraded, EvalMode, ExhaustedBy, NoPrune, Pruner, RewritePhase,
+    degradation_of, functional_sig, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats,
+    CostOracle, CostPruner, DegradeReason, Degraded, EvalMode, ExhaustedBy, FunctionalSig,
+    NoPrune, Pruner, RewritePhase,
 };
 pub use constraint::{Constraint, Egd, Tgd};
 pub use cq::Cq;

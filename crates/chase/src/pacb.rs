@@ -33,13 +33,16 @@ use crate::term::Term;
 /// A view: a named CQ whose result is materialized under `head_pred`.
 #[derive(Debug, Clone)]
 pub struct View {
+    /// Human-readable view name (used in rule tags like `V_IO:<name>`).
     pub name: String,
     /// Predicate (over the view schema) holding the materialized output.
     pub head_pred: PredId,
+    /// The defining CQ over base predicates.
     pub def: Cq,
 }
 
 impl View {
+    /// A view `name` materializing `def` under `head_pred`.
     pub fn new(name: impl Into<String>, head_pred: PredId, def: Cq) -> Self {
         View { name: name.into(), head_pred, def }
     }
@@ -66,6 +69,7 @@ impl View {
 /// Options for a PACB run.
 #[derive(Debug, Clone, Default)]
 pub struct PacbOptions {
+    /// Budget applied to both chase phases.
     pub budget: ChaseBudget,
     /// When set, backchase steps whose premise image (a subquery of `U`)
     /// costs strictly more than this threshold are pruned (`Prune_prov`).
@@ -90,7 +94,9 @@ pub type CostFn<'a> = &'a dyn Fn(&Instance, &[usize]) -> f64;
 pub struct Pacb<'a> {
     /// Source integrity constraints `I`.
     pub constraints: &'a [Constraint],
+    /// The registered views to reformulate over.
     pub views: &'a [View],
+    /// Budgets and pruning knobs.
     pub options: PacbOptions,
     /// Cost of a candidate rewriting, given the universal-plan atoms it
     /// uses. Required when `prune_threshold` is set; also used to attach
@@ -128,8 +134,11 @@ impl CostOracle for ProvCostOracle<'_> {
 /// Result of a PACB run.
 #[derive(Debug)]
 pub struct PacbResult {
+    /// Every equivalent rewriting found, over view predicates.
     pub rewritings: Vec<Rewriting>,
+    /// How the forward chase ended.
     pub chase_outcome: ChaseOutcome,
+    /// How the backchase ended.
     pub backchase_outcome: ChaseOutcome,
     /// Number of universal-plan atoms.
     pub universal_plan_size: usize,
@@ -146,15 +155,18 @@ pub struct PacbResult {
 }
 
 impl<'a> Pacb<'a> {
+    /// A PACB engine over `constraints` and `views` with default options.
     pub fn new(constraints: &'a [Constraint], views: &'a [View]) -> Self {
         Pacb { constraints, views, options: PacbOptions::default(), cost_fn: None }
     }
 
+    /// Replaces the options.
     pub fn with_options(mut self, options: PacbOptions) -> Self {
         self.options = options;
         self
     }
 
+    /// Attaches the cost function pruning and ranking read.
     pub fn with_cost_fn(mut self, f: CostFn<'a>) -> Self {
         self.cost_fn = Some(f);
         self

@@ -38,10 +38,12 @@ impl Provenance {
         Provenance { conjuncts: vec![1u128 << i] }
     }
 
+    /// `true` for the empty formula (an input fact).
     pub fn is_empty(&self) -> bool {
         self.conjuncts.is_empty()
     }
 
+    /// The supporting conjuncts.
     pub fn conjuncts(&self) -> &[Conjunct] {
         &self.conjuncts
     }

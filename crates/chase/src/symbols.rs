@@ -24,6 +24,7 @@ pub struct Vocabulary {
 }
 
 impl Vocabulary {
+    /// An empty vocabulary.
     pub fn new() -> Self {
         Self::default()
     }
@@ -67,18 +68,22 @@ impl Vocabulary {
         self.pred_ids.get(name).copied()
     }
 
+    /// The name a constant was interned under.
     pub fn const_name(&self, id: SymId) -> &str {
         &self.consts[id.0 as usize]
     }
 
+    /// The name a predicate was interned under.
     pub fn pred_name(&self, id: PredId) -> &str {
         &self.preds[id.0 as usize].0
     }
 
+    /// The declared arity of a predicate.
     pub fn pred_arity(&self, id: PredId) -> usize {
         self.preds[id.0 as usize].1
     }
 
+    /// Number of interned predicates.
     pub fn num_preds(&self) -> usize {
         self.preds.len()
     }

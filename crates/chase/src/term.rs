@@ -13,10 +13,12 @@ pub enum Term {
 }
 
 impl Term {
+    /// `true` for a variable.
     pub fn is_var(&self) -> bool {
         matches!(self, Term::Var(_))
     }
 
+    /// The variable index, if this is a variable.
     pub fn as_var(&self) -> Option<u32> {
         match self {
             Term::Var(v) => Some(*v),
@@ -24,6 +26,7 @@ impl Term {
         }
     }
 
+    /// The constant symbol, if this is a constant.
     pub fn as_const(&self) -> Option<SymId> {
         match self {
             Term::Var(_) => None,

@@ -34,6 +34,7 @@ fn v(i: u32) -> Term {
 /// [`hadad_chase::ChaseEngine`].
 #[derive(Debug, Clone)]
 pub struct Catalogue {
+    /// The rule set, in firing order.
     pub constraints: Vec<Constraint>,
 }
 
@@ -50,7 +51,28 @@ impl Catalogue {
 
     /// Names of all constraints (for tests and diagnostics).
     pub fn names(&self) -> Vec<&str> {
-        self.constraints.iter().map(|c| c.name()).collect()
+        self.constraints.iter().map(hadad_chase::Constraint::name).collect()
+    }
+
+    /// Static analysis of the catalogue (`hadad-analyze`): range
+    /// restriction, weak acyclicity modulo conclusion-atom reuse,
+    /// functional-signature cross-checks, duplicate detection, and
+    /// stats-propagation coverage. `vrem` must be the schema the
+    /// constraints were built over. [`hadad_analyze::RuleReport::certified`]
+    /// is the registration / CI gate.
+    pub fn analyze(&self, vrem: &Vrem) -> hadad_analyze::RuleReport {
+        hadad_analyze::Analyzer::new(&self.constraints)
+            .with_vocab(&vrem.vocab)
+            .with_stats_preds(vec![vrem.size])
+            .with_coverage_exempt(vec![
+                vrem.name,
+                vrem.lit,
+                vrem.ty,
+                vrem.identity,
+                vrem.zero,
+                vrem.density,
+            ])
+            .report()
     }
 
     /// `I_<rel>`: each operator relation is functional in its outputs.
@@ -782,7 +804,7 @@ mod tests {
         let (vrem, inst, root, _) = chase_of(&e, &cat);
         let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
         let cands = ex.candidates(root);
-        let strs: Vec<String> = cands.iter().map(|c| c.to_string()).collect();
+        let strs: Vec<String> = cands.iter().map(std::string::ToString::to_string).collect();
         assert!(strs.contains(&"trace((A B))".to_string()), "{strs:?}");
         assert!(strs.contains(&"trace((B A))".to_string()), "{strs:?}");
     }
@@ -879,7 +901,8 @@ mod tests {
         let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
         // trace(W) (size 2) beats trace((A B)) (size 4) under tree size.
         assert_eq!(ex.extract(enc.root).unwrap(), trace(m("W")));
-        let strs: Vec<String> = ex.candidates(enc.root).iter().map(|c| c.to_string()).collect();
+        let strs: Vec<String> =
+            ex.candidates(enc.root).iter().map(std::string::ToString::to_string).collect();
         assert!(strs.contains(&"trace(W)".to_string()), "{strs:?}");
     }
 
@@ -906,7 +929,8 @@ mod tests {
         let (outcome, _) = engine.chase(&mut inst);
         assert_eq!(outcome, ChaseOutcome::Saturated);
         let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
-        let strs: Vec<String> = ex.candidates(enc.root).iter().map(|c| c.to_string()).collect();
+        let strs: Vec<String> =
+            ex.candidates(enc.root).iter().map(std::string::ToString::to_string).collect();
         // The expansion feeds the structural rules: re-association through
         // the view definition surfaces at the root.
         assert!(strs.contains(&"(W x)".to_string()), "{strs:?}");
@@ -920,7 +944,7 @@ mod tests {
             .map(|f| inst.find(f.args[0]))
             .unwrap();
         let w_strs: Vec<String> =
-            ex.candidates(w_class).iter().map(|c| c.to_string()).collect();
+            ex.candidates(w_class).iter().map(std::string::ToString::to_string).collect();
         assert!(w_strs.contains(&"W".to_string()), "{w_strs:?}");
         assert!(w_strs.contains(&"(A B)".to_string()), "{w_strs:?}");
     }
@@ -1004,7 +1028,8 @@ mod tests {
         let e = mul(mul(m("A"), m("B")), m("x"));
         let (vrem, inst, root, _) = chase_of(&e, &cat);
         let ex = Extractor::new(&vrem, &inst, &TreeSizeCost);
-        let strs: Vec<String> = ex.candidates(root).iter().map(|c| c.to_string()).collect();
+        let strs: Vec<String> =
+            ex.candidates(root).iter().map(std::string::ToString::to_string).collect();
         assert!(strs.contains(&"((A B) x)".to_string()), "{strs:?}");
         assert!(strs.contains(&"(A (B x))".to_string()), "{strs:?}");
     }

@@ -28,6 +28,7 @@ pub(crate) fn density_sym(vrem: &mut Vrem, density: f64) -> hadad_chase::SymId {
 /// Result of encoding an expression.
 #[derive(Debug)]
 pub struct Encoded {
+    /// The canonical instance holding the encoded facts.
     pub instance: Instance,
     /// Class of the whole expression (the CQ head of `enc_LA(E)`).
     pub root: NodeId,
@@ -36,7 +37,9 @@ pub struct Encoded {
 /// Encoder state: shares subexpression classes structurally so that e.g.
 /// `M` appearing twice maps to one class even before the chase runs.
 pub struct Encoder<'a> {
+    /// The VREM schema facts are encoded over.
     pub vrem: &'a mut Vrem,
+    /// Metadata for base-matrix stats facts.
     pub cat: &'a MetaCatalog,
     inst: Instance,
     memo: HashMap<String, NodeId>,
@@ -45,6 +48,7 @@ pub struct Encoder<'a> {
 }
 
 impl<'a> Encoder<'a> {
+    /// An encoder over `vrem` with metadata from `cat`.
     pub fn new(vrem: &'a mut Vrem, cat: &'a MetaCatalog) -> Self {
         Encoder {
             vrem,
@@ -234,8 +238,11 @@ impl<'a> Encoder<'a> {
 /// §6.2.4, Figure 3): the returned atoms form a TGD premise and
 /// `root_var` is the variable holding the view's output class.
 pub struct CqEncoder<'a> {
+    /// The VREM schema atoms are built over.
     pub vrem: &'a mut Vrem,
+    /// Metadata for constant stats atoms.
     pub cat: &'a MetaCatalog,
+    /// The accumulated CQ body.
     pub atoms: Vec<Atom>,
     next_var: u32,
     memo: HashMap<String, u32>,
@@ -248,6 +255,7 @@ pub struct CqEncoder<'a> {
 }
 
 impl<'a> CqEncoder<'a> {
+    /// A CQ encoder over `vrem` with metadata from `cat`.
     pub fn new(vrem: &'a mut Vrem, cat: &'a MetaCatalog) -> Self {
         CqEncoder {
             vrem,
@@ -265,6 +273,7 @@ impl<'a> CqEncoder<'a> {
         self
     }
 
+    /// A fresh CQ variable.
     pub fn fresh_var(&mut self) -> u32 {
         let v = self.next_var;
         self.next_var += 1;

@@ -22,7 +22,9 @@ pub enum Expr {
     Zero(usize, usize),
 
     // -- binary --
+    /// Matrix addition.
     Add(Box<Expr>, Box<Expr>),
+    /// Matrix subtraction.
     Sub(Box<Expr>, Box<Expr>),
     /// Matrix product.
     Mul(Box<Expr>, Box<Expr>),
@@ -38,7 +40,9 @@ pub enum Expr {
     ScalarMul(Box<Expr>, Box<Expr>),
 
     // -- unary, matrix-valued --
+    /// Transposition.
     Transpose(Box<Expr>),
+    /// Matrix inverse.
     Inv(Box<Expr>),
     /// Adjugate (classical adjoint).
     Adj(Box<Expr>),
@@ -48,24 +52,41 @@ pub enum Expr {
     Diag(Box<Expr>),
     /// Row-order reversal (SystemML `rev`).
     Rev(Box<Expr>),
+    /// Per-row sums, as a column vector.
     RowSums(Box<Expr>),
+    /// Per-column sums, as a row vector.
     ColSums(Box<Expr>),
+    /// Per-row means, as a column vector.
     RowMeans(Box<Expr>),
+    /// Per-column means, as a row vector.
     ColMeans(Box<Expr>),
+    /// Per-row minima, as a column vector.
     RowMin(Box<Expr>),
+    /// Per-row maxima, as a column vector.
     RowMax(Box<Expr>),
+    /// Per-column minima, as a row vector.
     ColMin(Box<Expr>),
+    /// Per-column maxima, as a row vector.
     ColMax(Box<Expr>),
+    /// Per-row population variances, as a column vector.
     RowVar(Box<Expr>),
+    /// Per-column population variances, as a row vector.
     ColVar(Box<Expr>),
 
     // -- unary, scalar-valued (1x1) --
+    /// Determinant.
     Det(Box<Expr>),
+    /// Trace.
     Trace(Box<Expr>),
+    /// Sum of all entries.
     Sum(Box<Expr>),
+    /// Minimum entry.
     Min(Box<Expr>),
+    /// Maximum entry.
     Max(Box<Expr>),
+    /// Mean of all entries.
     Mean(Box<Expr>),
+    /// Population variance of all entries.
     Var(Box<Expr>),
 
     // -- decomposition component accessors --
@@ -82,6 +103,7 @@ pub enum Expr {
 }
 
 impl Expr {
+    /// A base matrix (or view) reference.
     pub fn mat(name: impl Into<String>) -> Expr {
         Expr::Mat(name.into())
     }
@@ -194,54 +216,71 @@ impl fmt::Display for Expr {
 pub mod dsl {
     use super::Expr;
 
+    /// [`Expr::Mat`] reference.
     pub fn m(name: &str) -> Expr {
         Expr::mat(name)
     }
+    /// Scalar literal (1x1).
     pub fn lit(v: f64) -> Expr {
         Expr::Const(v)
     }
+    /// `a + b`.
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(Box::new(a), Box::new(b))
     }
+    /// `a - b`.
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Sub(Box::new(a), Box::new(b))
     }
+    /// Matrix product `a b`.
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Mul(Box::new(a), Box::new(b))
     }
+    /// Hadamard product.
     pub fn had(a: Expr, b: Expr) -> Expr {
         Expr::Hadamard(Box::new(a), Box::new(b))
     }
+    /// Element-wise division.
     pub fn div(a: Expr, b: Expr) -> Expr {
         Expr::Div(Box::new(a), Box::new(b))
     }
+    /// Scalar-matrix product (`s` must be 1x1).
     pub fn smul(s: Expr, a: Expr) -> Expr {
         Expr::ScalarMul(Box::new(s), Box::new(a))
     }
+    /// Transpose.
     pub fn t(a: Expr) -> Expr {
         Expr::Transpose(Box::new(a))
     }
+    /// Inverse.
     pub fn inv(a: Expr) -> Expr {
         Expr::Inv(Box::new(a))
     }
+    /// Determinant.
     pub fn det(a: Expr) -> Expr {
         Expr::Det(Box::new(a))
     }
+    /// Trace.
     pub fn trace(a: Expr) -> Expr {
         Expr::Trace(Box::new(a))
     }
+    /// Sum of all entries.
     pub fn sum(a: Expr) -> Expr {
         Expr::Sum(Box::new(a))
     }
+    /// Matrix exponential.
     pub fn exp(a: Expr) -> Expr {
         Expr::Exp(Box::new(a))
     }
+    /// Per-row sums.
     pub fn row_sums(a: Expr) -> Expr {
         Expr::RowSums(Box::new(a))
     }
+    /// Per-column sums.
     pub fn col_sums(a: Expr) -> Expr {
         Expr::ColSums(Box::new(a))
     }
+    /// Cholesky factor `L`.
     pub fn cho(a: Expr) -> Expr {
         Expr::Cho(Box::new(a))
     }

@@ -32,7 +32,14 @@ pub enum ENode {
     Zero,
     /// Operator fact producing this class as output `out_idx` (QR/LU have
     /// two outputs; everything else one).
-    Op { kind: OpKind, inputs: Vec<NodeId>, out_idx: usize },
+    Op {
+        /// The operator.
+        kind: OpKind,
+        /// Input classes, in operand order.
+        inputs: Vec<NodeId>,
+        /// Which output of the operator this class is (QR/LU have two).
+        out_idx: usize,
+    },
 }
 
 /// Pluggable cost for the extraction DP. Implementations see operator
@@ -103,7 +110,7 @@ const PARALLEL_CLASS_THRESHOLD: usize = 768;
 /// Workers for the parallel paths: physical parallelism, capped so a large
 /// host does not drown small workloads in spawn overhead.
 pub fn worker_count() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8)
 }
 
 /// Order-preserving parallel map over `std::thread::scope`, the one

@@ -12,6 +12,12 @@
 /// here so every layer of the stack shares one registry.
 pub use hadad_failpoint as failpoint;
 
+/// Static rule-soundness analysis (range restriction, weak acyclicity
+/// modulo reuse, coverage); re-exported so callers gate registration
+/// without a direct `hadad-analyze` dependency.
+pub use hadad_analyze as analyze;
+pub use hadad_analyze::{RuleRejection, RuleReport};
+
 pub mod catalogue;
 pub mod encode;
 pub mod expr;

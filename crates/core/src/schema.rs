@@ -14,35 +14,65 @@ use hadad_chase::{PredId, Vocabulary};
 /// extractor. Each maps to one VREM relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpKind {
+    /// Matrix addition — `add(A, B, C)`.
     Add,
+    /// Matrix product — `multiM(A, B, C)`.
     Mul,
+    /// Hadamard product — `multiE`.
     Hadamard,
+    /// Element-wise division — `divi`.
     Div,
+    /// Scalar-matrix product — `multiMS`.
     ScalarMul,
+    /// Kronecker product — `product_D`.
     Kron,
+    /// Direct sum — `sum_D`.
     DirectSum,
+    /// Transposition — `tr`.
     Transpose,
+    /// Matrix inverse — `invM`.
     Inv,
+    /// Adjugate — `adj`.
     Adj,
+    /// Matrix exponential — `expM`.
     Exp,
+    /// Diagonal extraction — `diag`.
     Diag,
+    /// Row-order reversal — `rev`.
     Rev,
+    /// Per-row sums.
     RowSums,
+    /// Per-column sums.
     ColSums,
+    /// Per-row means.
     RowMeans,
+    /// Per-column means.
     ColMeans,
+    /// Per-row minima.
     RowMin,
+    /// Per-row maxima.
     RowMax,
+    /// Per-column minima.
     ColMin,
+    /// Per-column maxima.
     ColMax,
+    /// Per-row variances.
     RowVar,
+    /// Per-column variances.
     ColVar,
+    /// Determinant — `det`.
     Det,
+    /// Trace — `trace`.
     Trace,
+    /// Sum of all entries.
     Sum,
+    /// Minimum entry.
     Min,
+    /// Maximum entry.
     Max,
+    /// Mean of all entries.
     Mean,
+    /// Population variance of all entries.
     Var,
     /// Cholesky: `CHO(M, L)`.
     Cho,
@@ -126,6 +156,7 @@ impl OpKind {
 /// The VREM schema: interned predicates over a shared vocabulary.
 #[derive(Debug, Clone)]
 pub struct Vrem {
+    /// The shared vocabulary all predicates are interned in.
     pub vocab: Vocabulary,
     /// `name(M, n)`: class `M` is the matrix stored under name `n`.
     pub name: PredId,
@@ -152,6 +183,7 @@ pub struct Vrem {
 pub const DENSITY_SCALE: f64 = 1_000_000.0;
 
 impl Vrem {
+    /// A fresh schema: interns every VREM predicate into a new vocabulary.
     pub fn new() -> Self {
         let mut vocab = Vocabulary::new();
         let name = vocab.predicate("name", 2);

@@ -19,9 +19,13 @@ use crate::schema::OpKind;
 /// orthogonal ("O"), permutation ("P").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TypeFlags {
+    /// Symmetric positive definite ("S").
     pub symmetric_pd: bool,
+    /// Lower triangular ("L").
     pub lower_triangular: bool,
+    /// Upper triangular ("U").
     pub upper_triangular: bool,
+    /// Orthogonal ("O").
     pub orthogonal: bool,
 }
 
@@ -29,11 +33,14 @@ pub struct TypeFlags {
 /// (Sommer et al., the estimator HADAD adopts in §7.2.2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MncHistogram {
+    /// Non-zero count per row.
     pub row_counts: Vec<u32>,
+    /// Non-zero count per column.
     pub col_counts: Vec<u32>,
 }
 
 impl MncHistogram {
+    /// Exact histograms counted from a materialized matrix.
     pub fn from_matrix(m: &Matrix) -> Self {
         let s = m.to_sparse();
         MncHistogram {
@@ -42,6 +49,7 @@ impl MncHistogram {
         }
     }
 
+    /// Total non-zero count.
     pub fn nnz(&self) -> u64 {
         self.row_counts.iter().map(|&c| c as u64).sum()
     }
@@ -50,9 +58,13 @@ impl MncHistogram {
 /// Metadata for one base matrix (or materialized view).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MatrixMeta {
+    /// Row count.
     pub rows: usize,
+    /// Column count.
     pub cols: usize,
+    /// Exact (or estimated) non-zero count.
     pub nnz: usize,
+    /// Structural type flags (§6.2.5).
     pub flags: TypeFlags,
     /// Offline MNC histograms (built once per base matrix).
     pub mnc: Option<MncHistogram>,
@@ -80,11 +92,13 @@ impl MatrixMeta {
         }
     }
 
+    /// Replaces the structural flags.
     pub fn with_flags(mut self, flags: TypeFlags) -> Self {
         self.flags = flags;
         self
     }
 
+    /// Non-zero fraction in `[0, 1]`.
     pub fn density(&self) -> f64 {
         if self.rows == 0 || self.cols == 0 {
             0.0
@@ -106,20 +120,24 @@ pub struct MetaCatalog {
 }
 
 impl MetaCatalog {
+    /// An empty catalog.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Registers (or replaces) metadata under `name`.
     pub fn register(&mut self, name: impl Into<String>, meta: MatrixMeta) {
         self.entries.insert(name.into(), meta);
     }
 
+    /// Metadata registered under `name`, if any.
     pub fn get(&self, name: &str) -> Option<&MatrixMeta> {
         self.entries.get(name)
     }
 
+    /// All registered names, sorted.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.entries.keys().map(|s| s.as_str())
+        self.entries.keys().map(std::string::String::as_str)
     }
 
     /// Shape + density estimate of an expression over this catalog —
@@ -133,7 +151,9 @@ impl MetaCatalog {
 /// Shape-inference error.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShapeError {
+    /// A referenced matrix has no catalog entry.
     UnknownMatrix(String),
+    /// Operand shapes are incompatible for the operator.
     Mismatch(String),
 }
 
@@ -154,7 +174,9 @@ impl std::error::Error for ShapeError {}
 /// priced by [`op_flops`]/[`op_cost`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassStats {
+    /// Row count.
     pub rows: usize,
+    /// Column count.
     pub cols: usize,
     /// Estimated fraction of non-zero cells in `[0, 1]`.
     pub density: f64,
@@ -166,10 +188,12 @@ impl ClassStats {
         ClassStats { rows, cols, density: 1.0 }
     }
 
+    /// `(rows, cols)`.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
     }
 
+    /// Total cell count.
     pub fn cells(&self) -> f64 {
         self.rows as f64 * self.cols as f64
     }
@@ -280,6 +304,7 @@ pub fn op_flops(kind: OpKind, _out_idx: usize, child: &[ClassStats]) -> f64 {
 /// fastest — the SystemML lesson that abstract flops alone mis-rank plans.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackendProfile {
+    /// Backend name, as reported by `ExecBackend::name`.
     pub name: &'static str,
     /// Worker threads the backend fans product rows across.
     pub threads: usize,

@@ -36,6 +36,7 @@ pub enum FailAction {
 /// The typed error produced by an `error`-armed failpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Injected {
+    /// The failpoint that fired.
     pub site: &'static str,
 }
 
@@ -73,37 +74,64 @@ fn parse_action(s: &str) -> Option<FailAction> {
     }
 }
 
-/// Parses `site=action[,site=action...]`; malformed entries are skipped so
-/// a typo can't take the process down at startup.
-fn parse_spec(spec: &str) -> HashMap<String, FailAction> {
+/// Parses `site=action[,site=action...]`. Returns the armed table plus
+/// every malformed entry verbatim: a typo must not take the process down
+/// at startup, but it also must not vanish silently — a fault matrix run
+/// with `c=bogus` would otherwise pass vacuously because the site was
+/// never armed. Callers surface the second component loudly (stderr at
+/// parse time, [`spec_errors`] for test assertions).
+fn parse_spec(spec: &str) -> (HashMap<String, FailAction>, Vec<String>) {
     let mut map = HashMap::new();
+    let mut malformed = Vec::new();
     for entry in spec.split(',') {
         let entry = entry.trim();
         if entry.is_empty() {
             continue;
         }
-        if let Some((site, action)) = entry.split_once('=') {
-            let site = site.trim();
-            if site.is_empty() {
-                continue;
+        match entry.split_once('=') {
+            Some((site, action)) if !site.trim().is_empty() => {
+                match parse_action(action.trim()) {
+                    Some(a) => {
+                        map.insert(site.trim().to_owned(), a);
+                    }
+                    None => malformed.push(entry.to_owned()),
+                }
             }
-            if let Some(a) = parse_action(action.trim()) {
-                map.insert(site.to_owned(), a);
-            }
+            _ => malformed.push(entry.to_owned()),
         }
     }
-    map
+    (map, malformed)
 }
 
-fn env_table() -> &'static HashMap<String, FailAction> {
-    static ENV: OnceLock<HashMap<String, FailAction>> = OnceLock::new();
+/// The env table plus the malformed entries found while parsing it.
+fn env_state() -> &'static (HashMap<String, FailAction>, Vec<String>) {
+    static ENV: OnceLock<(HashMap<String, FailAction>, Vec<String>)> = OnceLock::new();
     ENV.get_or_init(|| {
-        let map = std::env::var("HADAD_FAILPOINTS").map(|s| parse_spec(&s)).unwrap_or_default();
+        let (map, malformed) =
+            std::env::var("HADAD_FAILPOINTS").map(|s| parse_spec(&s)).unwrap_or_default();
+        for entry in &malformed {
+            eprintln!(
+                "warning: HADAD_FAILPOINTS entry `{entry}` is malformed and was NOT armed \
+                 (expected site=panic|error|delay:<ms>)"
+            );
+        }
         if !map.is_empty() {
             ARMED.store(true, Ordering::Relaxed);
         }
-        map
+        (map, malformed)
     })
+}
+
+fn env_table() -> &'static HashMap<String, FailAction> {
+    &env_state().0
+}
+
+/// Malformed `HADAD_FAILPOINTS` entries encountered when the env spec was
+/// parsed (empty when the spec was clean or unset). Fault-matrix harnesses
+/// assert this is empty so a typo'd spec fails the run instead of passing
+/// vacuously with the site unarmed.
+pub fn spec_errors() -> &'static [String] {
+    &env_state().1
 }
 
 /// Forces the env table to be parsed (and `ARMED` set) early. Called once
@@ -156,7 +184,7 @@ pub struct ScopedFailpoint {
 
 /// Arms `site` with `action` until the returned guard drops.
 pub fn scoped(site: &str, action: FailAction) -> ScopedFailpoint {
-    let lock = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let lock = TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     overrides().lock().unwrap().insert(site.to_owned(), action);
     ARMED.store(true, Ordering::Relaxed);
     ScopedFailpoint { site: site.to_owned(), _lock: lock }
@@ -202,11 +230,24 @@ mod tests {
     }
 
     #[test]
-    fn spec_parser_skips_malformed_entries() {
-        let m = parse_spec("a=panic, b=delay:30 ,c=bogus,d,e=error,=panic");
+    fn spec_parser_surfaces_malformed_entries() {
+        let (m, bad) = parse_spec("a=panic, b=delay:30 ,c=bogus,d,e=error,=panic");
         assert_eq!(m.get("a"), Some(&FailAction::Panic));
         assert_eq!(m.get("b"), Some(&FailAction::Delay(30)));
         assert_eq!(m.get("e"), Some(&FailAction::Error));
         assert_eq!(m.len(), 3);
+        // Malformed entries are reported verbatim, not silently dropped:
+        // a bad action, a bare site, and an empty site.
+        assert_eq!(bad, vec!["c=bogus".to_owned(), "d".to_owned(), "=panic".to_owned()]);
+    }
+
+    #[test]
+    fn clean_spec_has_no_errors() {
+        let (m, bad) = parse_spec("x=error,y=delay:1");
+        assert_eq!(m.len(), 2);
+        assert!(bad.is_empty());
+        // An all-whitespace/empty spec is clean, not malformed.
+        let (m, bad) = parse_spec(" , ,");
+        assert!(m.is_empty() && bad.is_empty());
     }
 }

@@ -55,17 +55,20 @@ impl std::fmt::Display for BackendPanic {
 static PANIC_EVENTS: Mutex<Vec<BackendPanic>> = Mutex::new(Vec::new());
 
 fn record_backend_panic(backend: &'static str, op: &'static str) {
-    PANIC_EVENTS.lock().unwrap_or_else(|e| e.into_inner()).push(BackendPanic { backend, op });
+    PANIC_EVENTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(BackendPanic { backend, op });
 }
 
 /// Snapshot of every contained kernel panic so far (observability hook).
 pub fn backend_panics() -> Vec<BackendPanic> {
-    PANIC_EVENTS.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    PANIC_EVENTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
 }
 
 /// Drains the contained-panic event log (tests isolate with this).
 pub fn take_backend_panics() -> Vec<BackendPanic> {
-    std::mem::take(&mut *PANIC_EVENTS.lock().unwrap_or_else(|e| e.into_inner()))
+    std::mem::take(&mut *PANIC_EVENTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// Internal marker: a supervised worker panicked and the kernel's output
@@ -87,7 +90,7 @@ const MAX_THREADS: usize = 8;
 
 /// Worker count for `threads = 0` (auto): physical parallelism, capped.
 pub fn auto_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MAX_THREADS)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(MAX_THREADS)
 }
 
 /// The kernel layer the evaluator dispatches matrix products through.
@@ -95,6 +98,7 @@ pub fn auto_threads() -> usize {
 /// representation policy of [`crate::ops::multiply`] (sparse×sparse stays
 /// sparse, anything dense densifies) and validate shapes.
 pub trait ExecBackend: Sync + Send + std::fmt::Debug {
+    /// Stable backend name (`"reference"` | `"parallel"`).
     fn name(&self) -> &'static str;
 
     /// Worker threads the backend fans products across (1 = sequential).
@@ -278,7 +282,7 @@ fn partition_rows(
     let supervised = |chunk: &mut [f64], r0: usize, r1: usize| {
         catch_unwind(AssertUnwindSafe(|| {
             hadad_failpoint::hit("linalg.kernel").expect("linalg.kernel failpoint");
-            f(chunk, r0, r1)
+            f(chunk, r0, r1);
         }))
         .map_err(|_| WorkerPanicked)
     };
@@ -475,6 +479,10 @@ pub fn spgemm_rows(
     } else {
         std::thread::scope(|s| {
             let supervised = &supervised;
+            // The collect is load-bearing: spawning is lazy through `map`,
+            // so joining straight off the iterator would run one worker at
+            // a time.
+            #[allow(clippy::needless_collect)]
             let handles: Vec<_> =
                 ranges.iter().map(|&(r0, r1)| s.spawn(move || supervised(r0, r1))).collect();
             handles
@@ -563,7 +571,9 @@ pub fn tmul_dense_sparse(
 /// is [`BackendKind::Parallel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendKind {
+    /// The single-threaded textbook kernels.
     Reference,
+    /// The threaded, cache-blocked kernels.
     #[default]
     Parallel,
 }
@@ -571,16 +581,51 @@ pub enum BackendKind {
 /// Shared backend instances ([`Parallel`] carries the fused-call counter,
 /// so callers needing isolation construct their own).
 pub static REFERENCE: Reference = Reference;
+/// Shared [`Parallel`] instance with auto-sized workers.
 pub static PARALLEL: Parallel = Parallel::auto();
+
+/// `HADAD_BACKEND` held a value that names no backend. Carries the
+/// offending value so the panic/report names the typo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend(pub String);
+
+impl std::fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown backend `{}` (valid values: `reference`, `parallel`)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
+impl std::str::FromStr for BackendKind {
+    type Err = UnknownBackend;
+
+    fn from_str(s: &str) -> std::result::Result<Self, UnknownBackend> {
+        match s {
+            "reference" => Ok(BackendKind::Reference),
+            "parallel" => Ok(BackendKind::Parallel),
+            other => Err(UnknownBackend(other.to_owned())),
+        }
+    }
+}
 
 impl BackendKind {
     /// Env-selected kind (`HADAD_BACKEND=reference|parallel`), cached for
-    /// the process; anything unset or unrecognized means `Parallel`.
+    /// the process; unset means `Parallel`.
+    ///
+    /// An unrecognized value panics instead of silently falling back: a
+    /// typo like `HADAD_BACKEND=refrence` would otherwise run every
+    /// differential test against the default backend and pass vacuously.
+    ///
+    /// # Panics
+    ///
+    /// When `HADAD_BACKEND` is set to anything other than `reference` or
+    /// `parallel`.
     pub fn from_env() -> Self {
         static CACHE: OnceLock<BackendKind> = OnceLock::new();
-        *CACHE.get_or_init(|| match std::env::var("HADAD_BACKEND").ok().as_deref() {
-            Some("reference") => BackendKind::Reference,
-            _ => BackendKind::Parallel,
+        *CACHE.get_or_init(|| match std::env::var("HADAD_BACKEND").ok() {
+            None => BackendKind::Parallel,
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("HADAD_BACKEND: {e}")),
         })
     }
 
@@ -720,5 +765,23 @@ mod tests {
         }
         assert!(PARALLEL.threads() >= 1);
         assert_eq!(Parallel::with_threads(3).threads(), 3);
+    }
+
+    /// The parser `from_env` delegates to: valid names resolve, anything
+    /// else is a typed error naming the offending value — a typo in
+    /// `HADAD_BACKEND` must fail loudly, not silently select `Parallel`
+    /// and let differential tests pass vacuously. (The env path itself is
+    /// process-cached by `OnceLock`, so it is exercised via the parser.)
+    #[test]
+    fn backend_kind_parse_rejects_unknown_values() {
+        assert_eq!("reference".parse::<BackendKind>(), Ok(BackendKind::Reference));
+        assert_eq!("parallel".parse::<BackendKind>(), Ok(BackendKind::Parallel));
+        for bogus in ["refrence", "Reference", "PARALLEL", "", "threads=4"] {
+            let err = bogus.parse::<BackendKind>().unwrap_err();
+            assert_eq!(err, UnknownBackend(bogus.to_owned()));
+            let msg = err.to_string();
+            assert!(msg.contains(bogus) || bogus.is_empty(), "message names the typo: {msg}");
+            assert!(msg.contains("reference") && msg.contains("parallel"));
+        }
     }
 }

@@ -13,7 +13,9 @@ use crate::matrix::Matrix;
 /// gives the source row of output row `i`.
 #[derive(Debug, Clone)]
 pub struct Lup {
+    /// Unit lower-triangular factor.
     pub l: DenseMatrix,
+    /// Upper-triangular factor.
     pub u: DenseMatrix,
     /// Row permutation: output row `i` came from input row `perm[i]`.
     pub perm: Vec<usize>,

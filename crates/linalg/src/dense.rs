@@ -52,11 +52,13 @@ impl DenseMatrix {
         DenseMatrix { rows, cols, data }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols
@@ -68,17 +70,20 @@ impl DenseMatrix {
         self.data.len()
     }
 
+    /// Whether the matrix stores no entries.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
+    /// Entry at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
     }
 
+    /// Overwrites the entry at `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         debug_assert!(r < self.rows && c < self.cols);
@@ -103,6 +108,7 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Mutable raw row-major data.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f64] {
         &mut self.data

@@ -6,11 +6,26 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
     /// Operand shapes are incompatible for the requested operation.
-    DimensionMismatch { op: &'static str, lhs: (usize, usize), rhs: (usize, usize) },
+    DimensionMismatch {
+        /// The operation that failed.
+        op: &'static str,
+        /// Left operand shape.
+        lhs: (usize, usize),
+        /// Right operand shape.
+        rhs: (usize, usize),
+    },
     /// Operation requires a square matrix.
-    NotSquare { op: &'static str, shape: (usize, usize) },
+    NotSquare {
+        /// The operation that failed.
+        op: &'static str,
+        /// The offending shape.
+        shape: (usize, usize),
+    },
     /// Matrix is singular (or numerically singular) where invertibility is required.
-    Singular { op: &'static str },
+    Singular {
+        /// The operation that failed.
+        op: &'static str,
+    },
     /// Matrix is not symmetric positive definite where SPD is required.
     NotPositiveDefinite,
     /// IO / parse failure.

@@ -21,6 +21,7 @@ pub mod rand_gen;
 pub mod rng;
 pub mod sparse;
 
+/// The operator kernels (`Lops`, paper §6.1).
 pub mod ops {
     pub mod add;
     pub mod aggregates;
@@ -30,6 +31,7 @@ pub mod ops {
     pub mod transpose;
 }
 
+/// Matrix decompositions the constraint catalogue reasons about.
 pub mod decomp {
     pub mod adjugate;
     pub mod cholesky;
@@ -40,7 +42,7 @@ pub mod decomp {
 
 pub use backend::{
     backend_panics, default_backend, take_backend_panics, BackendKind, BackendPanic,
-    ExecBackend, Parallel, Reference, PARALLEL, REFERENCE,
+    ExecBackend, Parallel, Reference, UnknownBackend, PARALLEL, REFERENCE,
 };
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};

@@ -11,7 +11,9 @@ use crate::sparse::SparseMatrix;
 /// sparse; adding a dense matrix densifies).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Matrix {
+    /// Row-major dense storage.
     Dense(DenseMatrix),
+    /// CSR sparse storage.
     Sparse(SparseMatrix),
 }
 
@@ -45,6 +47,7 @@ impl Matrix {
         Matrix::Sparse(SparseMatrix::from_triplets(rows, cols, triplets))
     }
 
+    /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
         match self {
@@ -53,6 +56,7 @@ impl Matrix {
         }
     }
 
+    /// Number of columns.
     #[inline]
     pub fn cols(&self) -> usize {
         match self {
@@ -67,6 +71,7 @@ impl Matrix {
         (self.rows(), self.cols())
     }
 
+    /// Whether the CSR representation backs this matrix.
     #[inline]
     pub fn is_sparse(&self) -> bool {
         matches!(self, Matrix::Sparse(_))
@@ -81,6 +86,7 @@ impl Matrix {
         }
     }
 
+    /// Entry at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         match self {
@@ -133,6 +139,7 @@ impl Matrix {
         }
     }
 
+    /// Errors with [`LinalgError::NotSquare`] unless square.
     pub fn check_square(&self, op: &'static str) -> Result<()> {
         if self.rows() != self.cols() {
             return Err(LinalgError::NotSquare { op, shape: self.shape() });
@@ -142,58 +149,72 @@ impl Matrix {
 
     // ---- operator conveniences (delegate to `ops` kernels) ----
 
+    /// Matrix product.
     pub fn multiply(&self, other: &Matrix) -> Result<Matrix> {
         ops::multiply::multiply(self, other)
     }
 
+    /// Element-wise sum.
     pub fn add(&self, other: &Matrix) -> Result<Matrix> {
         ops::add::add(self, other)
     }
 
+    /// Element-wise difference.
     pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
         ops::add::sub(self, other)
     }
 
+    /// Hadamard (element-wise) product.
     pub fn hadamard(&self, other: &Matrix) -> Result<Matrix> {
         ops::elementwise::hadamard(self, other)
     }
 
+    /// Element-wise division.
     pub fn divide(&self, other: &Matrix) -> Result<Matrix> {
         ops::elementwise::divide(self, other)
     }
 
+    /// Scales every entry by `s`.
     pub fn scalar_mul(&self, s: f64) -> Matrix {
         ops::elementwise::scalar_mul(self, s)
     }
 
+    /// Transposition.
     pub fn transpose(&self) -> Matrix {
         ops::transpose::transpose(self)
     }
 
+    /// Sum of all entries.
     pub fn sum(&self) -> f64 {
         ops::aggregates::sum(self)
     }
 
+    /// Per-row sums, as a column vector.
     pub fn row_sums(&self) -> Matrix {
         ops::aggregates::row_sums(self)
     }
 
+    /// Per-column sums, as a row vector.
     pub fn col_sums(&self) -> Matrix {
         ops::aggregates::col_sums(self)
     }
 
+    /// Trace (square matrices only).
     pub fn trace(&self) -> Result<f64> {
         ops::aggregates::trace(self)
     }
 
+    /// Matrix inverse via pivoted LU.
     pub fn inverse(&self) -> Result<Matrix> {
         crate::decomp::lu::inverse(self)
     }
 
+    /// Determinant via pivoted LU.
     pub fn det(&self) -> Result<f64> {
         crate::decomp::lu::det(self)
     }
 
+    /// `self^k` for `k >= 1` by repeated multiplication.
     pub fn power(&self, k: u32) -> Result<Matrix> {
         ops::structural::power(self, k)
     }

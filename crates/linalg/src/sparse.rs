@@ -30,7 +30,7 @@ impl SparseMatrix {
         let mut trips: Vec<(usize, usize, f64)> = triplets
             .into_iter()
             .inspect(|&(r, c, _)| {
-                assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}")
+                assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}");
             })
             .filter(|&(_, _, v)| v != 0.0)
             .collect();
@@ -91,11 +91,13 @@ impl SparseMatrix {
         }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols
@@ -234,7 +236,7 @@ impl SparseMatrix {
         if self.values.iter().all(|&v| v != 0.0) {
             return self.clone();
         }
-        SparseMatrix::from_triplets(self.rows, self.cols, self.triplets().collect::<Vec<_>>())
+        SparseMatrix::from_triplets(self.rows, self.cols, self.triplets())
     }
 }
 

@@ -24,7 +24,7 @@ pub fn table_to_matrix(t: &Table, cols: &[&str]) -> Matrix {
 
 /// Casts all columns of a table into a dense matrix.
 pub fn table_to_matrix_all(t: &Table) -> Matrix {
-    let names: Vec<&str> = t.column_names().iter().map(|s| s.as_str()).collect();
+    let names: Vec<&str> = t.column_names().iter().map(std::string::String::as_str).collect();
     table_to_matrix(t, &names)
 }
 

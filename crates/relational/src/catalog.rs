@@ -21,6 +21,7 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// Empty catalog.
     pub fn new() -> Self {
         Self::default()
     }
@@ -33,17 +34,19 @@ impl Catalog {
         self.tables.insert(name.into(), table)
     }
 
+    /// Table registered under `name`.
     pub fn get(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
     }
 
+    /// Registered table names, sorted.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(|s| s.as_str())
+        self.tables.keys().map(std::string::String::as_str)
     }
 
     /// Row count of a registered table.
     pub fn cardinality(&self, name: &str) -> Option<usize> {
-        self.tables.get(name).map(|t| t.num_rows())
+        self.tables.get(name).map(super::table::Table::num_rows)
     }
 
     /// Appends `rows` to a base table (arity- and type-checked, atomic)

@@ -25,17 +25,23 @@ use crate::table::{Table, Value};
 /// a retraction has nothing to retract.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IvmError {
+    /// The delta targets a table the catalog does not hold.
     MissingTable(String),
+    /// A maintained view references a column its input lacks.
     MissingColumn(String),
     /// A delta's schema does not line up with the table it is applied to.
     SchemaMismatch {
+        /// Table the delta was applied to.
         table: String,
+        /// Human-readable description of the disagreement.
         detail: String,
     },
     /// A delete retracts more copies of a row than the table holds — the
     /// update stream and the maintained state have diverged.
     MissingRow {
+        /// Table the retraction targeted.
         table: String,
+        /// Canonical rendering of the missing row.
         row: String,
     },
 }
@@ -61,7 +67,9 @@ impl std::error::Error for IvmError {}
 /// copies, `-n` retracts `n` copies.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Delta {
+    /// Schema of each row, in order.
     pub columns: Vec<String>,
+    /// `(row, multiplicity)` pairs; positive inserts, negative retracts.
     pub rows: Vec<(Vec<Value>, i64)>,
 }
 
@@ -203,6 +211,7 @@ pub fn joined_columns(
 }
 
 impl Delta {
+    /// Delta with the given schema and no rows.
     pub fn empty(columns: Vec<String>) -> Self {
         Delta { columns, rows: Vec::new() }
     }
@@ -223,6 +232,7 @@ impl Delta {
         }
     }
 
+    /// Whether every multiplicity nets to zero.
     pub fn is_empty(&self) -> bool {
         self.rows.iter().all(|(_, n)| *n == 0)
     }
@@ -487,7 +497,9 @@ pub fn apply_delta(
 /// One logged base-table mutation batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableUpdate {
+    /// Mutated base table.
     pub table: String,
+    /// The signed rows applied to it.
     pub delta: Delta,
 }
 
@@ -500,16 +512,19 @@ pub struct UpdateLog {
 }
 
 impl UpdateLog {
+    /// Appends a batch; empty deltas are dropped.
     pub fn push(&mut self, table: impl Into<String>, delta: Delta) {
         if !delta.is_empty() {
             self.entries.push(TableUpdate { table: table.into(), delta });
         }
     }
 
+    /// Pending batches, oldest first.
     pub fn entries(&self) -> &[TableUpdate] {
         &self.entries
     }
 
+    /// Whether no mutations are pending.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

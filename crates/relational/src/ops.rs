@@ -13,9 +13,11 @@ use crate::table::{Column, Table, Value};
 /// A relational operator was pointed at a column the table does not have.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpsError {
+    /// A named column was absent from the operator's input.
     MissingColumn {
         /// Operator that failed (`"project"`, `"hash_join"`, ...).
         op: &'static str,
+        /// The missing column.
         column: String,
     },
 }

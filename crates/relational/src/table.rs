@@ -5,8 +5,11 @@ use std::fmt;
 /// A single cell value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// 64-bit signed integer.
     Int(i64),
+    /// 64-bit float.
     Float(f64),
+    /// Owned UTF-8 string.
     Str(String),
 }
 
@@ -51,12 +54,16 @@ impl Value {
 /// A typed column of values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
+    /// Integer column.
     Int(Vec<i64>),
+    /// Float column.
     Float(Vec<f64>),
+    /// String column.
     Str(Vec<String>),
 }
 
 impl Column {
+    /// Number of cells.
     pub fn len(&self) -> usize {
         match self {
             Column::Int(v) => v.len(),
@@ -65,10 +72,12 @@ impl Column {
         }
     }
 
+    /// Whether the column has no cells.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// Cell at `row` as an owned [`Value`].
     pub fn value(&self, row: usize) -> Value {
         match self {
             Column::Int(v) => Value::Int(v[row]),
@@ -155,6 +164,8 @@ pub struct Table {
 }
 
 impl Table {
+    /// Builds a table from `(name, column)` pairs; all columns must agree
+    /// on length.
     pub fn new(columns: Vec<(&str, Column)>) -> Self {
         let rows = columns.first().map_or(0, |(_, c)| c.len());
         for (name, c) in &columns {
@@ -167,26 +178,32 @@ impl Table {
         }
     }
 
+    /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn num_cols(&self) -> usize {
         self.columns.len()
     }
 
+    /// Column names, in schema order.
     pub fn column_names(&self) -> &[String] {
         &self.names
     }
 
+    /// Position of column `name`, if present.
     pub fn column_index(&self, name: &str) -> Option<usize> {
         self.names.iter().position(|n| n == name)
     }
 
+    /// Column by name.
     pub fn column(&self, name: &str) -> Option<&Column> {
         self.column_index(name).map(|i| &self.columns[i])
     }
 
+    /// Column by position.
     pub fn column_at(&self, i: usize) -> &Column {
         &self.columns[i]
     }

@@ -252,14 +252,14 @@ fn hybrid_family(reps: u32) -> String {
     let mut hy = HybridOptimizer::new(catalog.clone(), Optimizer::new(la_cat.clone()));
     hy.register_table_view("covid_tweets", RelQuery::scan("tweets").select_eq("topic", covid))
         .expect("view materializes");
-    hy.register_la_view("NT", t(m("N")));
+    hy.register_la_view("NT", t(m("N"))).unwrap();
     // Prune_prov-off baseline for the LA suffix (same catalog + views).
     let mut hy_off =
         HybridOptimizer::new(catalog, Optimizer::new(la_cat).with_prune(PruneMode::Off));
     hy_off
         .register_table_view("covid_tweets", RelQuery::scan("tweets").select_eq("topic", covid))
         .expect("view materializes");
-    hy_off.register_la_view("NT", t(m("N")));
+    hy_off.register_la_view("NT", t(m("N"))).unwrap();
 
     let pipeline = HybridPipeline {
         prefix: RelQuery::scan("tweets").select_eq("topic", covid),
@@ -502,8 +502,8 @@ fn ivm_family(reps: u32) -> (String, f64, f64) {
             meta_ok &= stamped.nnz == scratch_meta.nnz
                 && (stamped.rows, stamped.cols) == (scratch_meta.rows, scratch_meta.cols)
                 && stamped.density() == scratch_meta.density()
-                && stamped.mnc.as_ref().map(|h| h.nnz())
-                    == scratch_meta.mnc.as_ref().map(|h| h.nnz());
+                && stamped.mnc.as_ref().map(hadad_core::MncHistogram::nnz)
+                    == scratch_meta.mnc.as_ref().map(hadad_core::MncHistogram::nnz);
             assert!(meta_ok, "maintained state diverged from from-scratch materialization");
         }
 
@@ -642,18 +642,19 @@ struct SeriesData<'a> {
 /// `BENCH_series.jsonl` — the cross-commit perf trajectory CI uploads.
 /// Each row carries every family's headline number: chase_us per LA
 /// family, the IVM maintenance timings, and the per-backend kernel execs.
-fn append_series_row(data: &SeriesData) {
+fn append_series_row(data: &SeriesData<'_>) {
     let commit = std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
         .ok()
         .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".into());
+        .map_or_else(
+            || "unknown".into(),
+            |o| String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        );
     let ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
+        .map_or(0, |d| d.as_secs());
     let families: Vec<String> = FAMILIES.iter().map(|f| format!("\"{f}\"")).collect();
     let chase_map: Vec<String> =
         data.chase.iter().map(|(name, us)| format!("\"{name}\": {us:.1}")).collect();

@@ -32,10 +32,12 @@ use hadad_core::{
 /// dense-flops model on all-dense stats.
 #[derive(Default)]
 pub struct FlopsCost {
+    /// Calibration constants of the backend being priced for.
     pub profile: BackendProfile,
 }
 
 impl FlopsCost {
+    /// Cost model under a specific backend's calibration constants.
     pub fn with_profile(profile: BackendProfile) -> Self {
         FlopsCost { profile }
     }
@@ -61,7 +63,9 @@ impl ExtractionCost for FlopsCost {
 /// Shape + density estimate of a subexpression.
 #[derive(Debug, Clone, Copy)]
 pub struct Estimate {
+    /// Estimated row count.
     pub rows: usize,
+    /// Estimated column count.
     pub cols: usize,
     /// Estimated fraction of non-zero cells in `[0, 1]`.
     pub density: f64,
@@ -122,7 +126,7 @@ impl<'a> CostModel<'a> {
                     child_est.push(self.estimate(c)?);
                 }
                 let child_stats: Vec<ClassStats> =
-                    child_est.iter().map(|c| c.stats()).collect();
+                    child_est.iter().map(Estimate::stats).collect();
                 let (kind, out_idx) = op_of(e);
                 validate(e, kind, &child_stats)?;
                 let out = op_stats(kind, out_idx, &child_stats);
@@ -201,6 +205,7 @@ impl<'a> VremCostOracle<'a> {
         VremCostOracle { vrem, profile, nums: RefCell::new(HashMap::new()) }
     }
 
+    /// Calibration constants this oracle prices under.
     pub fn profile(&self) -> BackendProfile {
         self.profile
     }
@@ -384,6 +389,7 @@ pub struct TighteningPruner<'a> {
 }
 
 impl<'a> TighteningPruner<'a> {
+    /// Pruner over `inner`, re-extracting from `root` to tighten it.
     pub fn new(
         oracle: &'a VremCostOracle<'a>,
         inner: CostPruner<'a>,
@@ -402,6 +408,7 @@ impl<'a> TighteningPruner<'a> {
         }
     }
 
+    /// Current incumbent cost bound.
     pub fn incumbent(&self) -> f64 {
         self.inner.incumbent()
     }

@@ -16,15 +16,18 @@ pub struct Env {
 }
 
 impl Env {
+    /// Empty environment.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Binds `name` to a matrix, replacing any prior binding.
     pub fn bind(&mut self, name: impl Into<String>, m: Matrix) -> &mut Self {
         self.bindings.insert(name.into(), m);
         self
     }
 
+    /// Matrix bound to `name`.
     pub fn get(&self, name: &str) -> Option<&Matrix> {
         self.bindings.get(name)
     }

@@ -38,14 +38,19 @@ pub use crate::maintain::{MaintenanceReport, ViewChange, ViewMaintainer};
 /// Hybrid-pipeline failure.
 #[derive(Debug)]
 pub enum HybridError {
+    /// A query or view referenced a table the catalog does not hold.
     MissingTable(String),
+    /// A stage referenced a column its input table does not carry.
     MissingColumn(String),
     /// An equality selection contradicts an earlier one on the same column.
     Unsatisfiable(String),
     /// A table view's materialized arity differs from its definition's.
     ViewArity {
+        /// The offending view.
         view: String,
+        /// Column count of the stored materialization.
         expected: usize,
+        /// Column count the definition produces.
         got: usize,
     },
     /// A view registration would shadow an existing table or view.
@@ -70,9 +75,16 @@ pub enum HybridError {
     Ops(hadad_relational::OpsError),
     /// An `error`-armed failpoint fired (fault-injection runs only).
     Fault {
+        /// The failpoint that fired.
         site: &'static str,
     },
+    /// A view registration was refused by static analysis: its `V_IO`/
+    /// `V_OI` constraint pair is unsafe or closes a dependency cycle
+    /// through an unguarded existential (a chase-termination risk).
+    RejectedView(hadad_core::RuleRejection),
+    /// The LA phase failed to rewrite the suffix.
     Rewrite(RewriteError),
+    /// Evaluating a cast or an LA plan failed.
     Eval(EvalError),
 }
 
@@ -106,6 +118,7 @@ impl std::fmt::Display for HybridError {
             HybridError::Ivm(e) => write!(f, "{e}"),
             HybridError::Ops(e) => write!(f, "{e}"),
             HybridError::Fault { site } => write!(f, "injected fault at failpoint `{site}`"),
+            HybridError::RejectedView(r) => write!(f, "{r}"),
             HybridError::Rewrite(e) => write!(f, "{e}"),
             HybridError::Eval(e) => write!(f, "{e}"),
         }
@@ -151,34 +164,59 @@ impl From<EvalError> for HybridError {
 pub enum RelOp {
     /// Equality selection on an integer column (the column position becomes
     /// a constant in the compiled CQ).
-    SelectEq { column: String, value: i64 },
+    SelectEq {
+        /// Column the selection filters on.
+        column: String,
+        /// The integer constant selected.
+        value: i64,
+    },
     /// Equality selection on a string column.
-    SelectStrEq { column: String, value: String },
+    SelectStrEq {
+        /// Column the selection filters on.
+        column: String,
+        /// The string constant selected.
+        value: String,
+    },
     /// Hash equi-join with another catalog table; right-side columns that
     /// collide are prefixed `right.` (repeatedly, until unique), exactly as
     /// `ops::hash_join` does.
-    HashJoin { table: String, left_key: String, right_key: String },
+    HashJoin {
+        /// Right-side catalog table.
+        table: String,
+        /// Join key on the accumulated left side.
+        left_key: String,
+        /// Join key on the right table.
+        right_key: String,
+    },
     /// Projection to the named columns, in order.
-    Project { columns: Vec<String> },
+    Project {
+        /// Output columns, in order.
+        columns: Vec<String>,
+    },
 }
 
 /// A relational query: a scan of a catalog table followed by stages.
 #[derive(Debug, Clone)]
 pub struct RelQuery {
+    /// The catalog table the scan starts from.
     pub table: String,
+    /// The declarative stages applied to the scan, in order.
     pub ops: Vec<RelOp>,
 }
 
 impl RelQuery {
+    /// A bare scan of `table` with no stages yet.
     pub fn scan(table: impl Into<String>) -> Self {
         RelQuery { table: table.into(), ops: Vec::new() }
     }
 
+    /// Appends an integer equality selection.
     pub fn select_eq(mut self, column: impl Into<String>, value: i64) -> Self {
         self.ops.push(RelOp::SelectEq { column: column.into(), value });
         self
     }
 
+    /// Appends a string equality selection.
     pub fn select_str_eq(
         mut self,
         column: impl Into<String>,
@@ -188,6 +226,7 @@ impl RelQuery {
         self
     }
 
+    /// Appends a hash equi-join with `table` on `left_key = right_key`.
     pub fn join(
         mut self,
         table: impl Into<String>,
@@ -202,9 +241,11 @@ impl RelQuery {
         self
     }
 
+    /// Appends a projection to `columns`, in order.
     pub fn project(mut self, columns: &[&str]) -> Self {
-        self.ops
-            .push(RelOp::Project { columns: columns.iter().map(|c| c.to_string()).collect() });
+        self.ops.push(RelOp::Project {
+            columns: columns.iter().map(std::string::ToString::to_string).collect(),
+        });
         self
     }
 
@@ -253,7 +294,7 @@ impl RelQuery {
                 for c in columns {
                     require_column(&t, c)?;
                 }
-                let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+                let refs: Vec<&str> = columns.iter().map(std::string::String::as_str).collect();
                 ops::project(&t, &refs)?
             }
         })
@@ -387,7 +428,9 @@ fn require_column(t: &Table, name: &str) -> Result<(), HybridError> {
 /// order).
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
+    /// The conjunctive query over table predicates.
     pub cq: Cq,
+    /// Output column names, in head order.
     pub columns: Vec<String>,
 }
 
@@ -395,12 +438,14 @@ pub struct CompiledQuery {
 /// (arity = column count), with both directions of the mapping.
 #[derive(Debug, Clone)]
 pub struct TableVocab {
+    /// The chase vocabulary the table predicates are interned in.
     pub vocab: Vocabulary,
     by_name: HashMap<String, PredId>,
     by_pred: HashMap<PredId, String>,
 }
 
 impl TableVocab {
+    /// Interns one predicate per catalog table (arity = column count).
     pub fn from_catalog(catalog: &Catalog) -> Self {
         let mut tv = TableVocab {
             vocab: Vocabulary::new(),
@@ -408,7 +453,7 @@ impl TableVocab {
             by_pred: HashMap::new(),
         };
         for name in catalog.names() {
-            let arity = catalog.get(name).map(|t| t.num_cols()).unwrap_or(0);
+            let arity = catalog.get(name).map_or(0, hadad_relational::Table::num_cols);
             let pred = tv.vocab.predicate(name, arity);
             tv.by_name.insert(name.to_owned(), pred);
             tv.by_pred.insert(pred, name.to_owned());
@@ -416,12 +461,14 @@ impl TableVocab {
         tv
     }
 
+    /// The predicate interned for `table`.
     pub fn pred(&self, table: &str) -> Result<PredId, HybridError> {
         self.by_name.get(table).copied().ok_or_else(|| HybridError::MissingTable(table.into()))
     }
 
+    /// Reverse lookup: the table `pred` was interned for.
     pub fn table_of(&self, pred: PredId) -> Option<&str> {
-        self.by_pred.get(&pred).map(|s| s.as_str())
+        self.by_pred.get(&pred).map(std::string::String::as_str)
     }
 }
 
@@ -578,7 +625,7 @@ pub fn eval_cq(
         } else if cells.iter().all(|v| v.as_f64().is_some()) {
             Column::Float(cells.iter().map(|v| v.as_f64().unwrap()).collect())
         } else {
-            Column::Str(cells.iter().map(|v| v.to_string()).collect())
+            Column::Str(cells.iter().map(std::string::ToString::to_string).collect())
         };
         table.push((name.as_str(), col));
     }
@@ -601,24 +648,41 @@ fn decode_const(s: &str) -> Value {
 #[derive(Debug, Clone)]
 pub enum CastKind {
     /// One row per tuple, one column per named numeric column.
-    Dense { columns: Vec<String> },
+    Dense {
+        /// Numeric columns that become the matrix columns, in order.
+        columns: Vec<String>,
+    },
     /// Ultra-sparse `rows x cols` matrix from (row-id, col-id, value)
     /// columns — the tweet/MIMIC filter-level matrix construction.
-    Sparse { row: String, col: String, val: String, rows: usize, cols: usize },
+    Sparse {
+        /// Column holding the 0-based row id of each entry.
+        row: String,
+        /// Column holding the 0-based column id of each entry.
+        col: String,
+        /// Column holding the numeric value of each entry.
+        val: String,
+        /// Row count of the cast matrix.
+        rows: usize,
+        /// Column count of the cast matrix.
+        cols: usize,
+    },
 }
 
 /// A full hybrid pipeline: relational prefix → cast → LA suffix.
 #[derive(Debug, Clone)]
 pub struct HybridPipeline {
+    /// The relational prefix producing the tuples to cast.
     pub prefix: RelQuery,
     /// Sorted ascending by this integer key before a dense cast (relation →
     /// matrix casts need a defined order; sparse casts carry their own row
     /// ids). Applied identically to original and rewritten prefixes, so
     /// verification compares like with like.
     pub sort_key: Option<String>,
+    /// How the prefix's output becomes a matrix.
     pub cast: CastKind,
     /// Name the cast matrix is bound under for the LA suffix.
     pub cast_name: String,
+    /// The LA expression evaluated over the cast matrix.
     pub suffix: Expr,
 }
 
@@ -626,7 +690,9 @@ pub struct HybridPipeline {
 /// materialization) and as a PACB view (its definition).
 #[derive(Debug, Clone)]
 pub struct TableView {
+    /// Name the materialization is stored under in the catalog.
     pub name: String,
+    /// The defining query over base tables.
     pub def: RelQuery,
 }
 
@@ -643,13 +709,16 @@ pub struct MaintainedCast {
     pub view: String,
     /// Sort applied before a dense cast, as in [`HybridPipeline`].
     pub sort_key: Option<String>,
+    /// How the source rows become the maintained matrix.
     pub cast: CastKind,
 }
 
 /// Timings and outcomes of the relational (PACB) phase.
 #[derive(Debug)]
 pub struct RelPhase {
+    /// The compiled prefix (CQ + output columns).
     pub compiled: CompiledQuery,
+    /// Outcome of the PACB reformulation over the registered views.
     pub pacb: PacbResult,
     /// Row-count cost of the original prefix (base-table scans).
     pub cost_original: f64,
@@ -657,8 +726,11 @@ pub struct RelPhase {
     pub cost_best: Option<f64>,
     /// The chosen rewriting over view predicates, when used.
     pub rewriting: Option<Cq>,
+    /// Wall-time of the PACB phase, microseconds.
     pub pacb_us: u128,
+    /// Wall-time of executing the chosen prefix, microseconds.
     pub exec_us: u128,
+    /// Row count of the prefix's output.
     pub rows_out: usize,
 }
 
@@ -666,6 +738,7 @@ pub struct RelPhase {
 /// phase, with the machine-checked verification verdict when requested.
 #[derive(Debug)]
 pub struct HybridResult {
+    /// The relational (PACB) phase.
     pub rel: RelPhase,
     /// Output of the (possibly rewritten) relational prefix.
     pub table: Table,
@@ -675,7 +748,9 @@ pub struct HybridResult {
     /// default), or the suffix's cost oracle would misprice every plan
     /// touching it.
     pub cast_meta: MatrixMeta,
+    /// Wall-time of the relation-to-matrix cast, microseconds.
     pub cast_us: u128,
+    /// The ranked LA plans for the suffix.
     pub ranked: RankedPlans,
     /// The winning LA plan (execution-verified in the verified path).
     pub best: Plan,
@@ -689,6 +764,7 @@ pub struct HybridResult {
     /// The result is still sound — degraded runs just may miss cheaper
     /// rewritings. The first (most upstream) degradation wins.
     pub degraded: Option<Degraded>,
+    /// End-to-end wall-time of the hybrid rewrite, microseconds.
     pub elapsed_us: u128,
 }
 
@@ -697,8 +773,11 @@ pub struct HybridResult {
 /// [`ViewMaintainer`] keeping the materializations consistent under
 /// base-table updates.
 pub struct HybridOptimizer {
+    /// The relational side: base tables plus materialized views.
     pub catalog: Catalog,
+    /// The LA side: rewriter, cost oracle, and LA views.
     pub optimizer: Optimizer,
+    /// Budget applied to the relational (PACB) chase phases.
     pub budget: ChaseBudget,
     table_views: Vec<TableView>,
     maintainer: ViewMaintainer,
@@ -706,6 +785,8 @@ pub struct HybridOptimizer {
 }
 
 impl HybridOptimizer {
+    /// A hybrid optimizer over `catalog` and `optimizer`, with no views
+    /// and a default chase budget.
     pub fn new(catalog: Catalog, optimizer: Optimizer) -> Self {
         HybridOptimizer {
             catalog,
@@ -742,6 +823,7 @@ impl HybridOptimizer {
         if self.catalog.get(&name).is_some() {
             return Err(HybridError::DuplicateName(name));
         }
+        self.analyze_table_view(&name, &def)?;
         self.maintain_views()?;
         let table = def.execute(&self.catalog)?;
         self.catalog.register(&name, table);
@@ -751,11 +833,41 @@ impl HybridOptimizer {
         Ok(())
     }
 
-    /// Registers a materialized LA view on the suffix optimizer.
-    pub fn register_la_view(&mut self, name: impl Into<String>, def: Expr) {
-        self.optimizer.register_la_view(name, def);
+    /// Static gate for a candidate table view: compiles the definition on
+    /// a scratch vocabulary and analyzes the `V_IO`/`V_OI` pair PACB will
+    /// chase with. The pair is analyzed in isolation — cross-view cycles
+    /// exist for any two projecting views over a shared table and the
+    /// restricted chase saturates through them, so only a cycle the view
+    /// closes *by itself* (or an unsafe definition) is a rejection.
+    fn analyze_table_view(&self, name: &str, def: &RelQuery) -> Result<(), HybridError> {
+        let mut tv = TableVocab::from_catalog(&self.catalog);
+        let compiled = def.compile(&self.catalog, &mut tv)?;
+        let head_pred = tv.vocab.predicate(name, compiled.columns.len());
+        let view = hadad_chase::View::new(name, head_pred, compiled.cq);
+        let pair: Vec<hadad_chase::Constraint> =
+            vec![view.io_constraint().into(), view.oi_constraint().into()];
+        let report = hadad_core::analyze::Analyzer::new(&pair)
+            .with_vocab(&tv.vocab)
+            .without_subsumption()
+            .report();
+        match report.rejection() {
+            Some(r) => Err(HybridError::RejectedView(r)),
+            None => Ok(()),
+        }
     }
 
+    /// Registers a materialized LA view on the suffix optimizer. Refused
+    /// (as [`RewriteError::Rejected`]) if the view's constraints fail
+    /// static analysis.
+    pub fn register_la_view(
+        &mut self,
+        name: impl Into<String>,
+        def: Expr,
+    ) -> Result<(), HybridError> {
+        Ok(self.optimizer.register_la_view(name, def)?)
+    }
+
+    /// The registered table views, in registration order.
     pub fn table_views(&self) -> &[TableView] {
         &self.table_views
     }
@@ -779,6 +891,7 @@ impl HybridOptimizer {
         Ok(())
     }
 
+    /// The registered maintained casts, in registration order.
     pub fn maintained_casts(&self) -> &[MaintainedCast] {
         &self.maintained_casts
     }
@@ -984,8 +1097,10 @@ impl HybridOptimizer {
         let mut views = Vec::with_capacity(usable_views.len());
         for v in usable_views {
             let def = v.def.compile(&self.catalog, &mut tv)?;
-            let mat_cols =
-                self.catalog.get(&v.name).map(|t| t.num_cols()).unwrap_or(def.columns.len());
+            let mat_cols = self
+                .catalog
+                .get(&v.name)
+                .map_or(def.columns.len(), hadad_relational::Table::num_cols);
             if mat_cols != def.columns.len() {
                 return Err(HybridError::ViewArity {
                     view: v.name.clone(),
@@ -1037,7 +1152,7 @@ impl HybridOptimizer {
         let pacb_us = pacb_start.elapsed().as_micros();
 
         let best_rw =
-            pacb.rewritings.iter().find(|r| r.cost.map(|c| c < cost_original).unwrap_or(false));
+            pacb.rewritings.iter().find(|r| r.cost.is_some_and(|c| c < cost_original));
 
         // Phase 3: execute the chosen prefix (and, under verification, the
         // original too).
@@ -1164,7 +1279,7 @@ fn apply_cast(t: &Table, kind: &CastKind) -> Result<Matrix, HybridError> {
             for c in columns {
                 require_column(t, c)?;
             }
-            let refs: Vec<&str> = columns.iter().map(|c| c.as_str()).collect();
+            let refs: Vec<&str> = columns.iter().map(std::string::String::as_str).collect();
             Ok(cast::table_to_matrix(t, &refs))
         }
         CastKind::Sparse { row, col, val, rows, cols } => {

@@ -34,8 +34,11 @@ struct ViewState {
 /// What one maintenance pass did to one view.
 #[derive(Debug, Clone)]
 pub struct ViewChange {
+    /// Maintained view name.
     pub view: String,
+    /// Rows the pass inserted.
     pub rows_inserted: usize,
+    /// Rows the pass retracted.
     pub rows_deleted: usize,
 }
 
@@ -44,7 +47,9 @@ pub struct ViewChange {
 /// generated view entries).
 #[derive(Debug, Clone, Default)]
 pub struct MaintenanceReport {
+    /// Update-log entries propagated.
     pub entries_processed: usize,
+    /// Every non-trivial per-view change.
     pub changes: Vec<ViewChange>,
     /// Time spent delta-maintaining the view tables.
     pub maintain_us: u128,
@@ -71,6 +76,7 @@ pub struct ViewMaintainer {
 }
 
 impl ViewMaintainer {
+    /// Maintainer with no tracked views.
     pub fn new() -> Self {
         Self::default()
     }

@@ -9,15 +9,16 @@
 //! justified by the constraints, and the cost model picks the winner.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hadad_chase::{
-    degradation_of, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, CostPruner,
+    degradation_of, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, Constraint, CostPruner,
     DegradeReason, Degraded, EvalMode, RewritePhase,
 };
 use hadad_core::{
-    BackendProfile, Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog, ShapeError,
-    Vrem,
+    BackendProfile, Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog,
+    RuleRejection, ShapeError, Vrem,
 };
 use hadad_linalg::{approx_eq, BackendKind, Matrix};
 
@@ -31,8 +32,11 @@ use crate::eval::{eval_with, Env, EvalError};
 /// testing — both modes must produce best plans of identical cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PruneMode {
+    /// Veto TGD firings whose provenance already costs more than the
+    /// incumbent plan.
     #[default]
     CostThreshold,
+    /// Chase without pruning (differential-testing baseline).
     Off,
 }
 
@@ -40,7 +44,9 @@ pub enum PruneMode {
 /// catalogue, with its estimated cost.
 #[derive(Debug, Clone)]
 pub struct Plan {
+    /// The rewritten expression.
     pub expr: Expr,
+    /// Estimated execution cost under the active backend profile.
     pub est_cost: f64,
 }
 
@@ -51,17 +57,26 @@ pub struct Plan {
 /// by `elapsed_us`, not by any phase bucket.
 #[derive(Debug, Clone)]
 pub struct RewriteReport {
+    /// How the chase ended (fixpoint, or which budget tripped).
     pub chase_outcome: ChaseOutcome,
+    /// Chase rounds executed.
     pub chase_rounds: usize,
+    /// Facts in the final instance.
     pub num_facts: usize,
+    /// Candidate plans extracted.
     pub num_candidates: usize,
     /// TGD firings vetoed by `Prune_prov` (0 under [`PruneMode::Off`]);
     /// per-rule veto counts are in `chase_stats.rule_vetoes`.
     pub pruned_firings: usize,
+    /// End-to-end wall-clock time of the `rewrite` call, microseconds.
     pub elapsed_us: u128,
+    /// Time spent encoding the expression into a canonical instance.
     pub encode_us: u128,
+    /// Time spent chasing the instance to (bounded) fixpoint.
     pub chase_us: u128,
+    /// Time spent in the extraction DP.
     pub extract_us: u128,
+    /// Time spent costing and sorting candidates.
     pub rank_us: u128,
     /// The backend calibration constants every cost in this report was
     /// priced under (estimator, extraction DP, and chase pruner alike).
@@ -80,10 +95,12 @@ pub struct RewriteReport {
 /// reformulations, cheapest first.
 #[derive(Debug, Clone)]
 pub struct RankedPlans {
+    /// The unrewritten input, priced under the same profile.
     pub original: Plan,
     /// Candidates sorted by ascending estimated cost (the original
     /// expression is among them whenever extraction can rebuild it).
     pub plans: Vec<Plan>,
+    /// Diagnostics for this call.
     pub report: RewriteReport,
 }
 
@@ -111,12 +128,17 @@ impl RankedPlans {
 /// Rewriting failure.
 #[derive(Debug)]
 pub enum RewriteError {
+    /// The input expression is not shape-consistent.
     Shape(ShapeError),
     /// The reference expression failed to evaluate in `rewrite_verified`.
     Eval(EvalError),
     /// The root class could not be decoded (should not happen for
     /// well-formed encodings; kept explicit instead of panicking).
     NoPlan,
+    /// A registration was refused by static analysis: the offered rules
+    /// are range-unrestricted or break weak acyclicity modulo reuse (a
+    /// chase-termination risk the budgets would otherwise have to absorb).
+    Rejected(RuleRejection),
 }
 
 impl std::fmt::Display for RewriteError {
@@ -125,6 +147,7 @@ impl std::fmt::Display for RewriteError {
             RewriteError::Shape(e) => write!(f, "{e}"),
             RewriteError::Eval(e) => write!(f, "original failed to evaluate: {e}"),
             RewriteError::NoPlan => write!(f, "no plan could be extracted"),
+            RewriteError::Rejected(r) => write!(f, "{r}"),
         }
     }
 }
@@ -137,9 +160,45 @@ impl From<ShapeError> for RewriteError {
     }
 }
 
+impl From<RuleRejection> for RewriteError {
+    fn from(r: RuleRejection) -> Self {
+        RewriteError::Rejected(r)
+    }
+}
+
 /// Candidate count from which plan ranking shards cost estimation across
 /// worker threads.
 const PARALLEL_RANK_THRESHOLD: usize = 16;
+
+/// A generator of additional constraints (e.g. mined from workload logs),
+/// re-evaluated against each `rewrite` call's fresh [`Vrem`] so predicate
+/// and constant interning stay consistent with that call's encoding.
+pub type ConstraintGen = Arc<dyn Fn(&mut Vrem) -> Vec<Constraint> + Send + Sync>;
+
+/// Static gate shared by every registration entry point: the standard
+/// catalogue context plus the offered rules must certify (range
+/// restriction, weak acyclicity modulo conclusion-atom reuse, stats
+/// coverage). Subsumption is skipped here — it can only produce warnings,
+/// which never reject — keeping registration O(rules), not O(rules²).
+fn registration_gate(constraints: &[Constraint], vrem: &Vrem) -> Result<(), RuleRejection> {
+    let report = hadad_core::analyze::Analyzer::new(constraints)
+        .with_vocab(&vrem.vocab)
+        .with_stats_preds(vec![vrem.size])
+        .with_coverage_exempt(vec![
+            vrem.name,
+            vrem.lit,
+            vrem.ty,
+            vrem.identity,
+            vrem.zero,
+            vrem.density,
+        ])
+        .without_subsumption()
+        .report();
+    match report.rejection() {
+        Some(r) => Err(r),
+        None => Ok(()),
+    }
+}
 
 /// A registered, materialized LA view: a name the evaluation environment
 /// binds to a precomputed matrix, plus the defining expression over base
@@ -147,15 +206,20 @@ const PARALLEL_RANK_THRESHOLD: usize = 16;
 /// otherwise estimated from the definition at rewrite time.
 #[derive(Debug, Clone)]
 pub struct LaView {
+    /// Name the environment binds to the materialized matrix.
     pub name: String,
+    /// Defining expression over base matrices.
     pub def: Expr,
+    /// Explicit metadata; estimated from `def` when `None`.
     pub meta: Option<MatrixMeta>,
 }
 
 /// The optimizer facade.
 #[derive(Clone)]
 pub struct Optimizer {
+    /// Metadata catalog the estimator prices against.
     pub cat: MetaCatalog,
+    /// Chase resource budget.
     pub budget: ChaseBudget,
     /// Premise-matching strategy for the chase; semi-naïve by default,
     /// naive kept for differential testing and baselining.
@@ -176,9 +240,15 @@ pub struct Optimizer {
     /// of the call; a chase cut short by it still yields an anytime result
     /// (see [`RewriteReport::degraded`]).
     pub deadline: Option<Duration>,
+    /// Extra constraint generators accepted by
+    /// [`Optimizer::register_constraints`]; appended to the standard
+    /// catalogue on every `rewrite` call.
+    extra_constraints: Vec<ConstraintGen>,
 }
 
 impl Optimizer {
+    /// Optimizer over `cat` with default budgets, the standard catalogue,
+    /// and the env-selected backend.
     pub fn new(cat: MetaCatalog) -> Self {
         Optimizer {
             cat,
@@ -195,9 +265,11 @@ impl Optimizer {
             views: Vec::new(),
             backend: BackendKind::from_env(),
             deadline: None,
+            extra_constraints: Vec::new(),
         }
     }
 
+    /// Selects the execution backend (kernels and cost calibration).
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
         self
@@ -217,16 +289,19 @@ impl Optimizer {
         BackendProfile::for_kind(self.backend)
     }
 
+    /// Replaces the chase budget.
     pub fn with_budget(mut self, budget: ChaseBudget) -> Self {
         self.budget = budget;
         self
     }
 
+    /// Selects the premise-matching strategy.
     pub fn with_mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
         self
     }
 
+    /// Toggles cost-threshold pruning.
     pub fn with_prune(mut self, prune: PruneMode) -> Self {
         self.prune = prune;
         self
@@ -235,19 +310,85 @@ impl Optimizer {
     /// Registers a materialized LA view. Shape/density metadata is
     /// estimated from the definition when the view is used (so definitions
     /// may reference matrices registered later, e.g. a hybrid cast).
-    pub fn register_la_view(&mut self, name: impl Into<String>, def: Expr) {
-        self.views.push(LaView { name: name.into(), def, meta: None });
+    ///
+    /// The view's `V_IO`/`V_OI` constraints are statically analyzed
+    /// against the standard catalogue and rejected with
+    /// [`RewriteError::Rejected`] if they are unsafe or break weak
+    /// acyclicity modulo reuse. When metadata gaps (forward references)
+    /// make the constraints unbuildable yet, the check is deferred to
+    /// rewrite time, where the same constraints are built for real.
+    pub fn register_la_view(
+        &mut self,
+        name: impl Into<String>,
+        def: Expr,
+    ) -> Result<(), RewriteError> {
+        self.register_la_view_inner(name.into(), def, None)
     }
 
     /// Registers a materialized LA view with explicit metadata (e.g. from
-    /// the actual materialized matrix).
+    /// the actual materialized matrix). Statically gated like
+    /// [`Optimizer::register_la_view`].
     pub fn register_la_view_with_meta(
         &mut self,
         name: impl Into<String>,
         def: Expr,
         meta: MatrixMeta,
-    ) {
-        self.views.push(LaView { name: name.into(), def, meta: Some(meta) });
+    ) -> Result<(), RewriteError> {
+        self.register_la_view_inner(name.into(), def, Some(meta))
+    }
+
+    fn register_la_view_inner(
+        &mut self,
+        name: String,
+        def: Expr,
+        meta: Option<MatrixMeta>,
+    ) -> Result<(), RewriteError> {
+        // Build the candidate view's constraints over a scratch schema and
+        // gate on certification. `effective_cat`/`la_view_constraints`
+        // failures mean metadata is not available yet (the definition
+        // references matrices to be registered later), so validation
+        // happens at rewrite time instead — the documented contract.
+        let candidate = LaView { name, def, meta };
+        if let Ok(mut meta_cat) = self.effective_cat() {
+            if let Some(m) = &candidate.meta {
+                if meta_cat.get(&candidate.name).is_none() {
+                    meta_cat.register(&candidate.name, m.clone());
+                }
+            }
+            let mut vrem = Vrem::new();
+            let mut cat = Catalogue::standard(&mut vrem);
+            if let Ok(cs) = Catalogue::la_view_constraints(
+                &mut vrem,
+                &meta_cat,
+                &candidate.name,
+                &candidate.def,
+            ) {
+                cat.constraints.extend(cs);
+                registration_gate(&cat.constraints, &vrem)?;
+            }
+        }
+        self.views.push(candidate);
+        Ok(())
+    }
+
+    /// Registers a *mined* constraint generator (e.g. rules discovered
+    /// from workload logs): the future constraint-discovery entry point.
+    /// The generated rules are statically analyzed against the standard
+    /// catalogue on a scratch schema and refused with
+    /// [`RewriteError::Rejected`] unless range-restricted and weakly
+    /// acyclic modulo conclusion-atom reuse; accepted generators run
+    /// against every `rewrite` call's fresh [`Vrem`] and their rules are
+    /// chased alongside the catalogue.
+    pub fn register_constraints<F>(&mut self, gen: F) -> Result<(), RewriteError>
+    where
+        F: Fn(&mut Vrem) -> Vec<Constraint> + Send + Sync + 'static,
+    {
+        let mut vrem = Vrem::new();
+        let mut cat = Catalogue::standard(&mut vrem);
+        cat.constraints.extend(gen(&mut vrem));
+        registration_gate(&cat.constraints, &vrem)?;
+        self.extra_constraints.push(Arc::new(gen));
+        Ok(())
     }
 
     /// The metadata catalog with every registered view priced in: explicit
@@ -312,6 +453,11 @@ impl Optimizer {
             catalogue
                 .constraints
                 .extend(Catalogue::la_view_constraints(&mut vrem, &cat, &v.name, &v.def)?);
+        }
+        // Mined constraints re-generate against this call's schema; their
+        // shape was certified at registration time.
+        for gen in &self.extra_constraints {
+            catalogue.constraints.extend(gen(&mut vrem));
         }
 
         let budget = match self.deadline {
@@ -521,7 +667,7 @@ mod tests {
         let mut cat = MetaCatalog::new();
         cat.register("X", MatrixMeta::dense(200, 8));
         let mut opt = Optimizer::new(cat);
-        opt.register_la_view("G", mul(t(m("X")), m("X")));
+        opt.register_la_view("G", mul(t(m("X")), m("X"))).unwrap();
 
         let e = mul(t(m("X")), m("X"));
         let ranked = opt.rewrite(&e).unwrap();
@@ -543,7 +689,7 @@ mod tests {
         let mut cat = MetaCatalog::new();
         cat.register("X", MatrixMeta::dense(100, 6));
         let mut opt = Optimizer::new(cat);
-        opt.register_la_view("G", mul(t(m("X")), m("X")));
+        opt.register_la_view("G", mul(t(m("X")), m("X"))).unwrap();
         let e = inv(mul(t(m("X")), m("X")));
         let ranked = opt.rewrite(&e).unwrap();
         assert_eq!(ranked.best().expr, inv(m("G")));
@@ -557,7 +703,8 @@ mod tests {
         let mut cat = MetaCatalog::new();
         cat.register("A", MatrixMeta::dense(10, 10));
         let mut opt = Optimizer::new(cat);
-        opt.register_la_view_with_meta("V", mul(m("A"), m("A")), MatrixMeta::sparse(10, 10, 3));
+        opt.register_la_view_with_meta("V", mul(m("A"), m("A")), MatrixMeta::sparse(10, 10, 3))
+            .unwrap();
         let eff = opt.effective_cat().unwrap();
         assert_eq!(eff.get("V").unwrap().nnz, 3);
         assert!(opt.cat.get("V").is_none());

@@ -285,6 +285,13 @@ fn env_driven_single_fault_degrades_cleanly() {
     // running programmatic fault tests cannot interleave with this one.
     let _lock = scoped("env.hold", FailAction::Delay(0));
     hadad_failpoint::init_from_env();
+    // A typo'd spec entry would leave its site unarmed and this run would
+    // pass vacuously; fail loudly instead so the matrix config gets fixed.
+    assert!(
+        hadad_failpoint::spec_errors().is_empty(),
+        "malformed HADAD_FAILPOINTS entries: {:?}",
+        hadad_failpoint::spec_errors()
+    );
     let armed = |site: &str| -> bool { hadad_failpoint::action_for(site).is_some() };
 
     quiet_panics(|| {

@@ -52,7 +52,7 @@ fn tweet_pipeline_rewrites_both_halves_and_verifies() {
     )
     .unwrap();
     // Materialized LA view: the transposed filter-level matrix.
-    hy.register_la_view("NT", t(m("N")));
+    hy.register_la_view("NT", t(m("N"))).unwrap();
 
     let pipeline = HybridPipeline {
         prefix: RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
@@ -188,7 +188,7 @@ fn join_pipeline_lands_on_prejoined_view_and_gram_view() {
     let def =
         RelQuery::scan("patients").join("admissions", "pid", "pid").select_eq("service", 2);
     hy.register_table_view("cardio", def).unwrap();
-    hy.register_la_view("G", mul(t(m("X")), m("X")));
+    hy.register_la_view("G", mul(t(m("X")), m("X"))).unwrap();
 
     let pipeline = HybridPipeline {
         prefix: RelQuery::scan("patients")
@@ -231,7 +231,7 @@ fn updates_delta_maintain_the_view_and_reverify_the_pipeline() {
         RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
     )
     .unwrap();
-    hy.register_la_view("NT", t(m("N")));
+    hy.register_la_view("NT", t(m("N"))).unwrap();
 
     let pipeline = HybridPipeline {
         prefix: RelQuery::scan("tweets").select_eq("topic", COVID_TOPIC),
@@ -394,7 +394,10 @@ fn maintained_cast_restamps_meta_to_match_scratch_materialization() {
     assert_eq!(meta.nnz, scratch_meta.nnz);
     assert_eq!((meta.rows, meta.cols), (scratch_meta.rows, scratch_meta.cols));
     assert_eq!(meta.density(), scratch_meta.density());
-    assert_eq!(meta.mnc.as_ref().map(|h| h.nnz()), scratch_meta.mnc.as_ref().map(|h| h.nnz()));
+    assert_eq!(
+        meta.mnc.as_ref().map(hadad_core::MncHistogram::nnz),
+        scratch_meta.mnc.as_ref().map(hadad_core::MncHistogram::nnz)
+    );
 }
 
 /// A maintained cast can read a *base table* directly; pending updates on
