@@ -1,0 +1,190 @@
+//! Canonical expression fingerprints and stats bands — the key space of
+//! the plan cache in `hadad-rewrite`.
+//!
+//! Two queries that differ only in base-matrix *names* chase to isomorphic
+//! instances and extract isomorphic plans, so the cache abstracts leaves
+//! to first-occurrence indices: `trace(A B)` and `trace(C D)` share a
+//! canonical skeleton, and a hit is re-skinned onto the probe's names.
+//! Shape and density still matter — the chase propagates `size`/`density`
+//! facts and the extraction DP prices against them — so the key also
+//! carries a [`StatsBand`] per distinct leaf, bucketing density at the
+//! same ppm granularity the VREM encoding itself uses
+//! ([`DENSITY_SCALE`](crate::schema::DENSITY_SCALE)). Matching skeleton +
+//! matching bands ⇒ the cold pipeline would have produced the same plan
+//! shapes, which is exactly when serving from the cache is sound.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::expr::Expr;
+use crate::schema::DENSITY_SCALE;
+use crate::stats::{ClassStats, MetaCatalog};
+
+/// Prefix of canonical placeholder leaf names. A control character keeps
+/// placeholders disjoint from any user-registered matrix name.
+const PLACEHOLDER: char = '\u{1}';
+
+/// The canonical placeholder name for the `idx`-th distinct leaf.
+pub fn placeholder(idx: usize) -> String {
+    format!("{PLACEHOLDER}{idx}")
+}
+
+/// An expression with base-matrix names abstracted to first-occurrence
+/// indices, plus the distinct concrete names in occurrence order (the
+/// substitution that maps the skeleton back to the original).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalExpr {
+    /// The skeleton: every `Mat(name)` replaced by `Mat(placeholder(i))`.
+    pub skeleton: Expr,
+    /// Distinct concrete leaf names, in first-occurrence order;
+    /// `leaves[i]` is what `placeholder(i)` stands for.
+    pub leaves: Vec<String>,
+}
+
+/// Abstracts `e`'s base-matrix names to first-occurrence indices.
+pub fn canonicalize(e: &Expr) -> CanonicalExpr {
+    let leaves = std::cell::RefCell::new(Vec::new());
+    let skeleton = canon_rec(e, &leaves);
+    CanonicalExpr { skeleton, leaves: leaves.into_inner() }
+}
+
+fn canon_rec(e: &Expr, leaves: &std::cell::RefCell<Vec<String>>) -> Expr {
+    if let Expr::Mat(name) = e {
+        let mut leaves = leaves.borrow_mut();
+        let idx = match leaves.iter().position(|l| l == name) {
+            Some(i) => i,
+            None => {
+                leaves.push(name.clone());
+                leaves.len() - 1
+            }
+        };
+        return Expr::Mat(placeholder(idx));
+    }
+    crate::extract::map_children(e, &|c| canon_rec(c, leaves))
+}
+
+/// Rewrites every `Mat` leaf whose name appears in `from` to the
+/// positionally corresponding name in `to` (leaves outside `from` are kept
+/// verbatim). This re-skins a cached plan onto a dimension-compatible
+/// probe with different base-matrix names.
+pub fn rename_leaves(e: &Expr, from: &[String], to: &[String]) -> Expr {
+    debug_assert_eq!(from.len(), to.len());
+    if let Expr::Mat(name) = e {
+        if let Some(i) = from.iter().position(|f| f == name) {
+            return Expr::Mat(to[i].clone());
+        }
+        return e.clone();
+    }
+    crate::extract::map_children(e, &|c| rename_leaves(c, from, to))
+}
+
+/// Shape/density bucket of one leaf, derived from [`ClassStats`]: exact
+/// dimensions plus density quantized to parts-per-million — the same
+/// granularity `density` facts carry through the chase, so two leaves in
+/// the same band are indistinguishable to the whole cost pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatsBand {
+    /// Row count (exact — shapes gate which rules fire).
+    pub rows: usize,
+    /// Column count (exact).
+    pub cols: usize,
+    /// Density rounded to parts-per-million, clamped to `[0, 1]`.
+    pub density_ppm: u32,
+}
+
+impl StatsBand {
+    /// The band of one class-stats summary.
+    pub fn of(stats: ClassStats) -> Self {
+        StatsBand {
+            rows: stats.rows,
+            cols: stats.cols,
+            density_ppm: (stats.density.clamp(0.0, 1.0) * DENSITY_SCALE).round() as u32,
+        }
+    }
+}
+
+/// Bands for each leaf name in order, or `None` when some leaf has no
+/// catalog entry (the rewrite itself would fail shape inference anyway).
+pub fn leaf_bands(leaves: &[String], cat: &MetaCatalog) -> Option<Vec<StatsBand>> {
+    leaves.iter().map(|n| cat.get(n).map(|m| StatsBand::of(m.stats()))).collect()
+}
+
+/// Structural hash of a canonical skeleton plus its leaf bands. Collisions
+/// are tolerated by the cache (entries verify full skeleton equality), so
+/// `DefaultHasher` is sufficient.
+pub fn structural_hash(skeleton: &Expr, bands: &[StatsBand]) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_expr(skeleton, &mut h);
+    bands.hash(&mut h);
+    h.finish()
+}
+
+/// Recursive structural hash over `Expr`, which cannot derive `Hash`
+/// (`Const` holds an `f64`); literals hash by bit pattern.
+pub fn hash_expr(e: &Expr, h: &mut impl Hasher) {
+    std::mem::discriminant(e).hash(h);
+    match e {
+        Expr::Mat(n) => n.hash(h),
+        Expr::Const(v) => v.to_bits().hash(h),
+        Expr::Identity(n) => n.hash(h),
+        Expr::Zero(r, c) => {
+            r.hash(h);
+            c.hash(h);
+        }
+        _ => {
+            for c in e.children() {
+                hash_expr(c, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::dsl::*;
+    use crate::stats::MatrixMeta;
+
+    #[test]
+    fn canonicalize_abstracts_names_in_occurrence_order() {
+        let e = trace(mul(m("A"), mul(m("B"), m("A"))));
+        let canon = canonicalize(&e);
+        assert_eq!(canon.leaves, vec!["A".to_owned(), "B".to_owned()]);
+        let f = trace(mul(m("X"), mul(m("Y"), m("X"))));
+        assert_eq!(canonicalize(&f).skeleton, canon.skeleton);
+        // Different sharing structure yields a different skeleton.
+        let g = trace(mul(m("X"), mul(m("Y"), m("Z"))));
+        assert_ne!(canonicalize(&g).skeleton, canon.skeleton);
+    }
+
+    #[test]
+    fn rename_leaves_round_trips() {
+        let e = add(mul(m("A"), m("B")), t(m("A")));
+        let canon = canonicalize(&e);
+        let back =
+            rename_leaves(&canon.skeleton, &[placeholder(0), placeholder(1)], &canon.leaves);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn bands_follow_shape_and_density() {
+        let mut cat = MetaCatalog::new();
+        cat.register("A", MatrixMeta::dense(10, 4));
+        cat.register("S", MatrixMeta::sparse(10, 4, 2));
+        let bands = leaf_bands(&["A".into(), "S".into()], &cat).unwrap();
+        assert_eq!(bands[0], StatsBand { rows: 10, cols: 4, density_ppm: 1_000_000 });
+        assert_eq!(bands[1].density_ppm, 50_000);
+        assert!(leaf_bands(&["missing".into()], &cat).is_none());
+    }
+
+    #[test]
+    fn structural_hash_separates_shapes_and_literals() {
+        let canon = canonicalize(&mul(m("A"), m("B"))).skeleton;
+        let b1 = vec![StatsBand { rows: 8, cols: 8, density_ppm: 1_000_000 }; 2];
+        let b2 = vec![StatsBand { rows: 9, cols: 8, density_ppm: 1_000_000 }; 2];
+        assert_ne!(structural_hash(&canon, &b1), structural_hash(&canon, &b2));
+        let l1 = canonicalize(&smul(lit(2.0), m("A"))).skeleton;
+        let l2 = canonicalize(&smul(lit(3.0), m("A"))).skeleton;
+        assert_ne!(structural_hash(&l1, &b1), structural_hash(&l2, &b1));
+    }
+}

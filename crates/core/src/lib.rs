@@ -22,6 +22,7 @@ pub mod catalogue;
 pub mod encode;
 pub mod expr;
 pub mod extract;
+pub mod fingerprint;
 pub mod schema;
 pub mod stats;
 
@@ -29,6 +30,7 @@ pub use catalogue::Catalogue;
 pub use encode::{CqEncoder, Encoded, Encoder};
 pub use expr::Expr;
 pub use extract::{ExtractionCost, Extractor, TreeSizeCost};
+pub use fingerprint::{canonicalize, leaf_bands, rename_leaves, CanonicalExpr, StatsBand};
 pub use schema::{OpKind, Vrem, DENSITY_SCALE};
 pub use stats::{
     expr_stats, op_cost, op_cost_with, op_flops, op_stats, BackendProfile, ClassStats,

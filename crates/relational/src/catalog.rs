@@ -18,6 +18,10 @@ use crate::table::{Table, Value};
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
     log: UpdateLog,
+    /// Monotonic state version: bumped by every successful mutation —
+    /// logged inserts/deletes, maintenance writes, (re-)registration. See
+    /// [`Catalog::epoch`].
+    epoch: u64,
 }
 
 impl Catalog {
@@ -26,11 +30,23 @@ impl Catalog {
         Self::default()
     }
 
+    /// The catalog's monotonically increasing epoch. Every successful
+    /// mutation — [`Catalog::insert_rows`], [`Catalog::delete_rows`],
+    /// [`Catalog::apply_unlogged`] (maintenance commits),
+    /// [`Catalog::register`] — bumps it, so any derived artifact stamped
+    /// with an epoch (a cached plan, a snapshot) is verifiably from the
+    /// current state: a stale stamp is refused, which is what keeps plan
+    /// cache hits sound under incremental view maintenance.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Registers a table under `name`, returning the table it displaced,
     /// if any. A `Some` return on a name you expected to be fresh means a
     /// view registration collision — callers that materialize views check
     /// it instead of silently shadowing a base table.
     pub fn register(&mut self, name: impl Into<String>, table: Table) -> Option<Table> {
+        self.epoch += 1;
         self.tables.insert(name.into(), table)
     }
 
@@ -62,6 +78,7 @@ impl Catalog {
         let delta = Delta::inserts(table, rows);
         let (inserted, _) = apply_delta(table, &delta, name)?;
         self.log.push(name, delta);
+        self.epoch += 1;
         Ok(inserted)
     }
 
@@ -79,6 +96,7 @@ impl Catalog {
         let delta = Delta::deletes(table, rows);
         let (_, deleted) = apply_delta(table, &delta, name)?;
         self.log.push(name, delta);
+        self.epoch += 1;
         Ok(deleted)
     }
 
@@ -91,7 +109,9 @@ impl Catalog {
     ) -> Result<(usize, usize), IvmError> {
         let table =
             self.tables.get_mut(name).ok_or_else(|| IvmError::MissingTable(name.to_owned()))?;
-        apply_delta(table, delta, name)
+        let applied = apply_delta(table, delta, name)?;
+        self.epoch += 1;
+        Ok(applied)
     }
 
     /// Mutations logged since the last drain, in arrival order.
@@ -195,6 +215,30 @@ mod tests {
         assert_eq!(updates[0].delta.counts(), (2, 0));
         assert_eq!(updates[1].delta.counts(), (0, 1));
         assert!(cat.pending_updates().is_empty());
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_successful_mutation_only() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.epoch(), 0);
+        cat.register("users", Table::new(vec![("id", Column::Int(vec![1, 2]))]));
+        assert_eq!(cat.epoch(), 1);
+        cat.insert_rows("users", vec![vec![Value::Int(3)]]).unwrap();
+        assert_eq!(cat.epoch(), 2);
+        cat.delete_rows("users", vec![vec![Value::Int(1)]]).unwrap();
+        assert_eq!(cat.epoch(), 3);
+        // Failed mutations leave the epoch alone.
+        assert!(cat.insert_rows("ghosts", vec![vec![Value::Int(1)]]).is_err());
+        assert!(cat.delete_rows("users", vec![vec![Value::Int(99)]]).is_err());
+        assert_eq!(cat.epoch(), 3);
+        // Draining the log is not a state mutation.
+        let _ = cat.take_updates();
+        assert_eq!(cat.epoch(), 3);
+        // Maintenance writes commit a new epoch.
+        let table = cat.get("users").unwrap();
+        let delta = Delta::inserts(table, vec![vec![Value::Int(9)]]);
+        cat.apply_unlogged("users", &delta).unwrap();
+        assert_eq!(cat.epoch(), 4);
     }
 
     #[test]

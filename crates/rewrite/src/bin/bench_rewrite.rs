@@ -1,7 +1,7 @@
-//! Micro-benchmark for `Optimizer::rewrite` across eleven pipeline
+//! Micro-benchmark for `Optimizer::rewrite` across twelve pipeline
 //! families (seven pure-LA, a dense-GEMM backend duel, one hybrid
-//! relational→LA, the IVM maintenance duel, and the deadline-bounded
-//! anytime family), emitting `BENCH_rewrite.json`
+//! relational→LA, the IVM maintenance duel, the deadline-bounded
+//! anytime family, and the plan-cache duel), emitting `BENCH_rewrite.json`
 //! (a tracked point of the perf trajectory). CI asserts the JSON parses,
 //! carries every family, and that the pruned chase never fires *more*
 //! rules than the unpruned one.
@@ -27,7 +27,7 @@ use hadad_rewrite::{
 
 /// Every family the JSON must carry; CI cross-checks the emitted artifact
 /// against this list.
-const FAMILIES: [&str; 11] = [
+const FAMILIES: [&str; 12] = [
     "trace_cyclic",
     "matvec_chain",
     "qr_reuse",
@@ -39,6 +39,7 @@ const FAMILIES: [&str; 11] = [
     "hybrid_tweets",
     "ivm_updates",
     "deadline_rewrite",
+    "cached_rewrite",
 ];
 
 /// The pure-LA rewrite families, in emission order — the per-family
@@ -232,8 +233,9 @@ fn time_rewrite(opt: &Optimizer, e: &Expr, reps: u32) -> (RankedPlans, RewriteTi
 /// The hybrid family (paper §9.2, tweet flavour): a topic filter over a
 /// synthetic tweets table, PACB-rewritten onto a materialized filtered
 /// view, cast to the ultra-sparse filter-level matrix `N`, with the `Nᵀ w`
-/// suffix rewritten onto the materialized `NT` view. Returns the JSON row.
-fn hybrid_family(reps: u32) -> String {
+/// suffix rewritten onto the materialized `NT` view. Returns the JSON row
+/// plus the mean end-to-end rewrite time for the tracked series.
+fn hybrid_family(reps: u32) -> (String, f64) {
     let n_tweets = 4000usize;
     let n_topics = 40usize;
     let covid = 7i64;
@@ -327,7 +329,7 @@ fn hybrid_family(reps: u32) -> String {
         verified.verified,
     );
 
-    format!(
+    let row = format!(
         concat!(
             "    {{\"pipeline\": \"hybrid_tweets\", \"nodes\": {}, \"rewrite_us\": {:.1}, ",
             "\"pacb_us\": {:.1}, \"rel_exec_us\": {:.1}, \"cast_us\": {:.1}, ",
@@ -362,7 +364,8 @@ fn hybrid_family(reps: u32) -> String {
         verified.ranked.original.est_cost,
         verified.best.est_cost,
         verified.verified == Some(true),
-    )
+    );
+    (row, total)
 }
 
 /// Raw-kernel micro-bench: a 512×512 dense GEMM timed under each backend.
@@ -568,8 +571,9 @@ fn ivm_family(reps: u32) -> (String, f64, f64) {
 /// the cut costs — the degraded best plan's estimated cost against the
 /// unbounded search's best — and proves the anytime contract (the call
 /// returns `Ok`, and the verified plan never prices above the unrewritten
-/// expression).
-fn deadline_family() -> (String, f64) {
+/// expression). Returns the JSON row, the degraded-vs-full cost ratio, and
+/// the bounded call's wall time for the tracked series.
+fn deadline_family() -> (String, f64, f64) {
     let p = matmul_chain_pipeline(
         "deadline_rewrite",
         &[96, 88, 80, 64, 48, 40, 36, 24, 16, 12, 6, 4, 1],
@@ -617,7 +621,119 @@ fn deadline_family() -> (String, f64) {
         full.best().est_cost,
         ratio,
     );
-    (row, ratio)
+    (row, ratio, rewrite_us as f64)
+}
+
+/// The plan-cache duel (rewrite-as-a-service): the 12-chain suffix behind
+/// a trivial relational prefix, rewritten three ways on one
+/// [`HybridOptimizer`] whose LA optimizer carries a [`PlanCache`]
+/// (`hadad_rewrite::PlanCache`): **cold** (first call — full encode →
+/// chase → extract pass, entry inserted), **warm** (every later call at
+/// the same catalog epoch is served from the cache), and **invalidated**
+/// (a base-table insert bumps the epoch, so the next probe refuses the
+/// stale entry and re-runs cold, warm-starting extraction from the
+/// refused entry's DP table). Returns the JSON row, the warm-hit mean,
+/// and the hit rate for the tracked series.
+fn cached_family(reps: u32) -> (String, f64, f64) {
+    let chain = matmul_chain_pipeline(
+        "cached_rewrite",
+        &[96, 88, 80, 64, 48, 40, 36, 24, 16, 12, 6, 4, 1],
+        ChaseBudget { max_rounds: 20, max_facts: 60_000, max_nulls: 30_000, deadline: None },
+    );
+    let events = Table::new(vec![
+        ("eid", Column::Int((0..64).collect())),
+        ("kind", Column::Int((0..64).map(|i| i % 4).collect())),
+    ]);
+    let mut catalog = Catalog::new();
+    catalog.register("events", events);
+    let mut hy = HybridOptimizer::new(
+        catalog,
+        Optimizer::new(chain.cat.clone()).with_budget(chain.budget).with_plan_cache(64),
+    );
+    hy.register_table_view("spikes", RelQuery::scan("events").select_eq("kind", 3))
+        .expect("view materializes");
+    // The sparse cast reuses "kind" as its value column (any numeric
+    // column works — the suffix never touches the cast matrix).
+    let pipeline = HybridPipeline {
+        prefix: RelQuery::scan("events").select_eq("kind", 3),
+        sort_key: None,
+        cast: CastKind::Sparse {
+            row: "eid".into(),
+            col: "kind".into(),
+            val: "kind".into(),
+            rows: 128,
+            cols: 4,
+        },
+        cast_name: "E".into(),
+        suffix: chain.expr.clone(),
+    };
+
+    let cold = hy.rewrite_hybrid(&pipeline).expect("cold hybrid rewrite");
+    assert!(!cold.ranked.report.cache.hit, "first rewrite must miss the plan cache");
+    let cold_us = cold.ranked.report.elapsed_us as f64;
+
+    let mut warm = 0f64;
+    for _ in 0..reps {
+        let r = hy.rewrite_hybrid(&pipeline).expect("warm hybrid rewrite");
+        assert!(r.ranked.report.cache.hit, "same-epoch repeat must hit the plan cache");
+        assert_eq!(
+            r.best.expr, cold.best.expr,
+            "cache-served plan differs from the cold-path plan"
+        );
+        warm += r.ranked.report.elapsed_us as f64;
+    }
+    let cache_hit_us = warm / f64::from(reps.max(1));
+
+    // A base-table insert bumps the catalog epoch (maintenance included):
+    // the entry is now stale and the very next rewrite must refuse it.
+    hy.insert_rows("events", vec![vec![Value::Int(64), Value::Int(3)]])
+        .expect("insert applies");
+    let inval = hy.rewrite_hybrid(&pipeline).expect("post-update hybrid rewrite");
+    let post_update_hit = inval.ranked.report.cache.hit;
+    assert!(!post_update_hit, "stale-epoch entry served after a base-table update");
+    let invalidated_us = inval.ranked.report.elapsed_us as f64;
+    // The cold re-run re-primed the cache at the new epoch.
+    let rehit = hy.rewrite_hybrid(&pipeline).expect("re-primed hybrid rewrite");
+    assert!(rehit.ranked.report.cache.hit, "re-primed entry must serve at the new epoch");
+
+    let report = rehit.ranked.report.cache;
+    let cache_hit_rate = report.hits as f64 / (report.hits + report.misses).max(1) as f64;
+    assert!(
+        cache_hit_us * 20.0 <= cold_us,
+        "warm hit ({cache_hit_us:.0}us) is not >= 20x faster than cold ({cold_us:.0}us)"
+    );
+    println!(
+        "{:<16} cold {:>8.0}us vs warm hit {:>6.1}us ({:.0}x) | invalidated {:.0}us | hit rate {:.2} ({} hits / {} misses / {} evictions)",
+        "cached_rewrite",
+        cold_us,
+        cache_hit_us,
+        cold_us / cache_hit_us.max(1.0),
+        invalidated_us,
+        cache_hit_rate,
+        report.hits,
+        report.misses,
+        report.evictions,
+    );
+    let row = format!(
+        concat!(
+            "    {{\"pipeline\": \"cached_rewrite\", \"nodes\": {}, \"cold_us\": {:.1}, ",
+            "\"cache_hit_us\": {:.1}, \"invalidated_us\": {:.1}, \"speedup\": {:.1}, ",
+            "\"cache_hit_rate\": {:.3}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, ",
+            "\"post_update_hit\": {}, ",
+            "\"tgd_firings\": 0, \"nopruning_tgd_firings\": 0}}"
+        ),
+        pipeline.suffix.node_count(),
+        cold_us,
+        cache_hit_us,
+        invalidated_us,
+        cold_us / cache_hit_us.max(1.0),
+        cache_hit_rate,
+        report.hits,
+        report.misses,
+        report.evictions,
+        post_update_hit,
+    );
+    (row, cache_hit_us, cache_hit_rate)
 }
 
 /// Everything one tracked series row carries beyond the commit stamp:
@@ -626,6 +742,12 @@ fn deadline_family() -> (String, f64) {
 /// degraded-vs-full plan cost ratio.
 struct SeriesData<'a> {
     chase: &'a [(String, f64)],
+    /// One headline number per family, in [`FAMILIES`] order: rewrite
+    /// total for the LA families, parallel exec for `dense_gemm512`,
+    /// end-to-end rewrite for `hybrid_tweets`, `maintain_us` for
+    /// `ivm_updates`, bounded wall time for `deadline_rewrite`, and the
+    /// warm-hit mean for `cached_rewrite`.
+    headline: &'a [(String, f64)],
     maintain_us: f64,
     reexec_us: f64,
     /// Unrewritten sparse_chain exec under (reference, parallel).
@@ -635,6 +757,10 @@ struct SeriesData<'a> {
     /// Best-plan cost of the 1 ms-deadline 12-chain over the unbounded
     /// search's best (1.0 = the cut was free).
     deadline_ratio: f64,
+    /// Mean plan-cache warm-hit serve time on the 12-chain.
+    cache_hit_us: f64,
+    /// Plan-cache hit rate over the cached_rewrite family's calls.
+    cache_hit_rate: f64,
     threads: usize,
 }
 
@@ -658,22 +784,26 @@ fn append_series_row(data: &SeriesData<'_>) {
     let families: Vec<String> = FAMILIES.iter().map(|f| format!("\"{f}\"")).collect();
     let chase_map: Vec<String> =
         data.chase.iter().map(|(name, us)| format!("\"{name}\": {us:.1}")).collect();
+    let headline_map: Vec<String> =
+        data.headline.iter().map(|(name, us)| format!("\"{name}\": {us:.1}")).collect();
     let (sparse_ref, sparse_par) = data.sparse_exec;
     let (gemm_ref, gemm_par) = data.gemm_exec;
     let line = format!(
         concat!(
             "{{\"commit\": \"{}\", \"ts_unix\": {}, \"families\": [{}], ",
-            "\"chase_us\": {{{}}}, ",
+            "\"chase_us\": {{{}}}, \"headline_us\": {{{}}}, ",
             "\"ivm_maintain_us\": {:.1}, \"ivm_reexec_us\": {:.1}, \"ivm_speedup\": {:.1}, ",
             "\"sparse_chain_exec_us\": {{\"reference\": {:.1}, \"parallel\": {:.1}}}, ",
             "\"dense_gemm512_exec_us\": {{\"reference\": {:.1}, \"parallel\": {:.1}}}, ",
             "\"deadline_cost_ratio\": {:.3}, ",
+            "\"cache_hit_us\": {:.1}, \"cache_hit_rate\": {:.3}, ",
             "\"threads\": {}}}\n"
         ),
         commit,
         ts,
         families.join(", "),
         chase_map.join(", "),
+        headline_map.join(", "),
         data.maintain_us,
         data.reexec_us,
         data.reexec_us / data.maintain_us.max(1.0),
@@ -682,6 +812,8 @@ fn append_series_row(data: &SeriesData<'_>) {
         gemm_ref,
         gemm_par,
         data.deadline_ratio,
+        data.cache_hit_us,
+        data.cache_hit_rate,
         data.threads,
     );
     use std::io::Write as _;
@@ -721,6 +853,7 @@ fn main() {
     // Per-family chase medians and the sparse_chain backend duel, collected
     // for the tracked series row.
     let mut series_chase: Vec<(String, f64)> = Vec::new();
+    let mut series_headline: Vec<(String, f64)> = Vec::new();
     let mut sparse_exec: Option<(f64, f64)> = None;
     for p in &pipelines {
         // Default engine: semi-naïve + Prune_prov. The acceptance bar is
@@ -757,6 +890,7 @@ fn main() {
         let orig_exec_us = time_exec(&p.expr, &p.env, 5);
         let best_exec_us = time_exec(&best.expr, &p.env, 5);
         series_chase.push((p.name.to_string(), tm.chase));
+        series_headline.push((p.name.to_string(), tm.total));
 
         // The headline kernel duel: the *unrewritten* sparse chain under
         // each backend (direct-CSR SpGEMM assembly vs triplet-sort).
@@ -867,11 +1001,19 @@ fn main() {
 
     let (gemm_row, gemm_reference_us, gemm_parallel_us) = dense_gemm_family(5);
     rows.push(gemm_row);
-    rows.push(hybrid_family(5));
+    series_headline.push(("dense_gemm512".into(), gemm_parallel_us));
+    let (hybrid_row, hybrid_total_us) = hybrid_family(5);
+    rows.push(hybrid_row);
+    series_headline.push(("hybrid_tweets".into(), hybrid_total_us));
     let (ivm_row, maintain_us, reexec_us) = ivm_family(5);
     rows.push(ivm_row);
-    let (deadline_row, deadline_ratio) = deadline_family();
+    series_headline.push(("ivm_updates".into(), maintain_us));
+    let (deadline_row, deadline_ratio, deadline_us) = deadline_family();
     rows.push(deadline_row);
+    series_headline.push(("deadline_rewrite".into(), deadline_us));
+    let (cached_row, cache_hit_us, cache_hit_rate) = cached_family(20);
+    rows.push(cached_row);
+    series_headline.push(("cached_rewrite".into(), cache_hit_us));
 
     let json = format!(
         "{{\n  \"bench\": \"Optimizer::rewrite\",\n  \"pipelines\": [\n{}\n  ]\n}}\n",
@@ -889,13 +1031,21 @@ fn main() {
         LA_FAMILIES.to_vec(),
         "series chase map must cover every LA family in order"
     );
+    assert_eq!(
+        series_headline.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        FAMILIES.to_vec(),
+        "series headline map must cover every family in order"
+    );
     append_series_row(&SeriesData {
         chase: &series_chase,
+        headline: &series_headline,
         maintain_us,
         reexec_us,
         sparse_exec: sparse_exec.expect("sparse_chain family ran"),
         gemm_exec: (gemm_reference_us, gemm_parallel_us),
         deadline_ratio,
+        cache_hit_us,
+        cache_hit_rate,
         threads: PARALLEL.threads(),
     });
     println!("wrote BENCH_rewrite.json ({} families) + BENCH_series.jsonl row", FAMILIES.len());

@@ -1,0 +1,320 @@
+//! The plan cache: rewrite-as-a-service for repeated query shapes.
+//!
+//! Production traffic repeats a small number of expression shapes, yet
+//! every `Optimizer::rewrite` call pays the full encode → chase → extract
+//! → rank pass. The cache keys extracted [`RankedPlans`] by **canonical
+//! skeleton × per-leaf stats band × catalog epoch** (see
+//! `hadad_core::fingerprint`): a repeat with the same shapes — even under
+//! different base-matrix names, when no views or extra rules bind concrete
+//! names — is served straight from the cache, re-skinned and re-priced,
+//! for the cost of a hash probe instead of a chase.
+//!
+//! Soundness under updates is anchored the way Berkholz–Keppeler–
+//! Schweikardt anchor answering under updates: every entry is stamped with
+//! the [`Catalog`](hadad_relational::Catalog) epoch it was computed at,
+//! and a probe carrying a newer epoch *refuses* the entry (it is evicted
+//! on the spot). The refused entry still returns its extraction DP table,
+//! which warm-starts the cold path's `TighteningPruner` — stale work is
+//! recycled, never trusted.
+//!
+//! Concurrency: the map is sharded by key hash, each shard behind its own
+//! mutex, so reader threads rewriting against catalog snapshots contend
+//! only when they collide on a shard. Counters are atomics, surfaced on
+//! `RewriteReport` as [`CacheReport`].
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use hadad_chase::NodeId;
+use hadad_core::fingerprint::{structural_hash, CanonicalExpr, StatsBand};
+use hadad_core::Expr;
+
+use crate::optimizer::RankedPlans;
+
+/// The per-class extraction DP table cached alongside each plan entry:
+/// class → (best cost, winning e-node index).
+pub type DpTable = HashMap<NodeId, (f64, usize)>;
+
+/// Plan-cache counters for one `rewrite` call, surfaced on
+/// `RewriteReport`. Cumulative counts cover the whole cache (shared by
+/// every optimizer clone holding it), so they monotonically increase
+/// across calls and threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Whether *this* call was served from the cache.
+    pub hit: bool,
+    /// Cumulative cache hits.
+    pub hits: u64,
+    /// Cumulative cache misses (stale-epoch refusals included).
+    pub misses: u64,
+    /// Cumulative evictions: capacity-pressure LRU removals plus
+    /// stale-epoch refusals.
+    pub evictions: u64,
+}
+
+/// Probe key: the canonical skeleton of the input expression, its leaf
+/// names in first-occurrence order, one [`StatsBand`] per leaf, an opaque
+/// configuration hash (budget/mode/backend/views/rules), and the catalog
+/// epoch the probing optimizer is pinned to.
+#[derive(Debug, Clone)]
+pub struct PlanCacheKey {
+    /// Precomputed shard/bucket hash over skeleton + bands + ctx.
+    hash: u64,
+    /// Canonical skeleton (leaves abstracted to occurrence indices).
+    skeleton: Expr,
+    /// Concrete leaf names, in first-occurrence order.
+    pub(crate) names: Vec<String>,
+    /// Per-leaf shape/density bands, aligned with `names`.
+    bands: Vec<StatsBand>,
+    /// Opaque optimizer-configuration hash: entries only match probes
+    /// from an identically configured optimizer.
+    ctx: u64,
+    /// Catalog epoch of the probe; entries stamped otherwise are refused.
+    epoch: u64,
+    /// When `true` (views or extra rules are registered), plans may embed
+    /// leaves tied to concrete names, so cross-name sharing is unsound and
+    /// entries additionally require exact `names` equality.
+    names_bound: bool,
+}
+
+impl PlanCacheKey {
+    /// Builds a key from an already-canonicalized expression, per-leaf
+    /// bands, and the probing optimizer's configuration and epoch.
+    pub(crate) fn new(
+        canon: CanonicalExpr,
+        bands: Vec<StatsBand>,
+        ctx: u64,
+        epoch: u64,
+        names_bound: bool,
+    ) -> Self {
+        let mut hash = structural_hash(&canon.skeleton, &bands);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        hash.hash(&mut h);
+        ctx.hash(&mut h);
+        if names_bound {
+            canon.leaves.hash(&mut h);
+        }
+        hash = h.finish();
+        PlanCacheKey {
+            hash,
+            skeleton: canon.skeleton,
+            names: canon.leaves,
+            bands,
+            ctx,
+            epoch,
+            names_bound,
+        }
+    }
+}
+
+/// A served cache entry: the ranked plans as extracted at insert time,
+/// the leaf names they were extracted under, and the DP table.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedPlans {
+    /// The plans, still under the entry's own leaf names.
+    pub plans: RankedPlans,
+    /// Leaf names (first-occurrence order) the entry was inserted under.
+    pub names: Vec<String>,
+}
+
+/// Outcome of a cache probe.
+pub(crate) enum Lookup {
+    /// Same epoch, matching key: serve.
+    Hit(Box<CachedPlans>),
+    /// Matching key at a *different* epoch: the entry is refused and
+    /// evicted; its DP table is returned to warm-start the cold path.
+    Stale(DpTable),
+    /// No matching entry.
+    Miss,
+}
+
+struct Entry {
+    skeleton: Expr,
+    names: Vec<String>,
+    bands: Vec<StatsBand>,
+    ctx: u64,
+    epoch: u64,
+    names_bound: bool,
+    plans: RankedPlans,
+    dp: DpTable,
+    last_used: u64,
+}
+
+impl Entry {
+    fn matches(&self, key: &PlanCacheKey) -> bool {
+        self.ctx == key.ctx
+            && self.names_bound == key.names_bound
+            && self.bands == key.bands
+            && self.skeleton == key.skeleton
+            && (!self.names_bound || self.names == key.names)
+    }
+}
+
+/// Shard count; probes hash-route to a shard so concurrent readers only
+/// contend on collisions.
+const NUM_SHARDS: usize = 8;
+
+/// Default total capacity when `HADAD_PLAN_CACHE` is set without a number.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Sharded, epoch-validated map from canonical plan fingerprints to
+/// extracted [`RankedPlans`] (plus their extraction DP tables).
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    tick: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &(self.per_shard * NUM_SHARDS))
+            .field("len", &self.len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("evictions", &self.evictions.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` entries (rounded up to a multiple
+    /// of the shard count; at least one entry per shard).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard: capacity.div_ceil(NUM_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache configured from the `HADAD_PLAN_CACHE` environment variable:
+    /// unset / `0` / `off` → `None` (disabled), a positive integer → that
+    /// total capacity, any other value → [`DEFAULT_CAPACITY`].
+    pub fn from_env() -> Option<Arc<PlanCache>> {
+        capacity_from(&std::env::var("HADAD_PLAN_CACHE").ok()?)
+            .map(|c| Arc::new(PlanCache::new(c)))
+    }
+
+    /// Entries currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot, with `hit` recording this call's outcome.
+    pub(crate) fn report(&self, hit: bool) -> CacheReport {
+        CacheReport {
+            hit,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, key: &PlanCacheKey) -> &Mutex<HashMap<u64, Entry>> {
+        &self.shards[(key.hash as usize) % NUM_SHARDS]
+    }
+
+    pub(crate) fn lookup(&self, key: &PlanCacheKey) -> Lookup {
+        let mut shard = lock(self.shard(key));
+        match shard.get_mut(&key.hash) {
+            Some(entry) if entry.matches(key) => {
+                if entry.epoch == key.epoch {
+                    entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Hit(Box::new(CachedPlans {
+                        plans: entry.plans.clone(),
+                        names: entry.names.clone(),
+                    }))
+                } else {
+                    // Epoch mismatch: refuse and evict, recycle the DP.
+                    let entry = shard.remove(&key.hash).expect("entry present");
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Stale(entry.dp)
+                }
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Inserts (or replaces, on bucket collision) an entry under `key`.
+    /// Full shards evict their least-recently-used entry first.
+    pub(crate) fn insert(&self, key: &PlanCacheKey, plans: RankedPlans, dp: DpTable) {
+        let mut shard = lock(self.shard(key));
+        if !shard.contains_key(&key.hash) && shard.len() >= self.per_shard {
+            if let Some(&lru) = shard.iter().min_by_key(|(_, e)| e.last_used).map(|(h, _)| h) {
+                shard.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.insert(
+            key.hash,
+            Entry {
+                skeleton: key.skeleton.clone(),
+                names: key.names.clone(),
+                bands: key.bands.clone(),
+                ctx: key.ctx,
+                epoch: key.epoch,
+                names_bound: key.names_bound,
+                plans,
+                dp,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+    }
+}
+
+/// Parses a `HADAD_PLAN_CACHE` value into a total capacity: `0`, `off`,
+/// `false`, or empty disable the cache (`None`); a positive integer sets
+/// the capacity; anything else (e.g. `on`) selects [`DEFAULT_CAPACITY`].
+pub fn capacity_from(value: &str) -> Option<usize> {
+    let v = value.trim().to_ascii_lowercase();
+    if v.is_empty() || v == "0" || v == "off" || v == "false" {
+        return None;
+    }
+    match v.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => Some(DEFAULT_CAPACITY),
+    }
+}
+
+/// Locks a shard, continuing through poison: entries are always internally
+/// consistent (each insert/remove completes under the lock before any
+/// panic can propagate), so a poisoned shard is still a valid map.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_capacity_parsing() {
+        assert_eq!(capacity_from(""), None);
+        assert_eq!(capacity_from("0"), None);
+        assert_eq!(capacity_from("off"), None);
+        assert_eq!(capacity_from("OFF"), None);
+        assert_eq!(capacity_from("false"), None);
+        assert_eq!(capacity_from("128"), Some(128));
+        assert_eq!(capacity_from(" 64 "), Some(64));
+        assert_eq!(capacity_from("on"), Some(DEFAULT_CAPACITY));
+    }
+}

@@ -386,6 +386,12 @@ pub struct TighteningPruner<'a> {
     last_tighten: u64,
     last_clock: u64,
     last_facts: usize,
+    /// The most recent solved extraction DP table, chained across
+    /// [`TighteningPruner::retighten`] calls so each mid-chase
+    /// re-extraction warm-starts from the previous one instead of
+    /// re-solving from scratch — the incremental cost oracle. May be
+    /// pre-loaded from a plan cache via [`TighteningPruner::with_seed`].
+    dp: Option<HashMap<NodeId, (f64, usize)>>,
 }
 
 impl<'a> TighteningPruner<'a> {
@@ -405,7 +411,18 @@ impl<'a> TighteningPruner<'a> {
             last_tighten: 0,
             last_clock: 0,
             last_facts: 0,
+            dp: None,
         }
+    }
+
+    /// Pre-loads the extraction DP seed (e.g. the table cached alongside a
+    /// now-stale plan-cache entry): the first mid-chase re-extraction then
+    /// warm-starts instead of solving cold. Seed prices are re-validated
+    /// inside the extractor, so a stale table can never loosen pruning
+    /// soundness — at worst it is ignored.
+    pub fn with_seed(mut self, seed: HashMap<NodeId, (f64, usize)>) -> Self {
+        self.dp = Some(seed);
+        self
     }
 
     /// Current incumbent cost bound.
@@ -431,10 +448,14 @@ impl<'a> TighteningPruner<'a> {
         self.last_facts = inst.num_facts();
         // Tighten in the same currency the pruning bounds are priced in.
         let cost_fn = FlopsCost::with_profile(self.oracle.profile());
-        let ex = Extractor::new(self.vrem, inst, &cost_fn);
+        let ex = match &self.dp {
+            Some(seed) => Extractor::with_seed(self.vrem, inst, &cost_fn, seed),
+            None => Extractor::new(self.vrem, inst, &cost_fn),
+        };
         if let Some(best) = ex.class_cost(self.root) {
             self.inner.tighten(best);
         }
+        self.dp = Some(ex.dp_table().clone());
     }
 }
 

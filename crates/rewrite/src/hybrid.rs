@@ -19,6 +19,7 @@
 //! original suffix on the backend.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use hadad_chase::{
@@ -782,6 +783,10 @@ pub struct HybridOptimizer {
     table_views: Vec<TableView>,
     maintainer: ViewMaintainer,
     maintained_casts: Vec<MaintainedCast>,
+    /// Published read snapshot, lazily allocated by [`HybridOptimizer::reader`].
+    /// `None` until a reader exists — snapshot clones are only paid for
+    /// once someone reads concurrently.
+    shared: Option<Arc<Mutex<Arc<CatalogSnapshot>>>>,
 }
 
 impl HybridOptimizer {
@@ -795,6 +800,7 @@ impl HybridOptimizer {
             table_views: Vec::new(),
             maintainer: ViewMaintainer::new(),
             maintained_casts: Vec::new(),
+            shared: None,
         }
     }
 
@@ -830,6 +836,7 @@ impl HybridOptimizer {
         let view = TableView { name, def };
         self.maintainer.track(&self.catalog, &view)?;
         self.table_views.push(view);
+        self.publish();
         Ok(())
     }
 
@@ -864,7 +871,9 @@ impl HybridOptimizer {
         name: impl Into<String>,
         def: Expr,
     ) -> Result<(), HybridError> {
-        Ok(self.optimizer.register_la_view(name, def)?)
+        self.optimizer.register_la_view(name, def)?;
+        self.publish();
+        Ok(())
     }
 
     /// The registered table views, in registration order.
@@ -888,6 +897,7 @@ impl HybridOptimizer {
         }
         self.restamp_cast(&cast)?;
         self.maintained_casts.push(cast);
+        self.publish();
         Ok(())
     }
 
@@ -929,7 +939,10 @@ impl HybridOptimizer {
             return Err(HybridError::MaintenancePoisoned);
         }
         if self.catalog.pending_updates().is_empty() {
-            return Ok(MaintenanceReport::default());
+            return Ok(MaintenanceReport {
+                epoch: self.catalog.epoch(),
+                ..MaintenanceReport::default()
+            });
         }
         let mut dirty: HashSet<String> =
             self.catalog.pending_updates().iter().map(|e| e.table.clone()).collect();
@@ -949,6 +962,7 @@ impl HybridOptimizer {
             }
         }
         report.restamp_us = restamp_start.elapsed().as_micros();
+        self.publish();
         Ok(report)
     }
 
@@ -1020,6 +1034,8 @@ impl HybridOptimizer {
             // A partial rebuild is as unknown as a partial maintenance
             // pass — keep refusing until a rebuild fully succeeds.
             self.maintainer.poison();
+        } else {
+            self.publish();
         }
         result
     }
@@ -1034,6 +1050,82 @@ impl HybridOptimizer {
             restamp_cast_into(&self.catalog, &mut self.optimizer, cast)?;
         }
         Ok(())
+    }
+
+    /// Captures the current rewriting state as an owned, immutable
+    /// [`CatalogSnapshot`]. Refused while the state is not committable: a
+    /// poisoned maintainer or stale materializations would bake unknown
+    /// or outdated view contents into every read served from it.
+    pub fn snapshot(&self) -> Result<CatalogSnapshot, HybridError> {
+        if self.maintainer.is_poisoned() {
+            return Err(HybridError::MaintenancePoisoned);
+        }
+        let stale = self.stale_materializations();
+        if !stale.is_empty() {
+            return Err(HybridError::StaleViews(stale));
+        }
+        Ok(self.make_snapshot())
+    }
+
+    /// A [`SnapshotReader`] tracking this optimizer's latest published
+    /// snapshot. The first call allocates the shared slot (snapshot clones
+    /// are only paid for once a concurrent reader exists); every call
+    /// republishes the current state first, and is refused under the same
+    /// conditions as [`HybridOptimizer::snapshot`]. Clone the returned
+    /// handle freely across threads — the writer's later clean commits
+    /// (registrations, maintenance passes, rebuilds) show up in readers
+    /// automatically.
+    pub fn reader(&mut self) -> Result<SnapshotReader, HybridError> {
+        if self.maintainer.is_poisoned() {
+            return Err(HybridError::MaintenancePoisoned);
+        }
+        let stale = self.stale_materializations();
+        if !stale.is_empty() {
+            return Err(HybridError::StaleViews(stale));
+        }
+        match &self.shared {
+            Some(shared) => {
+                let shared = Arc::clone(shared);
+                self.publish();
+                Ok(SnapshotReader { shared })
+            }
+            None => {
+                let shared = Arc::new(Mutex::new(Arc::new(self.make_snapshot())));
+                self.shared = Some(Arc::clone(&shared));
+                Ok(SnapshotReader { shared })
+            }
+        }
+    }
+
+    fn make_snapshot(&self) -> CatalogSnapshot {
+        let epoch = self.catalog.epoch();
+        // Stamp the clone's plan-cache epoch now: every probe from the
+        // snapshot must validate against the state it captured, and the
+        // shared `PlanCache` Arc means entries it inserts serve later
+        // same-epoch readers too.
+        let mut optimizer = self.optimizer.clone();
+        optimizer.set_cache_epoch(epoch);
+        CatalogSnapshot {
+            catalog: self.catalog.clone(),
+            table_views: self.table_views.clone(),
+            optimizer,
+            budget: self.budget,
+            epoch,
+        }
+    }
+
+    /// Republishes the shared snapshot after a state change. A no-op until
+    /// a reader exists; silently skipped when the state is not committable
+    /// (poisoned maintainer, pending updates) — readers then keep serving
+    /// the last clean snapshot, which is exactly the wanted semantics for
+    /// a writer mid-batch.
+    fn publish(&self) {
+        let Some(shared) = &self.shared else { return };
+        if self.maintainer.is_poisoned() || !self.catalog.pending_updates().is_empty() {
+            return;
+        }
+        let snap = Arc::new(self.make_snapshot());
+        *shared.lock().unwrap_or_else(PoisonError::into_inner) = snap;
     }
 
     /// Rewrites the pipeline without executing the LA verification step
@@ -1060,8 +1152,6 @@ impl HybridOptimizer {
         p: &HybridPipeline,
         verify: Option<(&Env, f64)>,
     ) -> Result<HybridResult, HybridError> {
-        let start = Instant::now();
-
         // A poisoned maintainer means view materializations are unknown —
         // but base tables are always current (mutations land immediately;
         // the pending log only defers *view* maintenance). So instead of
@@ -1087,152 +1177,309 @@ impl HybridOptimizer {
                 return Err(HybridError::StaleViews(stale));
             }
         }
+        run_state(
+            &RunState {
+                catalog: &self.catalog,
+                table_views: &self.table_views,
+                optimizer: &self.optimizer,
+                budget: self.budget,
+                epoch: self.catalog.epoch(),
+                degraded,
+            },
+            p,
+            verify,
+        )
+    }
+}
 
-        // Phase 1: compile the prefix and the view definitions to CQs over
-        // the catalog vocabulary. A degraded run offers no views.
-        let mut tv = TableVocab::from_catalog(&self.catalog);
-        let compiled = p.prefix.compile(&self.catalog, &mut tv)?;
-        let usable_views: &[TableView] =
-            if degraded.is_some() { &[] } else { &self.table_views };
-        let mut views = Vec::with_capacity(usable_views.len());
-        for v in usable_views {
-            let def = v.def.compile(&self.catalog, &mut tv)?;
-            let mat_cols = self
-                .catalog
-                .get(&v.name)
-                .map_or(def.columns.len(), hadad_relational::Table::num_cols);
-            if mat_cols != def.columns.len() {
-                return Err(HybridError::ViewArity {
-                    view: v.name.clone(),
-                    expected: def.columns.len(),
-                    got: mat_cols,
-                });
-            }
-            views.push(hadad_chase::View::new(&v.name, tv.pred(&v.name)?, def.cq));
+/// Everything one hybrid rewrite reads, borrowed either from the live
+/// [`HybridOptimizer`] (the `&self` path) or from a published
+/// [`CatalogSnapshot`] (the concurrent read path). Capturing it in one
+/// struct is what lets `run_state` stay free of `&mut` and of the
+/// optimizer itself.
+struct RunState<'a> {
+    catalog: &'a Catalog,
+    table_views: &'a [TableView],
+    optimizer: &'a Optimizer,
+    budget: ChaseBudget,
+    /// Catalog epoch the state was captured at — stamped onto the LA
+    /// optimizer clone so its plan-cache probes are epoch-checked.
+    epoch: u64,
+    /// Pre-determined degradation (poisoned maintainer): the run proceeds
+    /// with no materialized views offered.
+    degraded: Option<Degraded>,
+}
+
+/// One hybrid rewrite over a captured [`RunState`]: shared verbatim by the
+/// live `&self` path and by snapshot readers on other threads.
+fn run_state(
+    state: &RunState<'_>,
+    p: &HybridPipeline,
+    verify: Option<(&Env, f64)>,
+) -> Result<HybridResult, HybridError> {
+    let start = Instant::now();
+    let degraded = state.degraded.clone();
+
+    // Phase 1: compile the prefix and the view definitions to CQs over
+    // the catalog vocabulary. A degraded run offers no views.
+    let mut tv = TableVocab::from_catalog(state.catalog);
+    let compiled = p.prefix.compile(state.catalog, &mut tv)?;
+    let usable_views: &[TableView] = if degraded.is_some() { &[] } else { state.table_views };
+    let mut views = Vec::with_capacity(usable_views.len());
+    for v in usable_views {
+        let def = v.def.compile(state.catalog, &mut tv)?;
+        let mat_cols = state
+            .catalog
+            .get(&v.name)
+            .map_or(def.columns.len(), hadad_relational::Table::num_cols);
+        if mat_cols != def.columns.len() {
+            return Err(HybridError::ViewArity {
+                view: v.name.clone(),
+                expected: def.columns.len(),
+                got: mat_cols,
+            });
         }
+        views.push(hadad_chase::View::new(&v.name, tv.pred(&v.name)?, def.cq));
+    }
 
-        // Phase 2: PACB with the catalog's row-count cost as `Prune_prov`
-        // threshold — rewritings that cannot beat re-running the original
-        // prefix are pruned during the backchase.
-        let cost_original =
-            self.catalog.scan_cost(compiled.cq.body.iter().filter_map(|a| tv.table_of(a.pred)));
-        let cost_fn = |inst: &Instance, atoms: &[usize]| -> f64 {
-            self.catalog.scan_cost(
-                atoms
-                    .iter()
-                    .map(|&i| tv.table_of(inst.fact(i).pred).unwrap_or("?unknown-pred")),
-            )
-        };
-        let pacb_start = Instant::now();
-        // Supervised: a panic inside PACB (a bug, or an injected fault in
-        // the shared chase engine) degrades the relational phase to "no
-        // rewriting found" — the original prefix below is always a sound
-        // fallback — instead of unwinding out of the pipeline.
-        let pacb = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Pacb::new(&[], &views)
-                .with_options(PacbOptions {
-                    budget: self.budget,
-                    prune_threshold: Some(cost_original),
-                })
-                .with_cost_fn(&cost_fn)
-                .rewrite(&compiled.cq)
-        }))
-        .unwrap_or_else(|_| PacbResult {
-            rewritings: Vec::new(),
-            chase_outcome: ChaseOutcome::BudgetExhausted,
-            backchase_outcome: ChaseOutcome::BudgetExhausted,
-            universal_plan_size: 0,
-            chase_stats: ChaseStats::default(),
-            backchase_stats: ChaseStats::default(),
-            degraded: Some(Degraded {
-                reason: DegradeReason::WorkerPanic,
-                phase: RewritePhase::Chase,
-            }),
-        });
-        let pacb_us = pacb_start.elapsed().as_micros();
+    // Phase 2: PACB with the catalog's row-count cost as `Prune_prov`
+    // threshold — rewritings that cannot beat re-running the original
+    // prefix are pruned during the backchase.
+    let cost_original =
+        state.catalog.scan_cost(compiled.cq.body.iter().filter_map(|a| tv.table_of(a.pred)));
+    let cost_fn = |inst: &Instance, atoms: &[usize]| -> f64 {
+        state.catalog.scan_cost(
+            atoms.iter().map(|&i| tv.table_of(inst.fact(i).pred).unwrap_or("?unknown-pred")),
+        )
+    };
+    let pacb_start = Instant::now();
+    // Supervised: a panic inside PACB (a bug, or an injected fault in
+    // the shared chase engine) degrades the relational phase to "no
+    // rewriting found" — the original prefix below is always a sound
+    // fallback — instead of unwinding out of the pipeline.
+    let pacb = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Pacb::new(&[], &views)
+            .with_options(PacbOptions {
+                budget: state.budget,
+                prune_threshold: Some(cost_original),
+            })
+            .with_cost_fn(&cost_fn)
+            .rewrite(&compiled.cq)
+    }))
+    .unwrap_or_else(|_| PacbResult {
+        rewritings: Vec::new(),
+        chase_outcome: ChaseOutcome::BudgetExhausted,
+        backchase_outcome: ChaseOutcome::BudgetExhausted,
+        universal_plan_size: 0,
+        chase_stats: ChaseStats::default(),
+        backchase_stats: ChaseStats::default(),
+        degraded: Some(Degraded {
+            reason: DegradeReason::WorkerPanic,
+            phase: RewritePhase::Chase,
+        }),
+    });
+    let pacb_us = pacb_start.elapsed().as_micros();
 
-        let best_rw =
-            pacb.rewritings.iter().find(|r| r.cost.is_some_and(|c| c < cost_original));
+    let best_rw = pacb.rewritings.iter().find(|r| r.cost.is_some_and(|c| c < cost_original));
 
-        // Phase 3: execute the chosen prefix (and, under verification, the
-        // original too).
-        let exec_start = Instant::now();
-        let table = match best_rw {
-            Some(rw) => eval_cq(&rw.query, &compiled.columns, &self.catalog, &tv)?,
-            None => p.prefix.execute(&self.catalog)?,
-        };
-        let table = maybe_sort(table, &p.sort_key)?;
-        let exec_us = exec_start.elapsed().as_micros();
+    // Phase 3: execute the chosen prefix (and, under verification, the
+    // original too).
+    let exec_start = Instant::now();
+    let table = match best_rw {
+        Some(rw) => eval_cq(&rw.query, &compiled.columns, state.catalog, &tv)?,
+        None => p.prefix.execute(state.catalog)?,
+    };
+    let table = maybe_sort(table, &p.sort_key)?;
+    let exec_us = exec_start.elapsed().as_micros();
 
-        // Phase 4: cast into the LA world.
-        let cast_start = Instant::now();
-        let mat = apply_cast(&table, &p.cast)?;
-        let cast_us = cast_start.elapsed().as_micros();
+    // Phase 4: cast into the LA world.
+    let cast_start = Instant::now();
+    let mat = apply_cast(&table, &p.cast)?;
+    let cast_us = cast_start.elapsed().as_micros();
 
-        // Phase 5: LA suffix rewriting with the cast matrix catalogued from
-        // its actual materialization (shape, nnz, MNC histograms) — for a
-        // sparse cast this records the true ultra-sparse density, which the
-        // encoder turns into the `density` facts the cost oracle reads.
-        let cast_meta = MatrixMeta::from_matrix(&mat);
-        let mut la_opt = self.optimizer.clone();
-        la_opt.cat.register(&p.cast_name, cast_meta.clone());
+    // Phase 5: LA suffix rewriting with the cast matrix catalogued from
+    // its actual materialization (shape, nnz, MNC histograms) — for a
+    // sparse cast this records the true ultra-sparse density, which the
+    // encoder turns into the `density` facts the cost oracle reads. The
+    // clone is pinned to the captured epoch so plan-cache entries it
+    // creates (or serves) are validated against the snapshotted catalog
+    // state, not whatever the live catalog has moved on to.
+    let cast_meta = MatrixMeta::from_matrix(&mat);
+    let mut la_opt = state.optimizer.clone();
+    la_opt.set_cache_epoch(state.epoch);
+    la_opt.cat.register(&p.cast_name, cast_meta.clone());
 
-        let rel = RelPhase {
-            compiled,
-            cost_original,
-            cost_best: best_rw.and_then(|r| r.cost),
-            rewriting: best_rw.map(|r| r.query.clone()),
-            pacb,
-            pacb_us,
-            exec_us,
-            rows_out: table.num_rows(),
-        };
+    let rel = RelPhase {
+        compiled,
+        cost_original,
+        cost_best: best_rw.and_then(|r| r.cost),
+        rewriting: best_rw.map(|r| r.query.clone()),
+        pacb,
+        pacb_us,
+        exec_us,
+        rows_out: table.num_rows(),
+    };
 
-        let (ranked, best, verified) = match verify {
-            None => {
-                let ranked = la_opt.rewrite(&p.suffix)?;
-                let best = ranked.best().clone();
-                (ranked, best, None)
-            }
-            Some((env, rtol)) => {
-                // Relational half: the rewriting must cast to the same
-                // matrix as the operator pipeline over base tables.
-                let rel_ok = match &rel.rewriting {
-                    None => true,
-                    Some(_) => {
-                        let orig = maybe_sort(p.prefix.execute(&self.catalog)?, &p.sort_key)?;
-                        let orig_mat = apply_cast(&orig, &p.cast)?;
-                        approx_eq(&orig_mat, &mat, rtol)
-                    }
-                };
-                let mut env = env.clone();
-                env.bind(&p.cast_name, mat.clone());
-                let (ranked, plan, _) = la_opt.rewrite_verified(&p.suffix, &env, rtol)?;
-                // Verified only if the *best-ranked* plan is the one that
-                // passed execution (a fallback to a later plan or to the
-                // original means the top plan failed the check).
-                let la_ok = plan.expr == ranked.best().expr;
-                (ranked, plan, Some(rel_ok && la_ok))
-            }
-        };
+    let (ranked, best, verified) = match verify {
+        None => {
+            let ranked = la_opt.rewrite(&p.suffix)?;
+            let best = ranked.best().clone();
+            (ranked, best, None)
+        }
+        Some((env, rtol)) => {
+            // Relational half: the rewriting must cast to the same
+            // matrix as the operator pipeline over base tables.
+            let rel_ok = match &rel.rewriting {
+                None => true,
+                Some(_) => {
+                    let orig = maybe_sort(p.prefix.execute(state.catalog)?, &p.sort_key)?;
+                    let orig_mat = apply_cast(&orig, &p.cast)?;
+                    approx_eq(&orig_mat, &mat, rtol)
+                }
+            };
+            let mut env = env.clone();
+            env.bind(&p.cast_name, mat.clone());
+            let (ranked, plan, _) = la_opt.rewrite_verified(&p.suffix, &env, rtol)?;
+            // Verified only if the *best-ranked* plan is the one that
+            // passed execution (a fallback to a later plan or to the
+            // original means the top plan failed the check).
+            let la_ok = plan.expr == ranked.best().expr;
+            (ranked, plan, Some(rel_ok && la_ok))
+        }
+    };
 
-        // Most upstream degradation wins: maintenance, then the relational
-        // (PACB) phase, then the LA phase.
-        let degraded = degraded
-            .or_else(|| rel.pacb.degraded.clone())
-            .or_else(|| ranked.report.degraded.clone());
+    // Most upstream degradation wins: maintenance, then the relational
+    // (PACB) phase, then the LA phase.
+    let degraded = degraded
+        .or_else(|| rel.pacb.degraded.clone())
+        .or_else(|| ranked.report.degraded.clone());
 
-        Ok(HybridResult {
-            rel,
-            table,
-            cast_meta,
-            cast_us,
-            ranked,
-            best,
-            verified,
-            degraded,
-            elapsed_us: start.elapsed().as_micros(),
-        })
+    Ok(HybridResult {
+        rel,
+        table,
+        cast_meta,
+        cast_us,
+        ranked,
+        best,
+        verified,
+        degraded,
+        elapsed_us: start.elapsed().as_micros(),
+    })
+}
+
+/// An immutable, owned copy of a [`HybridOptimizer`]'s rewriting state —
+/// relational catalog, table views, LA optimizer (plan-cache epoch already
+/// stamped), and chase budget — captured at a committed catalog epoch.
+///
+/// Every method takes `&self`, so one snapshot (behind an [`Arc`]) serves
+/// hybrid rewrites from any number of threads while the writer keeps
+/// mutating and maintaining the live optimizer. Snapshots are only ever
+/// published from clean states (no pending updates, maintainer healthy),
+/// so the stale-view and poisoning checks of the live path are vacuous
+/// here by construction.
+#[derive(Clone)]
+pub struct CatalogSnapshot {
+    catalog: Catalog,
+    table_views: Vec<TableView>,
+    optimizer: Optimizer,
+    budget: ChaseBudget,
+    epoch: u64,
+}
+
+impl CatalogSnapshot {
+    /// The catalog epoch this snapshot was captured at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshotted relational catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The snapshotted table views, in registration order.
+    pub fn table_views(&self) -> &[TableView] {
+        &self.table_views
+    }
+
+    /// Rewrites a hybrid pipeline against the snapshot, without the LA
+    /// verification step — the snapshot analogue of
+    /// [`HybridOptimizer::rewrite_hybrid`].
+    pub fn rewrite_hybrid(&self, p: &HybridPipeline) -> Result<HybridResult, HybridError> {
+        run_state(&self.state(), p, None)
+    }
+
+    /// Rewrites and execution-verifies a hybrid pipeline against the
+    /// snapshot — the snapshot analogue of
+    /// [`HybridOptimizer::rewrite_hybrid_verified`].
+    pub fn rewrite_hybrid_verified(
+        &self,
+        p: &HybridPipeline,
+        env: &Env,
+        rtol: f64,
+    ) -> Result<HybridResult, HybridError> {
+        run_state(&self.state(), p, Some((env, rtol)))
+    }
+
+    /// Rewrites a pure-LA expression against the snapshot's optimizer
+    /// (whose plan-cache probes carry the snapshot's epoch).
+    pub fn rewrite(&self, e: &Expr) -> Result<RankedPlans, RewriteError> {
+        self.optimizer.rewrite(e)
+    }
+
+    fn state(&self) -> RunState<'_> {
+        RunState {
+            catalog: &self.catalog,
+            table_views: &self.table_views,
+            optimizer: &self.optimizer,
+            budget: self.budget,
+            epoch: self.epoch,
+            degraded: None,
+        }
+    }
+}
+
+/// A cloneable, `Send` handle onto a [`HybridOptimizer`]'s latest
+/// *published* [`CatalogSnapshot`].
+///
+/// Hand clones to reader threads: each rewrite loads the current snapshot
+/// (the lock is held only for the `Arc` pointer copy) and runs against it
+/// lock-free, while the writer maintains the live state and republishes
+/// after every clean commit. Readers never observe a mid-maintenance
+/// state — publication happens only when the update log is drained and
+/// the maintainer is healthy.
+#[derive(Clone)]
+pub struct SnapshotReader {
+    shared: Arc<Mutex<Arc<CatalogSnapshot>>>,
+}
+
+impl SnapshotReader {
+    /// The latest published snapshot. Callers holding the returned `Arc`
+    /// keep that epoch's state alive even after the writer republishes.
+    pub fn current(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.shared.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// [`CatalogSnapshot::rewrite_hybrid`] against the latest published
+    /// snapshot.
+    pub fn rewrite_hybrid(&self, p: &HybridPipeline) -> Result<HybridResult, HybridError> {
+        self.current().rewrite_hybrid(p)
+    }
+
+    /// [`CatalogSnapshot::rewrite_hybrid_verified`] against the latest
+    /// published snapshot.
+    pub fn rewrite_hybrid_verified(
+        &self,
+        p: &HybridPipeline,
+        env: &Env,
+        rtol: f64,
+    ) -> Result<HybridResult, HybridError> {
+        self.current().rewrite_hybrid_verified(p, env, rtol)
+    }
+
+    /// [`CatalogSnapshot::rewrite`] against the latest published snapshot.
+    pub fn rewrite(&self, e: &Expr) -> Result<RankedPlans, RewriteError> {
+        self.current().rewrite(e)
     }
 }
 

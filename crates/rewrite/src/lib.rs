@@ -17,19 +17,22 @@
 //! assert_eq!(ranked.best().expr.to_string(), "trace((B A))");
 //! ```
 
+pub mod cache;
 pub mod cost;
 pub mod eval;
 pub mod hybrid;
 pub mod maintain;
 pub mod optimizer;
 
+pub use cache::{CacheReport, PlanCache};
 pub use cost::{CostModel, Estimate, FlopsCost, TighteningPruner, VremCostOracle};
 pub use eval::{eval, eval_with, Env, EvalError};
 pub use hadad_chase::EvalMode;
 pub use hadad_linalg::{BackendKind, ExecBackend};
 pub use hybrid::{
-    eval_cq, CastKind, CompiledQuery, HybridError, HybridOptimizer, HybridPipeline,
-    HybridResult, MaintainedCast, RelOp, RelPhase, RelQuery, TableView, TableVocab,
+    eval_cq, CastKind, CatalogSnapshot, CompiledQuery, HybridError, HybridOptimizer,
+    HybridPipeline, HybridResult, MaintainedCast, RelOp, RelPhase, RelQuery, SnapshotReader,
+    TableView, TableVocab,
 };
 pub use maintain::{MaintenanceReport, ViewChange, ViewMaintainer};
 pub use optimizer::{

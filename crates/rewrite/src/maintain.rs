@@ -56,6 +56,9 @@ pub struct MaintenanceReport {
     /// Time spent re-casting and re-stamping maintained cast metadata
     /// (`HybridOptimizer` maintenance only; zero for a bare maintainer).
     pub restamp_us: u128,
+    /// Catalog epoch after the pass committed — the epoch fresh plan-cache
+    /// entries and snapshots are stamped with from here on.
+    pub epoch: u64,
 }
 
 impl MaintenanceReport {
@@ -199,6 +202,7 @@ impl ViewMaintainer {
         }
         report.entries_processed = queue.len();
         report.maintain_us = start.elapsed().as_micros();
+        report.epoch = catalog.epoch();
         Ok(report)
     }
 

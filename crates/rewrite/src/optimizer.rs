@@ -8,20 +8,24 @@
 //! the backchase — every candidate it returns is a full reformulation
 //! justified by the constraints, and the cost model picks the winner.
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use hadad_chase::{
     degradation_of, ChaseBudget, ChaseEngine, ChaseOutcome, ChaseStats, Constraint, CostPruner,
     DegradeReason, Degraded, EvalMode, RewritePhase,
 };
+use hadad_core::fingerprint::{canonicalize, leaf_bands, rename_leaves};
 use hadad_core::{
     BackendProfile, Catalogue, Encoder, Expr, Extractor, MatrixMeta, MetaCatalog,
     RuleRejection, ShapeError, Vrem,
 };
 use hadad_linalg::{approx_eq, BackendKind, Matrix};
 
+use crate::cache::{CacheReport, CachedPlans, DpTable, Lookup, PlanCache, PlanCacheKey};
 use crate::cost::{CostModel, FlopsCost, TighteningPruner, VremCostOracle};
 use crate::eval::{eval_with, Env, EvalError};
 
@@ -89,6 +93,11 @@ pub struct RewriteReport {
     /// facts that *were* derived), but cheaper rewritings may have been
     /// missed. `None` means the chase terminated and every phase ran clean.
     pub degraded: Option<Degraded>,
+    /// Plan-cache counters (all zero when no cache is configured). When
+    /// `cache.hit` is set, this call was served from the cache: only
+    /// `elapsed_us` and `cache` describe the serving call — every other
+    /// field documents the cold pass that originally produced the plans.
+    pub cache: CacheReport,
 }
 
 /// Result of `Optimizer::rewrite`: the original plan plus all candidate
@@ -244,6 +253,26 @@ pub struct Optimizer {
     /// [`Optimizer::register_constraints`]; appended to the standard
     /// catalogue on every `rewrite` call.
     extra_constraints: Vec<ConstraintGen>,
+    /// Shared plan cache (`None` = disabled). Clones share the same cache,
+    /// which is how the hybrid path's per-run optimizer clones and
+    /// concurrent snapshot readers all hit one map.
+    cache: Option<Arc<PlanCache>>,
+    /// Catalog epoch this optimizer's cache probes and inserts are pinned
+    /// to; see [`Optimizer::set_cache_epoch`].
+    cache_epoch: u64,
+    /// Memoized catalogue prefix (standard rules + view constraints +
+    /// generator output on a fresh [`Vrem`]), keyed by a hash of everything
+    /// it was built from; shared across clones.
+    memo: Arc<Mutex<Option<ConstraintMemo>>>,
+}
+
+/// One memoized catalogue prefix: the [`Vrem`] the constraints were
+/// interned into and the constraints themselves, both cloned per call so
+/// the per-call encoding builds on a consistent schema.
+struct ConstraintMemo {
+    key: u64,
+    vrem: Vrem,
+    constraints: Vec<Constraint>,
 }
 
 impl Optimizer {
@@ -266,7 +295,38 @@ impl Optimizer {
             backend: BackendKind::from_env(),
             deadline: None,
             extra_constraints: Vec::new(),
+            cache: PlanCache::from_env(),
+            cache_epoch: 0,
+            memo: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Enables the plan cache with `capacity` total entries (`0`
+    /// disables), replacing any env-configured cache. Clones of this
+    /// optimizer share the cache; see [`crate::cache`] for the key and
+    /// the epoch-invalidation rule.
+    pub fn with_plan_cache(mut self, capacity: usize) -> Self {
+        self.cache = (capacity > 0).then(|| Arc::new(PlanCache::new(capacity)));
+        self
+    }
+
+    /// The shared plan cache, when one is enabled.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Pins plan-cache probes and inserts to `epoch` — the relational
+    /// [`Catalog`](hadad_relational::Catalog)'s monotonic version in
+    /// hybrid deployments. An entry stamped with a different epoch is
+    /// refused (and evicted), which keeps hits sound across IVM updates.
+    /// Purely-LA deployments can leave the default of `0`.
+    pub fn set_cache_epoch(&mut self, epoch: u64) {
+        self.cache_epoch = epoch;
+    }
+
+    /// The epoch cache entries are currently stamped with.
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache_epoch
     }
 
     /// Selects the execution backend (kernels and cost calibration).
@@ -432,6 +492,88 @@ impl Optimizer {
         Ok(env)
     }
 
+    /// The memoized catalogue prefix: standard MMC rules, view
+    /// constraints, and registered-generator output, all interned into one
+    /// fresh [`Vrem`]. Rebuilt only when its inputs change (catalog
+    /// entries, views, generators, cache epoch); otherwise the memoized
+    /// schema and constraints are cloned — generator re-runs and their
+    /// `hadad-analyze` certification stay off the per-rewrite hot path.
+    fn catalogue_prefix(
+        &self,
+        cat: &MetaCatalog,
+    ) -> Result<(Vrem, Vec<Constraint>), RewriteError> {
+        let key = self.prefix_key(cat);
+        {
+            let memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(m) = memo.as_ref() {
+                if m.key == key {
+                    return Ok((m.vrem.clone(), m.constraints.clone()));
+                }
+            }
+        }
+        let mut vrem = Vrem::new();
+        let mut catalogue = Catalogue::standard(&mut vrem);
+        for v in &self.views {
+            catalogue
+                .constraints
+                .extend(Catalogue::la_view_constraints(&mut vrem, cat, &v.name, &v.def)?);
+        }
+        // Mined constraints re-generate against this schema; their shape
+        // was certified at registration time.
+        for gen in &self.extra_constraints {
+            catalogue.constraints.extend(gen(&mut vrem));
+        }
+        let constraints = catalogue.constraints;
+        let mut memo = self.memo.lock().unwrap_or_else(PoisonError::into_inner);
+        *memo =
+            Some(ConstraintMemo { key, vrem: vrem.clone(), constraints: constraints.clone() });
+        Ok((vrem, constraints))
+    }
+
+    /// Hash of everything [`Optimizer::catalogue_prefix`] reads: catalog
+    /// shapes, views, generator identities, and the catalog epoch.
+    fn prefix_key(&self, cat: &MetaCatalog) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cache_epoch.hash(&mut h);
+        for name in cat.names() {
+            if let Some(m) = cat.get(name) {
+                name.hash(&mut h);
+                m.rows.hash(&mut h);
+                m.cols.hash(&mut h);
+                m.nnz.hash(&mut h);
+            }
+        }
+        hash_views_and_gens(&self.views, &self.extra_constraints, &mut h);
+        h.finish()
+    }
+
+    /// Opaque configuration hash for plan-cache keys: two optimizers with
+    /// the same hash would run an identical cold pipeline on equal inputs.
+    fn config_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{:?}", self.backend).hash(&mut h);
+        format!("{:?}", self.mode).hash(&mut h);
+        format!("{:?}", self.prune).hash(&mut h);
+        self.budget.max_rounds.hash(&mut h);
+        self.budget.max_facts.hash(&mut h);
+        self.budget.max_nulls.hash(&mut h);
+        self.deadline.hash(&mut h);
+        hash_views_and_gens(&self.views, &self.extra_constraints, &mut h);
+        h.finish()
+    }
+
+    /// Plan-cache key for `e` over the effective catalog, or `None` when
+    /// some leaf has no metadata (the rewrite will fail shape inference on
+    /// its own terms). Cross-name sharing is only allowed while no views
+    /// or extra rules are registered — their plans can embed leaves tied
+    /// to concrete names, so those keys bind the leaf names too.
+    fn cache_key(&self, e: &Expr, cat: &MetaCatalog) -> Option<PlanCacheKey> {
+        let canon = canonicalize(e);
+        let bands = leaf_bands(&canon.leaves, cat)?;
+        let names_bound = !self.views.is_empty() || !self.extra_constraints.is_empty();
+        Some(PlanCacheKey::new(canon, bands, self.config_hash(), self.cache_epoch, names_bound))
+    }
+
     /// Rewrites `e` into cost-ranked equivalent plans.
     pub fn rewrite(&self, e: &Expr) -> Result<RankedPlans, RewriteError> {
         let start = Instant::now();
@@ -444,50 +586,71 @@ impl Optimizer {
         let cm = CostModel::with_profile(&cat, profile);
         let original = Plan { expr: e.clone(), est_cost: cm.cost(e)? };
 
-        let mut vrem = Vrem::new();
+        // Plan-cache probe: a hit at the current epoch is served straight
+        // from the cache; a stale entry is refused but donates its DP
+        // table, warm-starting the pruner's mid-chase re-extractions.
+        let mut warm_dp: Option<DpTable> = None;
+        let mut pending: Option<(Arc<PlanCache>, PlanCacheKey)> = None;
+        if let Some(cache) = &self.cache {
+            if let Some(key) = self.cache_key(e, &cat) {
+                match cache.lookup(&key) {
+                    Lookup::Hit(cached) => {
+                        if let Some(served) =
+                            serve_hit(cache, *cached, &key, &cm, original.clone(), start)
+                        {
+                            return Ok(served);
+                        }
+                        pending = Some((Arc::clone(cache), key));
+                    }
+                    Lookup::Stale(dp) => {
+                        warm_dp = Some(dp);
+                        pending = Some((Arc::clone(cache), key));
+                    }
+                    Lookup::Miss => pending = Some((Arc::clone(cache), key)),
+                }
+            }
+        }
+
+        let (mut vrem, constraints) = self.catalogue_prefix(&cat)?;
         let encode_start = Instant::now();
         let encoded = Encoder::new(&mut vrem, &cat).encode(e)?;
         let encode_us = encode_start.elapsed().as_micros();
-        let mut catalogue = Catalogue::standard(&mut vrem);
-        for v in &self.views {
-            catalogue
-                .constraints
-                .extend(Catalogue::la_view_constraints(&mut vrem, &cat, &v.name, &v.def)?);
-        }
-        // Mined constraints re-generate against this call's schema; their
-        // shape was certified at registration time.
-        for gen in &self.extra_constraints {
-            catalogue.constraints.extend(gen(&mut vrem));
-        }
 
         let budget = match self.deadline {
             Some(timeout) => self.budget.with_deadline(timeout),
             None => self.budget,
         };
-        let engine =
-            ChaseEngine::new(catalogue.constraints).with_budget(budget).with_mode(self.mode);
+        let engine = ChaseEngine::new(constraints).with_budget(budget).with_mode(self.mode);
         let mut inst = encoded.instance;
         let chase_start = Instant::now();
-        // Phase supervision: a panic inside the chase (a bug, or an injected
-        // fault) is contained here. The partially saturated instance is still
-        // a sound under-approximation — every fact in it was derived from the
-        // catalogue — so extraction proceeds on whatever was built.
-        let chased = catch_unwind(AssertUnwindSafe(|| match self.prune {
-            PruneMode::Off => engine.chase(&mut inst),
+        // `Prune_prov` for the LA path: the oracle reads propagated
+        // size/density facts, the incumbent starts at the original plan's
+        // cost and tightens each round as the DP finds cheaper plans in
+        // the partially saturated instance. A refused cache entry's DP
+        // table seeds the first re-extraction.
+        let oracle = VremCostOracle::with_profile(&vrem, profile);
+        let mut pruner = match self.prune {
+            PruneMode::Off => None,
             PruneMode::CostThreshold => {
-                // `Prune_prov` for the LA path: the oracle reads propagated
-                // size/density facts, the incumbent starts at the original
-                // plan's cost and tightens each round as the DP finds
-                // cheaper plans in the partially saturated instance.
-                let oracle = VremCostOracle::with_profile(&vrem, profile);
-                let mut pruner = TighteningPruner::new(
+                let p = TighteningPruner::new(
                     &oracle,
                     CostPruner::new(&oracle, original.est_cost),
                     &vrem,
                     encoded.root,
                 );
-                engine.chase_with(&mut inst, &mut pruner)
+                Some(match warm_dp.take() {
+                    Some(seed) => p.with_seed(seed),
+                    None => p,
+                })
             }
+        };
+        // Phase supervision: a panic inside the chase (a bug, or an injected
+        // fault) is contained here. The partially saturated instance is still
+        // a sound under-approximation — every fact in it was derived from the
+        // catalogue — so extraction proceeds on whatever was built.
+        let chased = catch_unwind(AssertUnwindSafe(|| match pruner.as_mut() {
+            None => engine.chase(&mut inst),
+            Some(p) => engine.chase_with(&mut inst, p),
         }));
         let (chase_outcome, stats, mut degraded) = match chased {
             Ok((outcome, stats)) => {
@@ -507,21 +670,23 @@ impl Optimizer {
 
         let extract_start = Instant::now();
         let cost_fn = FlopsCost::with_profile(profile);
-        let candidates = catch_unwind(AssertUnwindSafe(|| {
+        let want_dp = pending.is_some();
+        let (candidates, dp_table) = catch_unwind(AssertUnwindSafe(|| {
             let extractor = Extractor::new(&vrem, &inst, &cost_fn);
             let mut candidates = extractor.candidates(encoded.root);
             if candidates.is_empty() {
                 // Un-chased leaf-only expressions still decode via `extract`.
                 candidates.extend(extractor.extract(encoded.root));
             }
-            candidates
+            let dp = want_dp.then(|| extractor.dp_table().clone());
+            (candidates, dp)
         }))
         .unwrap_or_else(|_| {
             degraded.get_or_insert(Degraded {
                 reason: DegradeReason::WorkerPanic,
                 phase: RewritePhase::Extraction,
             });
-            Vec::new()
+            (Vec::new(), None)
         });
         let extract_us = extract_start.elapsed().as_micros();
         if candidates.is_empty() && degraded.is_none() {
@@ -561,8 +726,17 @@ impl Optimizer {
             cost_profile: profile,
             chase_stats: stats,
             degraded,
+            cache: self.cache.as_ref().map_or_else(CacheReport::default, |c| c.report(false)),
         };
-        Ok(RankedPlans { original, plans, report })
+        let ranked = RankedPlans { original, plans, report };
+        // Only clean results are cached: a degraded pass may have missed
+        // cheaper plans, and serving it later would freeze the degradation.
+        if let Some((cache, key)) = pending {
+            if ranked.report.degraded.is_none() {
+                cache.insert(&key, ranked.clone(), dp_table.unwrap_or_default());
+            }
+        }
+        Ok(ranked)
     }
 
     /// Execution hook: evaluates `original` and `candidate` on the linalg
@@ -608,6 +782,64 @@ impl Optimizer {
         let plan = ranked.original.clone();
         Ok((ranked, plan, reference))
     }
+}
+
+/// Hashes view signatures and generator identities into `h` — shared by
+/// the memo key and the cache configuration hash. Generators are hashed by
+/// allocation identity (`Arc` pointer): two optimizers share a generator
+/// exactly when one was cloned from the other with it already registered.
+fn hash_views_and_gens(views: &[LaView], gens: &[ConstraintGen], h: &mut impl Hasher) {
+    for v in views {
+        v.name.hash(h);
+        v.def.to_string().hash(h);
+        if let Some(m) = &v.meta {
+            m.rows.hash(h);
+            m.cols.hash(h);
+            m.nnz.hash(h);
+        }
+    }
+    for g in gens {
+        (Arc::as_ptr(g) as *const () as usize).hash(h);
+    }
+}
+
+/// Serves a cache hit: the cached plans are re-anchored on this call's
+/// freshly priced original and, on a cross-name hit (same skeleton and
+/// bands, different leaf names), re-skinned onto the probe's names and
+/// re-priced under its catalog. Returns `None` when no re-skinned plan
+/// prices (treated as a miss by the caller).
+fn serve_hit(
+    cache: &PlanCache,
+    cached: CachedPlans,
+    key: &PlanCacheKey,
+    cm: &CostModel<'_>,
+    original: Plan,
+    start: Instant,
+) -> Option<RankedPlans> {
+    let CachedPlans { mut plans, names } = cached;
+    if names == key.names {
+        plans.original = original;
+    } else {
+        let mut reskinned = Vec::with_capacity(plans.plans.len());
+        for p in &plans.plans {
+            let expr = rename_leaves(&p.expr, &names, &key.names);
+            if let Ok(est_cost) = cm.cost(&expr) {
+                reskinned.push(Plan { expr, est_cost });
+            }
+        }
+        if reskinned.is_empty() {
+            return None;
+        }
+        reskinned.sort_by(|a, b| {
+            a.est_cost.partial_cmp(&b.est_cost).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        plans.plans = reskinned;
+        plans.original = original;
+        plans.report.num_candidates = plans.plans.len();
+    }
+    plans.report.elapsed_us = start.elapsed().as_micros();
+    plans.report.cache = cache.report(true);
+    Some(plans)
 }
 
 /// Estimates candidate costs, sharding across worker threads when the
