@@ -365,6 +365,9 @@ impl<'a> Analyzer<'a> {
 
     /// Runs every enabled check and assembles the report.
     pub fn report(&self) -> RuleReport {
+        static REPORTS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("analyze.reports");
+        REPORTS.incr();
+        let _span = hadad_obs::span("analyze.report");
         let functional: HashMap<PredId, FunctionalSig> = self
             .constraints
             .iter()

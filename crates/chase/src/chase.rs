@@ -315,6 +315,32 @@ impl ChaseStats {
     pub fn matches_enumerated(&self) -> u64 {
         self.rule_matches.iter().map(|(_, n)| n).sum()
     }
+
+    /// Total successful TGD firings across all rules.
+    pub fn firings(&self) -> u64 {
+        self.tgd_firings.iter().map(|(_, n)| *n as u64).sum()
+    }
+}
+
+/// Publishes one run's aggregate counters to the shared metrics registry.
+fn publish_chase_metrics(stats: &ChaseStats) {
+    static RUNS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("chase.runs");
+    static ROUNDS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("chase.rounds");
+    static FIRINGS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("chase.rule_firings");
+    static VETOES: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("chase.rule_vetoes");
+    static MERGES: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("chase.egd_merges");
+    static MATCHES: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("chase.matches");
+    static DEADLINES: hadad_obs::LazyCounter =
+        hadad_obs::LazyCounter::new("chase.deadline_expiries");
+    RUNS.incr();
+    ROUNDS.add(stats.rounds as u64);
+    FIRINGS.add(stats.firings());
+    VETOES.add(stats.pruned_firings as u64);
+    MERGES.add(stats.egd_merges as u64);
+    MATCHES.add(stats.matches_enumerated());
+    if stats.exhausted == Some(ExhaustedBy::Deadline) {
+        DEADLINES.incr();
+    }
 }
 
 /// A premise match buffered for application, flattened so the enumeration
@@ -422,7 +448,25 @@ impl ChaseEngine {
     }
 
     /// Runs the chase with a pruning hook.
+    ///
+    /// Every run publishes its aggregate [`ChaseStats`] to the shared
+    /// `hadad-obs` metrics registry (`chase.rounds`, `chase.rule_firings`,
+    /// `chase.rule_vetoes`, `chase.egd_merges`, `chase.matches`,
+    /// `chase.deadline_expiries`) and executes under a `"chase"` tracing
+    /// span — the per-rule vectors in the returned stats stay the
+    /// fine-grained record.
     pub fn chase_with(
+        &self,
+        inst: &mut Instance,
+        pruner: &mut dyn Pruner,
+    ) -> (ChaseOutcome, ChaseStats) {
+        let _span = hadad_obs::span("chase");
+        let (outcome, stats) = self.chase_run(inst, pruner);
+        publish_chase_metrics(&stats);
+        (outcome, stats)
+    }
+
+    fn chase_run(
         &self,
         inst: &mut Instance,
         pruner: &mut dyn Pruner,

@@ -203,7 +203,10 @@ impl<'a> Pacb<'a> {
             io_constraints.push(v.io_constraint().into());
         }
         let engine = ChaseEngine::new(io_constraints).with_budget(self.options.budget);
-        let (chase_outcome, chase_stats) = engine.chase(&mut inst);
+        let (chase_outcome, chase_stats) = {
+            let _span = hadad_obs::span("pacb.chase");
+            engine.chase(&mut inst)
+        };
 
         // Phase (ii)+(iii): universal plan = view atoms, each with a fresh
         // provenance term, rebuilt in a fresh instance.
@@ -243,7 +246,8 @@ impl<'a> Pacb<'a> {
             oi_constraints.push(v.oi_constraint().into());
         }
         let back_engine = ChaseEngine::new(oi_constraints).with_budget(self.options.budget);
-        let (backchase_outcome, backchase_stats) =
+        let (backchase_outcome, backchase_stats) = {
+            let _span = hadad_obs::span("pacb.backchase");
             match (self.options.prune_threshold, self.cost_fn) {
                 (Some(t), Some(f)) => {
                     let oracle = ProvCostOracle { cost_fn: f };
@@ -251,7 +255,8 @@ impl<'a> Pacb<'a> {
                     back_engine.chase_with(&mut u, &mut pruner)
                 }
                 _ => back_engine.chase(&mut u),
-            };
+            }
+        };
 
         // Phase (v): match Q into the backchase result; read rewritings off
         // the provenance formulas of the match images.
@@ -304,6 +309,11 @@ impl<'a> Pacb<'a> {
         });
         let degraded = degradation_of(&chase_stats, RewritePhase::Chase)
             .or_else(|| degradation_of(&backchase_stats, RewritePhase::Backchase));
+        static RUNS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("pacb.runs");
+        static REWRITINGS: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("pacb.rewritings");
+        RUNS.incr();
+        REWRITINGS.add(rewritings.len() as u64);
         PacbResult {
             rewritings,
             chase_outcome,

@@ -151,7 +151,10 @@ where
     if items.len() < min_len || workers < 2 {
         return items.iter().map(f).collect();
     }
+    static PAR_SHARDS: hadad_obs::LazyCounter =
+        hadad_obs::LazyCounter::new("extract.par_shards");
     let chunk = items.len().div_ceil(workers);
+    PAR_SHARDS.add(items.len().div_ceil(chunk) as u64);
     let f = &f;
     std::thread::scope(|s| {
         let handles: Vec<_> = items
@@ -186,6 +189,9 @@ impl<'a> Extractor<'a> {
         // plan); `delay:<ms>` exercises deadlines. The `error` action has
         // no typed path here and is a no-op.
         let _ = hadad_failpoint::hit("extract.solve");
+        static SOLVES: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("extract.solves");
+        SOLVES.incr();
+        let _span = hadad_obs::span("extract.solve");
         let mut ex = Extractor {
             inst,
             classes: HashMap::new(),
@@ -213,6 +219,10 @@ impl<'a> Extractor<'a> {
         seed: &HashMap<NodeId, (f64, usize)>,
     ) -> Self {
         let _ = hadad_failpoint::hit("extract.solve");
+        static SEEDED: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("extract.seeded_solves");
+        SEEDED.incr();
+        let _span = hadad_obs::span("extract.solve");
         let mut ex = Extractor {
             inst,
             classes: HashMap::new(),

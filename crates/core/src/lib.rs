@@ -11,6 +11,7 @@
 /// Named fault-injection sites (`HADAD_FAILPOINTS` env DSL); re-exported
 /// here so every layer of the stack shares one registry.
 pub use hadad_failpoint as failpoint;
+pub use hadad_obs as obs;
 
 /// Static rule-soundness analysis (range restriction, weak acyclicity
 /// modulo reuse, coverage); re-exported so callers gate registration

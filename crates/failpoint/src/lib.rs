@@ -114,6 +114,11 @@ fn env_state() -> &'static (HashMap<String, FailAction>, Vec<String>) {
                 "warning: HADAD_FAILPOINTS entry `{entry}` is malformed and was NOT armed \
                  (expected site=panic|error|delay:<ms>)"
             );
+            hadad_obs::event(
+                "failpoint.spec",
+                hadad_obs::Severity::Warn,
+                format!("malformed HADAD_FAILPOINTS entry `{entry}` was NOT armed"),
+            );
         }
         if !map.is_empty() {
             ARMED.store(true, Ordering::Relaxed);

@@ -55,10 +55,15 @@ impl std::fmt::Display for BackendPanic {
 static PANIC_EVENTS: Mutex<Vec<BackendPanic>> = Mutex::new(Vec::new());
 
 fn record_backend_panic(backend: &'static str, op: &'static str) {
-    PANIC_EVENTS
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .push(BackendPanic { backend, op });
+    static PANICS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("kernel.panics");
+    static DEGRADED: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("kernel.degraded");
+    let event = BackendPanic { backend, op };
+    // Mirror the typed event into the shared registry + structured event
+    // log: one panic, one degradation (the retry on Reference).
+    PANICS.incr();
+    DEGRADED.incr();
+    hadad_obs::event("linalg.kernel", hadad_obs::Severity::Warn, event.to_string());
+    PANIC_EVENTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(event);
 }
 
 /// Snapshot of every contained kernel panic so far (observability hook).
@@ -204,17 +209,31 @@ impl ExecBackend for Parallel {
     }
 
     fn multiply(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        static GEMM: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("kernel.gemm");
+        static SPMM: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("kernel.spmm");
+        static DENSE_SPARSE: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("kernel.dense_sparse");
+        static SPGEMM: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("kernel.spgemm");
         check_mul(a, b)?;
+        let _span = hadad_obs::span("kernel.multiply");
         let t = self.threads();
         let attempt = match (a, b) {
             (Matrix::Dense(x), Matrix::Dense(y)) => {
+                GEMM.incr();
                 gemm_blocked(x, y, t, self.tile).map(Matrix::Dense)
             }
-            (Matrix::Sparse(x), Matrix::Dense(y)) => spmm_rows(x, y, t).map(Matrix::Dense),
+            (Matrix::Sparse(x), Matrix::Dense(y)) => {
+                SPMM.incr();
+                spmm_rows(x, y, t).map(Matrix::Dense)
+            }
             (Matrix::Dense(x), Matrix::Sparse(y)) => {
+                DENSE_SPARSE.incr();
                 dense_sparse_rows(x, y, t).map(Matrix::Dense)
             }
-            (Matrix::Sparse(x), Matrix::Sparse(y)) => spgemm_rows(x, y, t).map(Matrix::Sparse),
+            (Matrix::Sparse(x), Matrix::Sparse(y)) => {
+                SPGEMM.incr();
+                spgemm_rows(x, y, t).map(Matrix::Sparse)
+            }
         };
         match attempt {
             Ok(m) => Ok(m),
@@ -232,6 +251,10 @@ impl ExecBackend for Parallel {
         match a {
             // Dense Aᵀ is an O(rows·cols) strided rewrite — fuse it away.
             Matrix::Dense(x) => {
+                static TMUL: hadad_obs::LazyCounter =
+                    hadad_obs::LazyCounter::new("kernel.tmul_fused");
+                TMUL.incr();
+                let _span = hadad_obs::span("kernel.tmul");
                 let t = self.threads();
                 let attempt = match b {
                     Matrix::Dense(y) => tmul_dense_dense(x, y, t),

@@ -1,0 +1,106 @@
+//! Bounded structured event log: one process-wide stream for faults,
+//! degradations, and configuration warnings (failpoint spec errors,
+//! backend kernel panics, …) that previously went to `eprintln!` or
+//! per-struct side channels.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+use crate::now_us;
+
+/// Maximum retained events; older entries are evicted first (the log is a
+/// recent-history window, unlike the keep-oldest span rings).
+pub const EVENT_CAPACITY: usize = 1024;
+
+/// Event severity, ordered `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Expected operational milestones.
+    Info,
+    /// Degraded but recovered (e.g. kernel panic absorbed by a reference
+    /// retry, malformed failpoint spec entry skipped).
+    Warn,
+    /// A fault surfaced to callers (e.g. maintainer poisoned).
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Info => "info",
+            Self::Warn => "warn",
+            Self::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Emitting site, e.g. `"failpoint.spec"` or `"linalg.kernel"`.
+    pub site: &'static str,
+    /// Severity of the event.
+    pub severity: Severity,
+    /// Human-readable detail.
+    pub message: String,
+    /// Emission time, microseconds since the process observability epoch.
+    pub t_us: u64,
+}
+
+fn log() -> &'static Mutex<VecDeque<Event>> {
+    static LOG: OnceLock<Mutex<VecDeque<Event>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Appends an event to the log, evicting the oldest entry when the
+/// [`EVENT_CAPACITY`] window is full.
+pub fn event(site: &'static str, severity: Severity, message: impl Into<String>) {
+    let mut log = log().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if log.len() >= EVENT_CAPACITY {
+        log.pop_front();
+    }
+    log.push_back(Event { site, severity, message: message.into(), t_us: now_us() });
+}
+
+/// A copy of the retained events, oldest first.
+#[must_use]
+pub fn events() -> Vec<Event> {
+    log().lock().unwrap_or_else(std::sync::PoisonError::into_inner).iter().cloned().collect()
+}
+
+/// Drains and returns the retained events, oldest first.
+pub fn take_events() -> Vec<Event> {
+    log().lock().unwrap_or_else(std::sync::PoisonError::into_inner).drain(..).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_retained_in_order_with_severity() {
+        event("test.events.a", Severity::Info, "first");
+        event("test.events.b", Severity::Error, format!("second {}", 2));
+        let all = events();
+        let a = all.iter().position(|e| e.site == "test.events.a").expect("a logged");
+        let b = all.iter().position(|e| e.site == "test.events.b").expect("b logged");
+        assert!(a < b, "log is oldest-first");
+        assert_eq!(all[b].severity, Severity::Error);
+        assert_eq!(all[b].message, "second 2");
+        assert!(all[a].t_us <= all[b].t_us);
+        assert!(Severity::Info < Severity::Warn && Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Warn.to_string(), "warn");
+    }
+
+    #[test]
+    fn log_window_is_bounded() {
+        for i in 0..(EVENT_CAPACITY + 8) {
+            event("test.events.flood", Severity::Info, format!("e{i}"));
+        }
+        let all = events();
+        assert!(all.len() <= EVENT_CAPACITY, "log must stay bounded");
+        // The newest flood entry survived; the oldest were evicted.
+        assert!(all.iter().any(|e| e.message == format!("e{}", EVENT_CAPACITY + 7)));
+    }
+}

@@ -41,12 +41,22 @@ impl Catalog {
         self.epoch
     }
 
+    /// Advances the epoch, mirroring the bump into the shared metrics
+    /// registry (`catalog.epoch_bumps`) so snapshot/plan-cache staleness
+    /// pressure is observable.
+    fn bump_epoch(&mut self) {
+        static BUMPS: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("catalog.epoch_bumps");
+        BUMPS.incr();
+        self.epoch += 1;
+    }
+
     /// Registers a table under `name`, returning the table it displaced,
     /// if any. A `Some` return on a name you expected to be fresh means a
     /// view registration collision — callers that materialize views check
     /// it instead of silently shadowing a base table.
     pub fn register(&mut self, name: impl Into<String>, table: Table) -> Option<Table> {
-        self.epoch += 1;
+        self.bump_epoch();
         self.tables.insert(name.into(), table)
     }
 
@@ -78,7 +88,7 @@ impl Catalog {
         let delta = Delta::inserts(table, rows);
         let (inserted, _) = apply_delta(table, &delta, name)?;
         self.log.push(name, delta);
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(inserted)
     }
 
@@ -96,7 +106,7 @@ impl Catalog {
         let delta = Delta::deletes(table, rows);
         let (_, deleted) = apply_delta(table, &delta, name)?;
         self.log.push(name, delta);
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(deleted)
     }
 
@@ -110,7 +120,7 @@ impl Catalog {
         let table =
             self.tables.get_mut(name).ok_or_else(|| IvmError::MissingTable(name.to_owned()))?;
         let applied = apply_delta(table, delta, name)?;
-        self.epoch += 1;
+        self.bump_epoch();
         Ok(applied)
     }
 

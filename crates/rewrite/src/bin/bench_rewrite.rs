@@ -175,25 +175,46 @@ fn ridge_pipeline(n: usize, d: usize) -> Pipeline {
     Pipeline { name: "ridge_normal_eq", expr, cat, env, budget: ChaseBudget::default() }
 }
 
-/// Execution time of `e` on `backend`: one warm-up, then the **median** of
-/// `reps` individually timed runs, in microseconds. Median, not mean — a
-/// single descheduled run would otherwise smear into every exec number and
-/// mask kernel-level wins.
-fn time_exec_on(e: &Expr, env: &Env, backend: &dyn ExecBackend, reps: u32) -> f64 {
-    let _ = eval_with(e, env, backend).expect("pipeline evaluates");
+/// Quantiles of individually timed samples, in microseconds.
+struct Measured {
+    p50: f64,
+    p95: f64,
+}
+
+/// Every timed sample across the bench lands in this histogram, so an
+/// obs snapshot taken after the run carries the full exec distribution.
+static EXEC_SAMPLES: hadad_obs::LazyHistogram = hadad_obs::LazyHistogram::new("bench.exec_us");
+
+/// The one timing harness behind every `exec_us_*` field: one warm-up
+/// call, then `reps` individually timed runs, each recorded into the
+/// `bench.exec_us` histogram. Reported as p50/p95, not mean — a single
+/// descheduled run would otherwise smear into every exec number and mask
+/// kernel-level wins.
+fn measure(reps: u32, mut f: impl FnMut()) -> Measured {
+    f();
     let mut samples: Vec<f64> = (0..reps.max(1))
         .map(|_| {
             let start = Instant::now();
-            let _ = eval_with(e, env, backend).expect("pipeline evaluates");
-            start.elapsed().as_micros() as f64
+            f();
+            let us = start.elapsed().as_micros();
+            EXEC_SAMPLES.record(us as u64);
+            us as f64
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    let p95_idx = ((samples.len() as f64 * 0.95).ceil() as usize).max(1) - 1;
+    Measured { p50: samples[samples.len() / 2], p95: samples[p95_idx] }
 }
 
-/// Median-of-N execution on the default backend.
-fn time_exec(e: &Expr, env: &Env, reps: u32) -> f64 {
+/// Execution time of `e` on `backend` through [`measure`].
+fn time_exec_on(e: &Expr, env: &Env, backend: &dyn ExecBackend, reps: u32) -> Measured {
+    measure(reps, || {
+        let _ = eval_with(e, env, backend).expect("pipeline evaluates");
+    })
+}
+
+/// [`measure`]d execution on the default backend.
+fn time_exec(e: &Expr, env: &Env, reps: u32) -> Measured {
     time_exec_on(e, env, hadad_linalg::default_backend(), reps)
 }
 
@@ -378,31 +399,34 @@ fn dense_gemm_family(reps: u32) -> (String, f64, f64) {
     env.bind("G1", Matrix::Dense(rand_gen::random_dense(n, n, 81)));
     env.bind("G2", Matrix::Dense(rand_gen::random_dense(n, n, 82)));
     let e = mul(m("G1"), m("G2"));
-    let reference_us = time_exec_on(&e, &env, &REFERENCE, reps);
-    let parallel_us = time_exec_on(&e, &env, &PARALLEL, reps);
+    let reference = time_exec_on(&e, &env, &REFERENCE, reps);
+    let parallel = time_exec_on(&e, &env, &PARALLEL, reps);
     let threads = PARALLEL.threads();
     println!(
         "{:<16} exec reference {:>8.0}us vs parallel {:>8.0}us ({:.2}x, {} threads)",
         "dense_gemm512",
-        reference_us,
-        parallel_us,
-        reference_us / parallel_us.max(1.0),
+        reference.p50,
+        parallel.p50,
+        reference.p50 / parallel.p50.max(1.0),
         threads,
     );
     let row = format!(
         concat!(
             "    {{\"pipeline\": \"dense_gemm512\", \"n\": {}, ",
-            "\"exec_us_reference\": {:.1}, \"exec_us_parallel\": {:.1}, ",
+            "\"exec_us_reference\": {:.1}, \"exec_us_reference_p95\": {:.1}, ",
+            "\"exec_us_parallel\": {:.1}, \"exec_us_parallel_p95\": {:.1}, ",
             "\"speedup\": {:.2}, \"threads\": {}, ",
             "\"tgd_firings\": 0, \"nopruning_tgd_firings\": 0}}"
         ),
         n,
-        reference_us,
-        parallel_us,
-        reference_us / parallel_us.max(1.0),
+        reference.p50,
+        reference.p95,
+        parallel.p50,
+        parallel.p95,
+        reference.p50 / parallel.p50.max(1.0),
         threads,
     );
-    (row, reference_us, parallel_us)
+    (row, reference.p50, parallel.p50)
 }
 
 /// Total TGD firings across every rule of a rewrite's chase.
@@ -736,6 +760,42 @@ fn cached_family(reps: u32) -> (String, f64, f64) {
     (row, cache_hit_us, cache_hit_rate)
 }
 
+/// Instrumentation-overhead duel (tracked in the series row): every LA
+/// family rewritten with the tracing gate forced **off**, then forced
+/// **on**. The off numbers are the always-on-metrics / unarmed-spans cost
+/// the 3%-regression CI check watches across commits; the on/off ratio
+/// prices arming `HADAD_TRACE` at runtime. Returns per-family
+/// `(name, total_us)` pairs for the off and on runs, in LA-family order.
+#[allow(clippy::type_complexity)]
+fn trace_overhead_duel(
+    pipelines: &[Pipeline],
+    reps: u32,
+) -> (Vec<(String, f64)>, Vec<(String, f64)>) {
+    let mut off = Vec::new();
+    let mut on = Vec::new();
+    for p in pipelines {
+        let opt = Optimizer::new(p.cat.clone()).with_budget(p.budget);
+        hadad_obs::set_tracing(false);
+        let (_, tm_off) = time_rewrite(&opt, &p.expr, reps);
+        hadad_obs::set_tracing(true);
+        let (_, tm_on) = time_rewrite(&opt, &p.expr, reps);
+        hadad_obs::set_tracing(false);
+        off.push((p.name.to_string(), tm_off.total));
+        on.push((p.name.to_string(), tm_on.total));
+    }
+    let off_total: f64 = off.iter().map(|(_, us)| us).sum();
+    let on_total: f64 = on.iter().map(|(_, us)| us).sum();
+    println!(
+        "{:<16} off {:>8.0}us vs on {:>8.0}us across {} LA families (x{:.3} armed)",
+        "trace_overhead",
+        off_total,
+        on_total,
+        pipelines.len(),
+        on_total / off_total.max(1.0),
+    );
+    (off, on)
+}
+
 /// Everything one tracked series row carries beyond the commit stamp:
 /// per-LA-family chase medians, the IVM maintenance duel, the
 /// sparse-chain / dense-GEMM backend duels, and the deadline family's
@@ -761,6 +821,11 @@ struct SeriesData<'a> {
     cache_hit_us: f64,
     /// Plan-cache hit rate over the cached_rewrite family's calls.
     cache_hit_rate: f64,
+    /// Per-LA-family rewrite totals with the tracing gate forced off —
+    /// the instrumentation cost a disabled `HADAD_TRACE` still pays.
+    trace_off: &'a [(String, f64)],
+    /// Same families with the gate armed (spans recorded into rings).
+    trace_on: &'a [(String, f64)],
     threads: usize,
 }
 
@@ -788,6 +853,12 @@ fn append_series_row(data: &SeriesData<'_>) {
         data.headline.iter().map(|(name, us)| format!("\"{name}\": {us:.1}")).collect();
     let (sparse_ref, sparse_par) = data.sparse_exec;
     let (gemm_ref, gemm_par) = data.gemm_exec;
+    let trace_off_map: Vec<String> =
+        data.trace_off.iter().map(|(name, us)| format!("\"{name}\": {us:.1}")).collect();
+    let trace_on_map: Vec<String> =
+        data.trace_on.iter().map(|(name, us)| format!("\"{name}\": {us:.1}")).collect();
+    let trace_off_total: f64 = data.trace_off.iter().map(|(_, us)| us).sum();
+    let trace_on_total: f64 = data.trace_on.iter().map(|(_, us)| us).sum();
     let line = format!(
         concat!(
             "{{\"commit\": \"{}\", \"ts_unix\": {}, \"families\": [{}], ",
@@ -797,6 +868,9 @@ fn append_series_row(data: &SeriesData<'_>) {
             "\"dense_gemm512_exec_us\": {{\"reference\": {:.1}, \"parallel\": {:.1}}}, ",
             "\"deadline_cost_ratio\": {:.3}, ",
             "\"cache_hit_us\": {:.1}, \"cache_hit_rate\": {:.3}, ",
+            "\"trace_off_us\": {{{}}}, \"trace_on_us\": {{{}}}, ",
+            "\"trace_off_total_us\": {:.1}, \"trace_on_total_us\": {:.1}, ",
+            "\"trace_overhead_ratio\": {:.3}, ",
             "\"threads\": {}}}\n"
         ),
         commit,
@@ -814,6 +888,11 @@ fn append_series_row(data: &SeriesData<'_>) {
         data.deadline_ratio,
         data.cache_hit_us,
         data.cache_hit_rate,
+        trace_off_map.join(", "),
+        trace_on_map.join(", "),
+        trace_off_total,
+        trace_on_total,
+        trace_on_total / trace_off_total.max(1.0),
         data.threads,
     );
     use std::io::Write as _;
@@ -887,28 +966,34 @@ fn main() {
         let equivalent = opt
             .check_equivalent(&p.expr, &best.expr, &p.env, 1e-9)
             .expect("both plans evaluate");
-        let orig_exec_us = time_exec(&p.expr, &p.env, 5);
-        let best_exec_us = time_exec(&best.expr, &p.env, 5);
+        let orig_exec = time_exec(&p.expr, &p.env, 5);
+        let best_exec = time_exec(&best.expr, &p.env, 5);
         series_chase.push((p.name.to_string(), tm.chase));
         series_headline.push((p.name.to_string(), tm.total));
 
         // The headline kernel duel: the *unrewritten* sparse chain under
         // each backend (direct-CSR SpGEMM assembly vs triplet-sort).
         let extra = if p.name == "sparse_chain" {
-            let reference_us = time_exec_on(&p.expr, &p.env, &REFERENCE, 5);
-            let parallel_us = time_exec_on(&p.expr, &p.env, &PARALLEL, 5);
-            sparse_exec = Some((reference_us, parallel_us));
+            let reference = time_exec_on(&p.expr, &p.env, &REFERENCE, 5);
+            let parallel = time_exec_on(&p.expr, &p.env, &PARALLEL, 5);
+            sparse_exec = Some((reference.p50, parallel.p50));
             println!(
                 "  unrewritten exec: reference {:.0}us vs parallel {:.0}us ({:.2}x, {} threads)",
-                reference_us,
-                parallel_us,
-                reference_us / parallel_us.max(1.0),
+                reference.p50,
+                parallel.p50,
+                reference.p50 / parallel.p50.max(1.0),
                 PARALLEL.threads(),
             );
             format!(
-                ", \"exec_us_reference\": {:.1}, \"exec_us_parallel\": {:.1}, \"threads\": {}",
-                reference_us,
-                parallel_us,
+                concat!(
+                    ", \"exec_us_reference\": {:.1}, \"exec_us_reference_p95\": {:.1}",
+                    ", \"exec_us_parallel\": {:.1}, \"exec_us_parallel_p95\": {:.1}",
+                    ", \"threads\": {}"
+                ),
+                reference.p50,
+                reference.p95,
+                parallel.p50,
+                parallel.p95,
                 PARALLEL.threads(),
             )
         } else {
@@ -926,8 +1011,8 @@ fn main() {
             p.expr,
             best.expr,
             ranked.est_speedup(),
-            orig_exec_us,
-            best_exec_us,
+            orig_exec.p50,
+            best_exec.p50,
             equivalent,
         );
         println!(
@@ -968,7 +1053,9 @@ fn main() {
                 "\"chase_rounds\": {}, \"saturated\": {}, ",
                 "\"candidates\": {}, \"chase_facts\": {}, \"original\": \"{}\", ",
                 "\"best\": \"{}\", \"est_cost_original\": {:.1}, \"est_cost_best\": {:.1}, ",
-                "\"exec_us_original\": {:.1}, \"exec_us_best\": {:.1}, \"equivalent\": {}{}}}"
+                "\"exec_us_original\": {:.1}, \"exec_us_original_p95\": {:.1}, ",
+                "\"exec_us_best\": {:.1}, \"exec_us_best_p95\": {:.1}, ",
+                "\"equivalent\": {}{}}}"
             ),
             p.name,
             p.expr.node_count(),
@@ -992,8 +1079,10 @@ fn main() {
             best.expr,
             ranked.original.est_cost,
             best.est_cost,
-            orig_exec_us,
-            best_exec_us,
+            orig_exec.p50,
+            orig_exec.p95,
+            best_exec.p50,
+            best_exec.p95,
             equivalent,
             extra,
         ));
@@ -1014,6 +1103,7 @@ fn main() {
     let (cached_row, cache_hit_us, cache_hit_rate) = cached_family(20);
     rows.push(cached_row);
     series_headline.push(("cached_rewrite".into(), cache_hit_us));
+    let (trace_off, trace_on) = trace_overhead_duel(&pipelines, 5);
 
     let json = format!(
         "{{\n  \"bench\": \"Optimizer::rewrite\",\n  \"pipelines\": [\n{}\n  ]\n}}\n",
@@ -1036,6 +1126,11 @@ fn main() {
         FAMILIES.to_vec(),
         "series headline map must cover every family in order"
     );
+    assert_eq!(
+        trace_off.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        LA_FAMILIES.to_vec(),
+        "trace duel must cover every LA family in order"
+    );
     append_series_row(&SeriesData {
         chase: &series_chase,
         headline: &series_headline,
@@ -1046,6 +1141,8 @@ fn main() {
         deadline_ratio,
         cache_hit_us,
         cache_hit_rate,
+        trace_off: &trace_off,
+        trace_on: &trace_on,
         threads: PARALLEL.threads(),
     });
     println!("wrote BENCH_rewrite.json ({} families) + BENCH_series.jsonl row", FAMILIES.len());

@@ -19,13 +19,17 @@
 //!
 //! Concurrency: the map is sharded by key hash, each shard behind its own
 //! mutex, so reader threads rewriting against catalog snapshots contend
-//! only when they collide on a shard. Counters are atomics, surfaced on
-//! `RewriteReport` as [`CacheReport`].
+//! only when they collide on a shard. Counters are lock-free
+//! [`hadad_obs::Counter`]s, surfaced on `RewriteReport` as [`CacheReport`]
+//! and mirrored into the process-wide registry (`cache.hits`,
+//! `cache.misses`, `cache.stale_refusals`, `cache.evictions`).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+
+use hadad_obs::{Counter, LazyCounter};
 
 use hadad_chase::NodeId;
 use hadad_core::fingerprint::{structural_hash, CanonicalExpr, StatsBand};
@@ -52,6 +56,9 @@ pub struct CacheReport {
     /// Cumulative evictions: capacity-pressure LRU removals plus
     /// stale-epoch refusals.
     pub evictions: u64,
+    /// Cumulative stale-epoch refusals (the subset of `misses` whose entry
+    /// matched but carried an outdated epoch stamp and was evicted).
+    pub stale_refusals: u64,
 }
 
 /// Probe key: the canonical skeleton of the input expression, its leaf
@@ -164,20 +171,28 @@ pub const DEFAULT_CAPACITY: usize = 256;
 pub struct PlanCache {
     shards: Vec<Mutex<HashMap<u64, Entry>>>,
     per_shard: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    stale_refusals: Counter,
     tick: AtomicU64,
 }
+
+/// Process-wide mirrors of every cache instance's counters (a process may
+/// hold several caches; per-instance exactness lives in [`CacheReport`]).
+static M_HITS: LazyCounter = LazyCounter::new("cache.hits");
+static M_MISSES: LazyCounter = LazyCounter::new("cache.misses");
+static M_EVICTIONS: LazyCounter = LazyCounter::new("cache.evictions");
+static M_STALE: LazyCounter = LazyCounter::new("cache.stale_refusals");
 
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlanCache")
             .field("capacity", &(self.per_shard * NUM_SHARDS))
             .field("len", &self.len())
-            .field("hits", &self.hits.load(Ordering::Relaxed))
-            .field("misses", &self.misses.load(Ordering::Relaxed))
-            .field("evictions", &self.evictions.load(Ordering::Relaxed))
+            .field("hits", &self.hits.get())
+            .field("misses", &self.misses.get())
+            .field("evictions", &self.evictions.get())
             .finish()
     }
 }
@@ -189,9 +204,10 @@ impl PlanCache {
         PlanCache {
             shards: (0..NUM_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             per_shard: capacity.div_ceil(NUM_SHARDS).max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            stale_refusals: Counter::new(),
             tick: AtomicU64::new(0),
         }
     }
@@ -214,13 +230,16 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Counter snapshot, with `hit` recording this call's outcome.
+    /// Counter snapshot, with `hit` recording this call's outcome. The
+    /// public fields are reads off the same lock-free counters the shared
+    /// metrics registry mirrors.
     pub(crate) fn report(&self, hit: bool) -> CacheReport {
         CacheReport {
             hit,
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            stale_refusals: self.stale_refusals.get(),
         }
     }
 
@@ -234,7 +253,8 @@ impl PlanCache {
             Some(entry) if entry.matches(key) => {
                 if entry.epoch == key.epoch {
                     entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.incr();
+                    M_HITS.incr();
                     Lookup::Hit(Box::new(CachedPlans {
                         plans: entry.plans.clone(),
                         names: entry.names.clone(),
@@ -242,13 +262,18 @@ impl PlanCache {
                 } else {
                     // Epoch mismatch: refuse and evict, recycle the DP.
                     let entry = shard.remove(&key.hash).expect("entry present");
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.misses.incr();
+                    self.evictions.incr();
+                    self.stale_refusals.incr();
+                    M_MISSES.incr();
+                    M_EVICTIONS.incr();
+                    M_STALE.incr();
                     Lookup::Stale(entry.dp)
                 }
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.incr();
+                M_MISSES.incr();
                 Lookup::Miss
             }
         }
@@ -261,7 +286,8 @@ impl PlanCache {
         if !shard.contains_key(&key.hash) && shard.len() >= self.per_shard {
             if let Some(&lru) = shard.iter().min_by_key(|(_, e)| e.last_used).map(|(h, _)| h) {
                 shard.remove(&lru);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.incr();
+                M_EVICTIONS.incr();
             }
         }
         shard.insert(

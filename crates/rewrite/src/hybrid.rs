@@ -948,6 +948,9 @@ impl HybridOptimizer {
             self.catalog.pending_updates().iter().map(|e| e.table.clone()).collect();
         let mut report = self.maintainer.maintain(&mut self.catalog, &self.table_views)?;
         dirty.extend(report.changes.iter().map(|c| c.view.clone()));
+        static RESTAMP_US: hadad_obs::LazyHistogram =
+            hadad_obs::LazyHistogram::new("maintain.restamp_us");
+        let _restamp_span = hadad_obs::span("maintain.restamp");
         let restamp_start = Instant::now();
         for cast in &self.maintained_casts {
             if dirty.contains(&cast.view) {
@@ -962,6 +965,8 @@ impl HybridOptimizer {
             }
         }
         report.restamp_us = restamp_start.elapsed().as_micros();
+        RESTAMP_US.record(u64::try_from(report.restamp_us).unwrap_or(u64::MAX));
+        drop(_restamp_span);
         self.publish();
         Ok(report)
     }
@@ -1120,12 +1125,29 @@ impl HybridOptimizer {
     /// the last clean snapshot, which is exactly the wanted semantics for
     /// a writer mid-batch.
     fn publish(&self) {
+        static PUBLISHES: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("snapshot.publishes");
+        static EPOCH_ADVANCE: hadad_obs::LazyHistogram =
+            hadad_obs::LazyHistogram::new("snapshot.epoch_advance");
         let Some(shared) = &self.shared else { return };
         if self.maintainer.is_poisoned() || !self.catalog.pending_updates().is_empty() {
             return;
         }
         let snap = Arc::new(self.make_snapshot());
-        *shared.lock().unwrap_or_else(PoisonError::into_inner) = snap;
+        let mut slot = shared.lock().unwrap_or_else(PoisonError::into_inner);
+        // Epoch lag between consecutive published snapshots: how many
+        // committed epochs a reader could skip past in one reload.
+        EPOCH_ADVANCE.record(snap.epoch().saturating_sub(slot.epoch()));
+        PUBLISHES.incr();
+        *slot = snap;
+    }
+
+    /// Point-in-time snapshot of the process-wide observability registry;
+    /// see [`Optimizer::metrics`]. Covers both halves of the hybrid
+    /// pipeline (PACB, relational execution, cast, LA rewriting) plus
+    /// maintenance and snapshot publication counters.
+    pub fn metrics(&self) -> hadad_obs::MetricsSnapshot {
+        hadad_obs::snapshot()
     }
 
     /// Rewrites the pipeline without executing the LA verification step
@@ -1217,6 +1239,14 @@ fn run_state(
     p: &HybridPipeline,
     verify: Option<(&Env, f64)>,
 ) -> Result<HybridResult, HybridError> {
+    static RUNS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("hybrid.runs");
+    static TOTAL_US: hadad_obs::LazyHistogram =
+        hadad_obs::LazyHistogram::new("hybrid.total_us");
+    static PACB_US: hadad_obs::LazyHistogram = hadad_obs::LazyHistogram::new("hybrid.pacb_us");
+    static EXEC_US: hadad_obs::LazyHistogram = hadad_obs::LazyHistogram::new("hybrid.exec_us");
+    static CAST_US: hadad_obs::LazyHistogram = hadad_obs::LazyHistogram::new("hybrid.cast_us");
+    let _span = hadad_obs::span("hybrid.run");
+    RUNS.incr();
     let start = Instant::now();
     let degraded = state.degraded.clone();
 
@@ -1252,50 +1282,51 @@ fn run_state(
             atoms.iter().map(|&i| tv.table_of(inst.fact(i).pred).unwrap_or("?unknown-pred")),
         )
     };
-    let pacb_start = Instant::now();
     // Supervised: a panic inside PACB (a bug, or an injected fault in
     // the shared chase engine) degrades the relational phase to "no
     // rewriting found" — the original prefix below is always a sound
     // fallback — instead of unwinding out of the pipeline.
-    let pacb = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        Pacb::new(&[], &views)
-            .with_options(PacbOptions {
-                budget: state.budget,
-                prune_threshold: Some(cost_original),
-            })
-            .with_cost_fn(&cost_fn)
-            .rewrite(&compiled.cq)
-    }))
-    .unwrap_or_else(|_| PacbResult {
-        rewritings: Vec::new(),
-        chase_outcome: ChaseOutcome::BudgetExhausted,
-        backchase_outcome: ChaseOutcome::BudgetExhausted,
-        universal_plan_size: 0,
-        chase_stats: ChaseStats::default(),
-        backchase_stats: ChaseStats::default(),
-        degraded: Some(Degraded {
-            reason: DegradeReason::WorkerPanic,
-            phase: RewritePhase::Chase,
-        }),
+    let (pacb, pacb_us) = hadad_obs::timed("hybrid.pacb", &PACB_US, || {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Pacb::new(&[], &views)
+                .with_options(PacbOptions {
+                    budget: state.budget,
+                    prune_threshold: Some(cost_original),
+                })
+                .with_cost_fn(&cost_fn)
+                .rewrite(&compiled.cq)
+        }))
+        .unwrap_or_else(|_| PacbResult {
+            rewritings: Vec::new(),
+            chase_outcome: ChaseOutcome::BudgetExhausted,
+            backchase_outcome: ChaseOutcome::BudgetExhausted,
+            universal_plan_size: 0,
+            chase_stats: ChaseStats::default(),
+            backchase_stats: ChaseStats::default(),
+            degraded: Some(Degraded {
+                reason: DegradeReason::WorkerPanic,
+                phase: RewritePhase::Chase,
+            }),
+        })
     });
-    let pacb_us = pacb_start.elapsed().as_micros();
 
     let best_rw = pacb.rewritings.iter().find(|r| r.cost.is_some_and(|c| c < cost_original));
 
     // Phase 3: execute the chosen prefix (and, under verification, the
     // original too).
-    let exec_start = Instant::now();
-    let table = match best_rw {
-        Some(rw) => eval_cq(&rw.query, &compiled.columns, state.catalog, &tv)?,
-        None => p.prefix.execute(state.catalog)?,
-    };
-    let table = maybe_sort(table, &p.sort_key)?;
-    let exec_us = exec_start.elapsed().as_micros();
+    let (table, exec_us) = hadad_obs::timed("hybrid.rel_exec", &EXEC_US, || {
+        let table = match best_rw {
+            Some(rw) => eval_cq(&rw.query, &compiled.columns, state.catalog, &tv)?,
+            None => p.prefix.execute(state.catalog)?,
+        };
+        maybe_sort(table, &p.sort_key)
+    });
+    let table = table?;
 
     // Phase 4: cast into the LA world.
-    let cast_start = Instant::now();
-    let mat = apply_cast(&table, &p.cast)?;
-    let cast_us = cast_start.elapsed().as_micros();
+    let (mat, cast_us) =
+        hadad_obs::timed("hybrid.cast", &CAST_US, || apply_cast(&table, &p.cast));
+    let mat = mat?;
 
     // Phase 5: LA suffix rewriting with the cast matrix catalogued from
     // its actual materialization (shape, nnz, MNC histograms) — for a
@@ -1354,6 +1385,8 @@ fn run_state(
         .or_else(|| rel.pacb.degraded.clone())
         .or_else(|| ranked.report.degraded.clone());
 
+    let elapsed_us = start.elapsed().as_micros();
+    TOTAL_US.record(u64::try_from(elapsed_us).unwrap_or(u64::MAX));
     Ok(HybridResult {
         rel,
         table,
@@ -1363,7 +1396,7 @@ fn run_state(
         best,
         verified,
         degraded,
-        elapsed_us: start.elapsed().as_micros(),
+        elapsed_us,
     })
 }
 
@@ -1457,6 +1490,8 @@ impl SnapshotReader {
     /// The latest published snapshot. Callers holding the returned `Arc`
     /// keep that epoch's state alive even after the writer republishes.
     pub fn current(&self) -> Arc<CatalogSnapshot> {
+        static READS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("snapshot.reads");
+        READS.incr();
         Arc::clone(&self.shared.lock().unwrap_or_else(PoisonError::into_inner))
     }
 

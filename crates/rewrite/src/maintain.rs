@@ -142,6 +142,11 @@ impl ViewMaintainer {
         if self.poisoned {
             return Err(HybridError::MaintenancePoisoned);
         }
+        static PASSES: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("maintain.passes");
+        static POISONINGS: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("maintain.poisonings");
+        PASSES.incr();
+        let _span = hadad_obs::span("maintain.pass");
         // Supervised: a panic mid-pass is no different from an error — the
         // log is drained and earlier views may be mutated — so it poisons
         // the maintainer and surfaces as the typed poisoning error instead
@@ -152,6 +157,12 @@ impl ViewMaintainer {
         .unwrap_or(Err(HybridError::MaintenancePoisoned));
         if result.is_err() {
             self.poisoned = true;
+            POISONINGS.incr();
+            hadad_obs::event(
+                "maintain.pass",
+                hadad_obs::Severity::Error,
+                "maintenance pass failed mid-pass; maintainer poisoned until rebuild",
+            );
         }
         result
     }
@@ -185,7 +196,10 @@ impl ViewMaintainer {
                 if !references(view, &entry.table) {
                     continue;
                 }
-                let delta = self.propagate(view, entry, catalog, &queue, i)?;
+                let delta = {
+                    let _span = hadad_obs::span("maintain.propagate");
+                    self.propagate(view, entry, catalog, &queue, i)?
+                };
                 if delta.is_empty() {
                     continue;
                 }
@@ -200,8 +214,22 @@ impl ViewMaintainer {
             }
             i += 1;
         }
+        static PASS_US: hadad_obs::LazyHistogram =
+            hadad_obs::LazyHistogram::new("maintain.pass_us");
+        static ENTRIES: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("maintain.entries");
+        static ROWS_INS: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("maintain.rows_inserted");
+        static ROWS_DEL: hadad_obs::LazyCounter =
+            hadad_obs::LazyCounter::new("maintain.rows_deleted");
         report.entries_processed = queue.len();
+        // One measurement, two consumers: the public report field and the
+        // shared-registry latency histogram.
         report.maintain_us = start.elapsed().as_micros();
+        PASS_US.record(u64::try_from(report.maintain_us).unwrap_or(u64::MAX));
+        ENTRIES.add(queue.len() as u64);
+        ROWS_INS.add(report.changes.iter().map(|c| c.rows_inserted as u64).sum());
+        ROWS_DEL.add(report.changes.iter().map(|c| c.rows_deleted as u64).sum());
         report.epoch = catalog.epoch();
         Ok(report)
     }

@@ -29,6 +29,25 @@ use crate::cache::{CacheReport, CachedPlans, DpTable, Lookup, PlanCache, PlanCac
 use crate::cost::{CostModel, FlopsCost, TighteningPruner, VremCostOracle};
 use crate::eval::{eval_with, Env, EvalError};
 
+// Shared-registry instrumentation for the rewrite pipeline. The phase
+// histograms record the *same* measurements the `RewriteReport` timing
+// fields carry — the report is a per-call view of these process metrics.
+static M_REWRITE_CALLS: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("rewrite.calls");
+static M_CACHE_SERVED: hadad_obs::LazyCounter =
+    hadad_obs::LazyCounter::new("rewrite.cache_served");
+static M_DEGRADED: hadad_obs::LazyCounter = hadad_obs::LazyCounter::new("rewrite.degraded");
+static M_TOTAL_US: hadad_obs::LazyHistogram = hadad_obs::LazyHistogram::new("rewrite.total_us");
+static M_ENCODE_US: hadad_obs::LazyHistogram =
+    hadad_obs::LazyHistogram::new("rewrite.encode_us");
+static M_CHASE_US: hadad_obs::LazyHistogram = hadad_obs::LazyHistogram::new("rewrite.chase_us");
+static M_EXTRACT_US: hadad_obs::LazyHistogram =
+    hadad_obs::LazyHistogram::new("rewrite.extract_us");
+static M_RANK_US: hadad_obs::LazyHistogram = hadad_obs::LazyHistogram::new("rewrite.rank_us");
+
+fn record_total_us(us: u128) {
+    M_TOTAL_US.record(u64::try_from(us).unwrap_or(u64::MAX));
+}
+
 /// Whether the chase runs under `Prune_prov` (paper §7.3). The default
 /// consults the cost oracle: a TGD firing whose conclusion cannot beat the
 /// incumbent plan (seeded from the unrewritten expression, tightened every
@@ -574,9 +593,20 @@ impl Optimizer {
         Some(PlanCacheKey::new(canon, bands, self.config_hash(), self.cache_epoch, names_bound))
     }
 
+    /// Point-in-time snapshot of the process-wide observability registry —
+    /// every counter and latency histogram the pipeline has published
+    /// (chase, extraction, ranking, kernels, plan cache, maintenance).
+    /// Metrics are process-global: concurrent optimizers (and snapshot
+    /// readers) aggregate into the same registry.
+    pub fn metrics(&self) -> hadad_obs::MetricsSnapshot {
+        hadad_obs::snapshot()
+    }
+
     /// Rewrites `e` into cost-ranked equivalent plans.
     pub fn rewrite(&self, e: &Expr) -> Result<RankedPlans, RewriteError> {
         let start = Instant::now();
+        let _span = hadad_obs::span("rewrite");
+        M_REWRITE_CALLS.incr();
         let cat = self.effective_cat()?;
         // Every cost consumer below — ranking estimator, chase pruner,
         // extraction DP — prices plans under the selected backend's
@@ -612,9 +642,10 @@ impl Optimizer {
         }
 
         let (mut vrem, constraints) = self.catalogue_prefix(&cat)?;
-        let encode_start = Instant::now();
-        let encoded = Encoder::new(&mut vrem, &cat).encode(e)?;
-        let encode_us = encode_start.elapsed().as_micros();
+        let (encoded, encode_us) = hadad_obs::timed("rewrite.encode", &M_ENCODE_US, || {
+            Encoder::new(&mut vrem, &cat).encode(e)
+        });
+        let encoded = encoded?;
 
         let budget = match self.deadline {
             Some(timeout) => self.budget.with_deadline(timeout),
@@ -622,7 +653,6 @@ impl Optimizer {
         };
         let engine = ChaseEngine::new(constraints).with_budget(budget).with_mode(self.mode);
         let mut inst = encoded.instance;
-        let chase_start = Instant::now();
         // `Prune_prov` for the LA path: the oracle reads propagated
         // size/density facts, the incumbent starts at the original plan's
         // cost and tightens each round as the DP finds cheaper plans in
@@ -648,77 +678,87 @@ impl Optimizer {
         // fault) is contained here. The partially saturated instance is still
         // a sound under-approximation — every fact in it was derived from the
         // catalogue — so extraction proceeds on whatever was built.
-        let chased = catch_unwind(AssertUnwindSafe(|| match pruner.as_mut() {
-            None => engine.chase(&mut inst),
-            Some(p) => engine.chase_with(&mut inst, p),
-        }));
-        let (chase_outcome, stats, mut degraded) = match chased {
-            Ok((outcome, stats)) => {
-                let degraded = degradation_of(&stats, RewritePhase::Chase);
-                (outcome, stats, degraded)
-            }
-            Err(_) => (
-                ChaseOutcome::BudgetExhausted,
-                ChaseStats::default(),
-                Some(Degraded {
-                    reason: DegradeReason::WorkerPanic,
-                    phase: RewritePhase::Chase,
-                }),
-            ),
-        };
-        let chase_us = chase_start.elapsed().as_micros();
+        let ((chase_outcome, stats, mut degraded), chase_us) =
+            hadad_obs::timed("rewrite.chase", &M_CHASE_US, || {
+                let chased = catch_unwind(AssertUnwindSafe(|| match pruner.as_mut() {
+                    None => engine.chase(&mut inst),
+                    Some(p) => engine.chase_with(&mut inst, p),
+                }));
+                match chased {
+                    Ok((outcome, stats)) => {
+                        let degraded = degradation_of(&stats, RewritePhase::Chase);
+                        (outcome, stats, degraded)
+                    }
+                    Err(_) => (
+                        ChaseOutcome::BudgetExhausted,
+                        ChaseStats::default(),
+                        Some(Degraded {
+                            reason: DegradeReason::WorkerPanic,
+                            phase: RewritePhase::Chase,
+                        }),
+                    ),
+                }
+            });
 
-        let extract_start = Instant::now();
         let cost_fn = FlopsCost::with_profile(profile);
         let want_dp = pending.is_some();
-        let (candidates, dp_table) = catch_unwind(AssertUnwindSafe(|| {
-            let extractor = Extractor::new(&vrem, &inst, &cost_fn);
-            let mut candidates = extractor.candidates(encoded.root);
-            if candidates.is_empty() {
-                // Un-chased leaf-only expressions still decode via `extract`.
-                candidates.extend(extractor.extract(encoded.root));
-            }
-            let dp = want_dp.then(|| extractor.dp_table().clone());
-            (candidates, dp)
-        }))
-        .unwrap_or_else(|_| {
-            degraded.get_or_insert(Degraded {
-                reason: DegradeReason::WorkerPanic,
-                phase: RewritePhase::Extraction,
+        let ((candidates, dp_table), extract_us) =
+            hadad_obs::timed("rewrite.extract", &M_EXTRACT_US, || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let extractor = Extractor::new(&vrem, &inst, &cost_fn);
+                    let mut candidates = extractor.candidates(encoded.root);
+                    if candidates.is_empty() {
+                        // Un-chased leaf-only expressions still decode via
+                        // `extract`.
+                        candidates.extend(extractor.extract(encoded.root));
+                    }
+                    let dp = want_dp.then(|| extractor.dp_table().clone());
+                    (candidates, dp)
+                }))
+                .unwrap_or_else(|_| {
+                    degraded.get_or_insert(Degraded {
+                        reason: DegradeReason::WorkerPanic,
+                        phase: RewritePhase::Extraction,
+                    });
+                    (Vec::new(), None)
+                })
             });
-            (Vec::new(), None)
-        });
-        let extract_us = extract_start.elapsed().as_micros();
         if candidates.is_empty() && degraded.is_none() {
             return Err(RewriteError::NoPlan);
         }
 
-        let rank_start = Instant::now();
-        let mut plans = catch_unwind(AssertUnwindSafe(|| rank_candidates(&cm, candidates)))
-            .unwrap_or_else(|_| {
-                degraded.get_or_insert(Degraded {
-                    reason: DegradeReason::WorkerPanic,
-                    phase: RewritePhase::Ranking,
+        let (plans, rank_us) = hadad_obs::timed("rewrite.rank", &M_RANK_US, || {
+            let mut plans = catch_unwind(AssertUnwindSafe(|| rank_candidates(&cm, candidates)))
+                .unwrap_or_else(|_| {
+                    degraded.get_or_insert(Degraded {
+                        reason: DegradeReason::WorkerPanic,
+                        phase: RewritePhase::Ranking,
+                    });
+                    Vec::new()
                 });
-                Vec::new()
+            if plans.is_empty() && degraded.is_some() {
+                // Anytime guarantee: the unrewritten expression is always a
+                // sound incumbent, so a degraded call still returns a plan.
+                plans.push(original.clone());
+            }
+            plans.sort_by(|a, b| {
+                a.est_cost.partial_cmp(&b.est_cost).unwrap_or(std::cmp::Ordering::Equal)
             });
-        if plans.is_empty() && degraded.is_some() {
-            // Anytime guarantee: the unrewritten expression is always a
-            // sound incumbent, so a degraded call still returns a plan.
-            plans.push(original.clone());
-        }
-        plans.sort_by(|a, b| {
-            a.est_cost.partial_cmp(&b.est_cost).unwrap_or(std::cmp::Ordering::Equal)
+            plans
         });
-        let rank_us = rank_start.elapsed().as_micros();
 
+        let elapsed_us = start.elapsed().as_micros();
+        record_total_us(elapsed_us);
+        if degraded.is_some() {
+            M_DEGRADED.incr();
+        }
         let report = RewriteReport {
             chase_outcome,
             chase_rounds: stats.rounds,
             num_facts: inst.num_facts(),
             num_candidates: plans.len(),
             pruned_firings: stats.pruned_firings,
-            elapsed_us: start.elapsed().as_micros(),
+            elapsed_us,
             encode_us,
             chase_us,
             extract_us,
@@ -839,6 +879,12 @@ fn serve_hit(
     }
     plans.report.elapsed_us = start.elapsed().as_micros();
     plans.report.cache = cache.report(true);
+    // A served hit is still one rewrite call: it lands in the same total
+    // latency histogram the cold path records into, which is exactly the
+    // distribution the paper's "microseconds, not milliseconds" claim is
+    // about.
+    M_CACHE_SERVED.incr();
+    record_total_us(plans.report.elapsed_us);
     Some(plans)
 }
 

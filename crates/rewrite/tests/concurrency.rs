@@ -102,6 +102,69 @@ fn concurrent_rewrites_while_maintaining() {
     assert!(r.best.est_cost <= r.ranked.original.est_cost);
 }
 
+/// The metrics registry under the same 4-reader × 25-iteration stress:
+/// the sharded relaxed counters must lose no updates. A dedicated probe
+/// counter bumped once per reader iteration lands on exactly 100, the
+/// probe histogram's count and sum are bit-exact, and the pipeline's own
+/// counters (`snapshot.reads`, `rewrite.calls`) advance by at least the
+/// stress's own traffic — `>=`, not `==`, because every test in this
+/// binary shares the global registry.
+#[test]
+fn metric_counter_totals_are_exact_under_stress() {
+    static PROBE: hadad_obs::LazyCounter =
+        hadad_obs::LazyCounter::new("test.concurrency.probe");
+    static PROBE_ITERS: hadad_obs::LazyHistogram =
+        hadad_obs::LazyHistogram::new("test.concurrency.iter");
+    let (mut hy, pipeline) = fixture();
+    let reader = hy.reader().expect("reader");
+    let before = hadad_obs::snapshot();
+    let reads_before = before.counter("snapshot.reads").unwrap_or(0);
+    let calls_before = before.counter("rewrite.calls").unwrap_or(0);
+
+    thread::scope(|s| {
+        for _ in 0..4 {
+            let reader = reader.clone();
+            let pipeline = &pipeline;
+            s.spawn(move || {
+                for i in 0..25u64 {
+                    let snap = reader.current();
+                    let r = snap.rewrite_hybrid(pipeline).expect("snapshot rewrite");
+                    assert!(r.best.est_cost <= r.ranked.original.est_cost);
+                    PROBE.incr();
+                    PROBE_ITERS.record(i);
+                }
+            });
+        }
+        for batch in 0..10i64 {
+            let eid = 2000 + batch;
+            hy.insert_rows("events", vec![vec![Value::Int(eid), Value::Int(3)]])
+                .expect("insert applies");
+            hy.delete_rows("events", vec![vec![Value::Int(eid), Value::Int(3)]])
+                .expect("delete applies");
+        }
+    });
+
+    // Exact totals: 4 threads × 25 iterations, no lost updates across
+    // the counter shards or histogram buckets.
+    assert_eq!(PROBE.value(), 100, "probe counter lost updates");
+    let after = hadad_obs::snapshot();
+    let iters = after.histogram("test.concurrency.iter").expect("probe histogram registered");
+    assert_eq!(iters.count, 100, "probe histogram lost samples");
+    assert_eq!(iters.sum, 4 * (0..25u64).sum::<u64>(), "probe histogram sum drifted");
+    // The instrumented pipeline moved at least as much as this stress
+    // drove it: 100 snapshot loads and 100 optimizer rewrites.
+    assert!(after.counter("snapshot.reads").unwrap_or(0) >= reads_before + 100);
+    assert!(after.counter("rewrite.calls").unwrap_or(0) >= calls_before + 100);
+
+    // Deterministic cache-hit delta: two same-epoch rewrites through the
+    // reader — whatever the stress left cached, the second must hit.
+    let hits_before = after.counter("cache.hits").unwrap_or(0);
+    let _ = reader.rewrite_hybrid(&pipeline).expect("post-stress rewrite");
+    let _ = reader.rewrite_hybrid(&pipeline).expect("post-stress rewrite");
+    let hits_after = hadad_obs::snapshot().counter("cache.hits").unwrap_or(0);
+    assert!(hits_after > hits_before, "same-epoch repeat must land a cache hit");
+}
+
 /// Snapshot isolation: a reader holding a snapshot keeps that state alive
 /// and consistent even after the writer mutates and republishes.
 #[test]
